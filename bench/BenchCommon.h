@@ -1,0 +1,111 @@
+//===- BenchCommon.h - Shared benchmark-harness helpers ---------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment binaries in bench/. Each binary
+/// regenerates one exhibit of the paper (see DESIGN.md's experiment
+/// index) as google-benchmark rows whose counters carry the reproduced
+/// numbers; a human-readable recap is printed at exit.
+///
+/// Simulations are memoized: google-benchmark may invoke a row several
+/// times, but each (program, scheme, cache) point is simulated once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_BENCH_BENCHCOMMON_H
+#define URCM_BENCH_BENCHCOMMON_H
+
+#include "urcm/driver/Driver.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace urcm {
+namespace bench {
+
+/// The paper's simulated data cache: modest 1989-scale geometry with
+/// one-word lines (section 1) and LRU replacement.
+inline CacheConfig paperCache() {
+  CacheConfig C;
+  C.NumLines = 128;
+  C.Assoc = 2;
+  C.LineWords = 1;
+  C.Policy = ReplacementPolicy::LRU;
+  return C;
+}
+
+/// The Figure-5 compilation configuration: era-style code (scalar locals
+/// in memory, like the MIPS binaries the paper measured) with the blind
+/// all-unambiguous bypass the paper proposes.
+inline CompileOptions figure5Compile() {
+  CompileOptions Options;
+  Options.IRGen.ScalarLocalsInMemory = true;
+  Options.Scheme = UnifiedOptions::unified();
+  return Options;
+}
+
+/// Memoized two-scheme comparison.
+inline const SchemeComparison &comparison(const std::string &WorkloadName,
+                                          const CompileOptions &Options,
+                                          const CacheConfig &Cache,
+                                          const std::string &Key) {
+  static std::map<std::string, SchemeComparison> Cached;
+  auto It = Cached.find(Key);
+  if (It != Cached.end())
+    return It->second;
+  const Workload *W = findWorkload(WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload %s\n", WorkloadName.c_str());
+    std::abort();
+  }
+  SchemeComparison C = compareSchemes(W->Source, Options, Cache);
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s: %s\n", WorkloadName.c_str(),
+                 C.Error.c_str());
+    std::abort();
+  }
+  return Cached.emplace(Key, std::move(C)).first->second;
+}
+
+/// Memoized single-scheme run.
+inline const SimResult &singleRun(const std::string &WorkloadName,
+                                  const CompileOptions &Options,
+                                  const SimConfig &Sim,
+                                  const std::string &Key) {
+  static std::map<std::string, SimResult> Cached;
+  auto It = Cached.find(Key);
+  if (It != Cached.end())
+    return It->second;
+  const Workload *W = findWorkload(WorkloadName);
+  DiagnosticEngine Diags;
+  SimResult R = compileAndRun(W->Source, Options, Sim, Diags);
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s: %s\n", WorkloadName.c_str(),
+                 R.Error.c_str());
+    std::abort();
+  }
+  return Cached.emplace(Key, std::move(R)).first->second;
+}
+
+/// The six benchmark names in the paper's order.
+inline const std::vector<std::string> &workloadNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N;
+    for (const Workload &W : paperWorkloads())
+      N.push_back(W.Name);
+    return N;
+  }();
+  return Names;
+}
+
+} // namespace bench
+} // namespace urcm
+
+#endif // URCM_BENCH_BENCHCOMMON_H

@@ -1,0 +1,91 @@
+//===- cache_occupancy.cpp - Experiment E14 (the paper's motivation) -----------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Quantifies the claim the whole paper is built on (section 1: "Cache
+// space is wasted to hold inaccessible copies of values"; section 3.2:
+// "approximately 1/r of the cache cells will be wasted"): at sampled
+// instants during execution, what fraction of resident cache lines is
+// *dead* — never read again before being overwritten or the program
+// ending?
+//
+// We measure conventional vs unified on the same geometry. The unified
+// scheme's bypasses keep single-use values out and its dead tags free
+// lines at their last use, so dead residency should collapse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "urcm/sim/Occupancy.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+const SimResult &tracedRun(const std::string &Name, bool Unified) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  Sim.RecordTrace = true;
+  CompileOptions Options = figure5Compile();
+  Options.Scheme = Unified ? UnifiedOptions::unified()
+                           : UnifiedOptions::conventional();
+  return singleRun(Name, Options, Sim,
+                   std::string("occup/") + (Unified ? "u/" : "c/") +
+                       Name);
+}
+
+OccupancyStats occupancy(const std::string &Name, bool Unified) {
+  static std::map<std::string, OccupancyStats> Cached;
+  std::string Key = Name + (Unified ? "/u" : "/c");
+  auto It = Cached.find(Key);
+  if (It != Cached.end())
+    return It->second;
+  const SimResult &R = tracedRun(Name, Unified);
+  OccupancyStats S = analyzeDeadOccupancy(R.Trace, paperCache());
+  Cached.emplace(Key, S);
+  return S;
+}
+
+void rowFor(benchmark::State &State, const std::string &Name,
+            bool Unified) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(occupancy(Name, Unified));
+  OccupancyStats S = occupancy(Name, Unified);
+  State.counters["dead_fraction_pct"] = S.deadFraction() * 100.0;
+  State.counters["occupancy_pct"] =
+      S.meanOccupancy(paperCache().NumLines) * 100.0;
+}
+
+void summary() {
+  std::printf("\nDead cache occupancy: %% of resident lines holding "
+              "never-read-again data\n");
+  std::printf("%-8s %14s %14s   (paper section 3.2: ~1/r of cells "
+              "wasted)\n",
+              "bench", "conventional", "unified");
+  for (const std::string &Name : workloadNames())
+    std::printf("%-8s %13.1f%% %13.1f%%\n", Name.c_str(),
+                occupancy(Name, false).deadFraction() * 100.0,
+                occupancy(Name, true).deadFraction() * 100.0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    for (bool Unified : {false, true})
+      benchmark::RegisterBenchmark(
+          ("Occupancy/" + Name + (Unified ? "/unified" : "/conv"))
+              .c_str(),
+          [Name, Unified](benchmark::State &State) {
+            rowFor(State, Name, Unified);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- hint_encoding.cpp - Experiment E11 (paper section 4.4) ------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Section 4.4 discusses four ways to transmit the per-reference bypass
+// bit to the cache control logic:
+//
+//   (a) a bit embedded in each instruction      -> zero dynamic overhead;
+//   (b) one explicit cache-control instruction
+//       per reference                           -> +1 instruction per ref;
+//   (c) a mode-switch control instruction that
+//       flips the bypass/cache decision for
+//       subsequent references ("bypasses may
+//       come in clumps")                        -> +1 per bit transition;
+//   (d) stealing an address bit                 -> zero dynamic overhead,
+//                                                  half the address space.
+//
+// We measure the dynamic cost drivers on real executions: total data
+// references (cost of (b)) and bypass-bit transitions between
+// consecutive references (cost of (c)). The paper's "clumps" intuition
+// holds if transitions << references.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+const SimResult &measured(const std::string &Name) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  return singleRun(Name, figure5Compile(), Sim, "hint/" + Name);
+}
+
+void rowFor(benchmark::State &State, const std::string &Name) {
+  for (auto _ : State) {
+    const SimResult &R = measured(Name);
+    benchmark::DoNotOptimize(&R);
+  }
+  const SimResult &R = measured(Name);
+  double Refs = static_cast<double>(R.Refs.total());
+  State.counters["refs"] = Refs;
+  State.counters["transitions"] =
+      static_cast<double>(R.BypassTransitions);
+  State.counters["per_ref_overhead_pct"] =
+      100.0 * Refs / static_cast<double>(R.Steps);
+  State.counters["mode_switch_overhead_pct"] =
+      100.0 * static_cast<double>(R.BypassTransitions) /
+      static_cast<double>(R.Steps);
+}
+
+void summary() {
+  std::printf("\nHint-encoding overhead (extra instructions as %% of "
+              "executed instructions)\n");
+  std::printf("%-8s %14s %14s %14s %14s\n", "bench", "(a) instr bit",
+              "(b) per-ref", "(c) mode-switch", "(d) addr bit");
+  for (const std::string &Name : workloadNames()) {
+    const SimResult &R = measured(Name);
+    double Steps = static_cast<double>(R.Steps);
+    std::printf("%-8s %13.1f%% %13.1f%% %13.1f%% %13.1f%%\n",
+                Name.c_str(), 0.0,
+                100.0 * static_cast<double>(R.Refs.total()) / Steps,
+                100.0 * static_cast<double>(R.BypassTransitions) / Steps,
+                0.0);
+  }
+  std::printf("(paper: the embedded bit (a) or address bit (d) is "
+              "preferred; (c) works when bypasses clump)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    benchmark::RegisterBenchmark(("HintEncoding/" + Name).c_str(),
+                                 [Name](benchmark::State &State) {
+                                   rowFor(State, Name);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- line_size_sweep.cpp - Experiment E9 -------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Validates the paper's section-1 assumption (citing [ChD89] [Lee87])
+// that "small line size (e.g. one) is always preferred for data cache":
+// sweeping the line size under the conventional scheme, bus traffic in
+// words should be minimized at (or near) one-word lines for these
+// word-granular workloads, even though hit *rates* rise with longer
+// lines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+const std::vector<uint32_t> &lineSizes() {
+  static const std::vector<uint32_t> Sizes = {1, 2, 4, 8, 16};
+  return Sizes;
+}
+
+const SimResult &measure(const std::string &Name, uint32_t LineWords) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  Sim.Cache.LineWords = LineWords;
+  // Hold capacity constant in *words*: fewer lines when lines are wider.
+  Sim.Cache.NumLines = std::max(2u, 128u / LineWords);
+  CompileOptions Options = figure5Compile();
+  Options.Scheme = UnifiedOptions::conventional();
+  return singleRun(Name, Options, Sim,
+                   "lines/" + std::to_string(LineWords) + "/" + Name);
+}
+
+void rowFor(benchmark::State &State, const std::string &Name,
+            uint32_t LineWords) {
+  for (auto _ : State) {
+    const SimResult &R = measure(Name, LineWords);
+    benchmark::DoNotOptimize(&R);
+  }
+  const SimResult &R = measure(Name, LineWords);
+  State.counters["line_words"] = LineWords;
+  State.counters["bus_traffic_words"] =
+      static_cast<double>(R.Cache.busTraffic());
+  State.counters["miss_pct"] = 100.0 - R.Cache.hitRate() * 100.0;
+}
+
+void summary() {
+  std::printf("\nLine-size sweep, conventional scheme, constant 128-word "
+              "capacity (bus words)\n");
+  std::printf("%-8s", "bench");
+  for (uint32_t L : lineSizes())
+    std::printf(" %12u", L);
+  std::printf("\n");
+  for (const std::string &Name : workloadNames()) {
+    std::printf("%-8s", Name.c_str());
+    for (uint32_t L : lineSizes())
+      std::printf(" %12llu", static_cast<unsigned long long>(
+                                 measure(Name, L).Cache.busTraffic()));
+    std::printf("\n");
+  }
+  std::printf("(paper section 1: one-word lines preferred for data "
+              "cache)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    for (uint32_t L : lineSizes())
+      benchmark::RegisterBenchmark(
+          ("LineSize/" + Name + "/" + std::to_string(L)).c_str(),
+          [Name, L](benchmark::State &State) { rowFor(State, Name, L); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

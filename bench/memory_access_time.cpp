@@ -1,0 +1,144 @@
+//===- memory_access_time.cpp - Experiment E15 (§4.4 speedup claim) ------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Section 4.4: "reserving a control bit to obtain speedups of total
+// memory access time by factors of 2 or more is virtually always
+// worthwhile." The factor-of-2 claim is about the *full* unified model —
+// registers absorb the hot unambiguous values, the bypass bit and dead
+// bit handle the rest — against a conventional everything-through-cache
+// system. Three systems on the same programs:
+//
+//   baseline   era-style code (scalars in memory), no hints;
+//   hints-only era-style code + ReuseAware bypass + dead tags
+//              (cache-side unified management alone);
+//   unified    register-allocated code + bypass + dead tags
+//              (the paper's complete registers+cache model).
+//
+// Memory-access time: through-cache ref = 1 cycle, every bus word = M
+// cycles (register hits are free). Speedups are vs the baseline.
+//
+// Interesting negative result kept visible in the numbers: applying the
+// *blind* all-unambiguous bypass to era code makes access time WORSE
+// (every bypassed hot scalar pays the full memory latency); the paper's
+// claim only materializes once registers participate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cmath>
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+struct SystemPoint {
+  const char *Label;
+  bool Era;
+  bool Promote;
+  UnifiedOptions Scheme;
+};
+
+const std::vector<SystemPoint> &systems() {
+  static const std::vector<SystemPoint> S = {
+      {"baseline", true, false, UnifiedOptions::conventional()},
+      {"hints_only", true, false, UnifiedOptions::reuseAware()},
+      {"blind_bypass", true, false, UnifiedOptions::unified()},
+      // The complete model: register allocation + loop promotion of
+      // unaliased scalars (section 4.2 rule [1]), ReuseAware bypass for
+      // what stays in memory, dead tags everywhere.
+      {"unified", false, true, UnifiedOptions::reuseAware()},
+  };
+  return S;
+}
+
+const SimResult &measure(const std::string &Name,
+                         const SystemPoint &Point, uint32_t Lines) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  Sim.Cache.NumLines = Lines;
+  CompileOptions Options;
+  Options.IRGen.ScalarLocalsInMemory = Point.Era;
+  Options.Scheme = Point.Scheme;
+  Options.PromoteLoopScalars = Point.Promote;
+  return singleRun(Name, Options, Sim,
+                   std::string("memtime/") + Point.Label + "/" +
+                       std::to_string(Lines) + "/" + Name);
+}
+
+uint64_t cyclesFor(const std::string &Name, const SystemPoint &Point,
+                   uint32_t MemoryCycles, uint32_t Lines) {
+  LatencyModel Model;
+  Model.MemoryCycles = MemoryCycles;
+  return memoryAccessCycles(measure(Name, Point, Lines).Cache, Model);
+}
+
+double speedup(const std::string &Name, const SystemPoint &Point,
+               uint32_t MemoryCycles, uint32_t Lines) {
+  uint64_t Base = cyclesFor(Name, systems()[0], MemoryCycles, Lines);
+  uint64_t Sys = cyclesFor(Name, Point, MemoryCycles, Lines);
+  return Sys == 0 ? 0.0
+                  : static_cast<double>(Base) / static_cast<double>(Sys);
+}
+
+void rowFor(benchmark::State &State, const std::string &Name,
+            const SystemPoint &Point) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(speedup(Name, Point, 10, 128));
+  State.counters["speedup_mem10_128l"] = speedup(Name, Point, 10, 128);
+  State.counters["speedup_mem10_512l"] = speedup(Name, Point, 10, 512);
+  State.counters["cycles_mem10_128l"] =
+      static_cast<double>(cyclesFor(Name, Point, 10, 128));
+}
+
+void summary() {
+  for (uint32_t Lines : {128u, 512u}) {
+    std::printf("\nMemory-access-time speedup vs era baseline "
+                "(mem word = 10 cycles, %u-line cache)\n",
+                Lines);
+    std::printf("%-8s", "bench");
+    for (const SystemPoint &P : systems())
+      std::printf(" %13s", P.Label);
+    std::printf("\n");
+    std::vector<double> Product(systems().size(), 1.0);
+    for (const std::string &Name : workloadNames()) {
+      std::printf("%-8s", Name.c_str());
+      for (size_t S = 0; S != systems().size(); ++S) {
+        double V = speedup(Name, systems()[S], 10, Lines);
+        Product[S] *= V;
+        std::printf(" %12.2fx", V);
+      }
+      std::printf("\n");
+    }
+    std::printf("%-8s", "geomean");
+    for (size_t S = 0; S != systems().size(); ++S)
+      std::printf(" %12.2fx",
+                  std::pow(Product[S], 1.0 / workloadNames().size()));
+    std::printf("\n");
+  }
+  std::printf("(paper section 4.4: the full unified model is worth "
+              "\"factors of 2 or more\"; the claim holds once the\n"
+              " ambiguous working set fits — blind bypass alone "
+              "*hurts* time, registers are what deliver it)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    for (const SystemPoint &Point : systems())
+      benchmark::RegisterBenchmark(
+          (std::string("MemTime/") + Name + "/" + Point.Label).c_str(),
+          [Name, Point](benchmark::State &State) {
+            rowFor(State, Name, Point);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- miller_ratio.cpp - Experiment E5 ----------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Regenerates the paper's section-6 sanity check against Miller [Mil88]:
+// "the ratio of unambiguous references to ambiguous references, measured
+// statically, is from 1:1 to 3:1". We report the static ratio per
+// benchmark under the era compilation model and its mean.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+double ratioFor(const std::string &Name) {
+  const SchemeComparison &C =
+      comparison(Name, figure5Compile(), paperCache(), "miller/" + Name);
+  double Unambiguous = static_cast<double>(
+      C.StaticStats.UnambiguousRefs + C.StaticStats.SpillRefs);
+  double Ambiguous =
+      static_cast<double>(C.StaticStats.AmbiguousRefs);
+  return Ambiguous == 0.0 ? 0.0 : Unambiguous / Ambiguous;
+}
+
+void rowFor(benchmark::State &State, const std::string &Name) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ratioFor(Name));
+  State.counters["unambiguous_to_ambiguous"] = ratioFor(Name);
+}
+
+void summary() {
+  std::printf("\nMiller-style static unambiguous:ambiguous ratio "
+              "(paper cites 1:1 to 3:1)\n");
+  double Sum = 0;
+  for (const std::string &Name : workloadNames()) {
+    double R = ratioFor(Name);
+    std::printf("%-8s %6.2f : 1\n", Name.c_str(), R);
+    Sum += R;
+  }
+  std::printf("%-8s %6.2f : 1\n", "mean", Sum / workloadNames().size());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    benchmark::RegisterBenchmark(("Miller/" + Name).c_str(),
+                                 [Name](benchmark::State &State) {
+                                   rowFor(State, Name);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- reuse_threshold_sweep.cpp - Experiment E16 ------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Sensitivity analysis for the ReuseAware bypass policy (our
+// implementation of section 4.2's "cache will only be used when it may
+// improve performance"): sweeping the reuse threshold trades the
+// Figure-5 cache-traffic reduction against bus traffic. A location
+// bypasses when its reuse weight is *below* the threshold, so threshold
+// 0 keeps everything cached (dead-tag only) and a huge threshold
+// degenerates to the paper's blind all-unambiguous bypass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+const std::vector<double> &thresholds() {
+  static const std::vector<double> T = {0, 5, 50, 500, 5e4, 1e12};
+  return T;
+}
+
+const SimResult &measure(const std::string &Name, double Threshold) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  CompileOptions Options = figure5Compile();
+  Options.Scheme = UnifiedOptions::reuseAware();
+  Options.Scheme.ReuseThreshold = Threshold;
+  return singleRun(Name, Options, Sim,
+                   "thresh/" + std::to_string(Threshold) + "/" + Name);
+}
+
+const SimResult &baseline(const std::string &Name) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  CompileOptions Options = figure5Compile();
+  Options.Scheme = UnifiedOptions::conventional();
+  return singleRun(Name, Options, Sim, "thresh/base/" + Name);
+}
+
+void rowFor(benchmark::State &State, const std::string &Name,
+            double Threshold) {
+  for (auto _ : State) {
+    const SimResult &R = measure(Name, Threshold);
+    benchmark::DoNotOptimize(&R);
+  }
+  const SimResult &R = measure(Name, Threshold);
+  const SimResult &B = baseline(Name);
+  State.counters["cache_red_pct"] =
+      100.0 *
+      (static_cast<double>(B.Cache.cacheTraffic()) -
+       static_cast<double>(R.Cache.cacheTraffic())) /
+      static_cast<double>(B.Cache.cacheTraffic());
+  State.counters["bus_ratio"] =
+      static_cast<double>(R.Cache.busTraffic()) /
+      std::max<double>(1.0, static_cast<double>(B.Cache.busTraffic()));
+}
+
+void summary() {
+  std::printf("\nReuse-threshold sweep: cache-traffic reduction %% "
+              "(top) and bus-traffic ratio vs conventional (bottom)\n");
+  std::printf("%-8s", "bench");
+  for (double T : thresholds())
+    std::printf(" %10.0g", T);
+  std::printf("\n");
+  for (const std::string &Name : workloadNames()) {
+    const SimResult &B = baseline(Name);
+    std::printf("%-8s", Name.c_str());
+    for (double T : thresholds()) {
+      const SimResult &R = measure(Name, T);
+      std::printf(" %9.1f%%",
+                  100.0 *
+                      (static_cast<double>(B.Cache.cacheTraffic()) -
+                       static_cast<double>(R.Cache.cacheTraffic())) /
+                      static_cast<double>(B.Cache.cacheTraffic()));
+    }
+    std::printf("\n%-8s", "");
+    for (double T : thresholds()) {
+      const SimResult &R = measure(Name, T);
+      std::printf(" %9.2fx",
+                  static_cast<double>(R.Cache.busTraffic()) /
+                      std::max<double>(
+                          1.0, static_cast<double>(B.Cache.busTraffic())));
+    }
+    std::printf("\n");
+  }
+  std::printf("(threshold 0 = dead-tag only; 1e12 = paper's blind "
+              "bypass: max cache reduction, max bus cost)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    for (double T : thresholds())
+      benchmark::RegisterBenchmark(
+          ("ReuseThreshold/" + Name + "/" + std::to_string(T)).c_str(),
+          [Name, T](benchmark::State &State) { rowFor(State, Name, T); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

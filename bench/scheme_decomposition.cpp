@@ -1,0 +1,101 @@
+//===- scheme_decomposition.cpp - Experiment E7 --------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Decomposes the unified scheme's win into its two mechanisms (bypass
+// bit, dead bit) and adds the ReuseAware refinement the paper sketches
+// in section 4.2 ("cache will only be used when it may improve
+// performance"). Five schemes on identical code:
+//
+//   conventional | bypass-only | deadtag-only | unified | reuse-aware
+//
+// reporting both the paper's cache-traffic metric and bus traffic — the
+// latter shows why blind bypass of hot values needs the reuse heuristic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+struct SchemePoint {
+  const char *Label;
+  UnifiedOptions Scheme;
+};
+
+const std::vector<SchemePoint> &schemes() {
+  static const std::vector<SchemePoint> S = {
+      {"conventional", UnifiedOptions::conventional()},
+      {"bypass_only", UnifiedOptions::bypassOnly()},
+      {"deadtag_only", UnifiedOptions::deadTagOnly()},
+      {"unified", UnifiedOptions::unified()},
+      {"reuse_aware", UnifiedOptions::reuseAware()},
+  };
+  return S;
+}
+
+const SimResult &measure(const std::string &Name,
+                         const SchemePoint &Point) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  CompileOptions Options = figure5Compile();
+  Options.Scheme = Point.Scheme;
+  return singleRun(Name, Options, Sim,
+                   std::string("decomp/") + Point.Label + "/" + Name);
+}
+
+void rowFor(benchmark::State &State, const std::string &Name,
+            const SchemePoint &Point) {
+  for (auto _ : State) {
+    const SimResult &R = measure(Name, Point);
+    benchmark::DoNotOptimize(&R);
+  }
+  const SimResult &R = measure(Name, Point);
+  State.counters["cache_traffic"] =
+      static_cast<double>(R.Cache.cacheTraffic());
+  State.counters["bus_traffic"] =
+      static_cast<double>(R.Cache.busTraffic());
+  State.counters["hit_pct"] = R.Cache.hitRate() * 100.0;
+  State.counters["writeback_words"] =
+      static_cast<double>(R.Cache.WriteBackWords);
+}
+
+void summary() {
+  std::printf("\nScheme decomposition (era compiler; cache traffic / bus "
+              "traffic in words)\n%-8s", "bench");
+  for (const SchemePoint &P : schemes())
+    std::printf(" %22s", P.Label);
+  std::printf("\n");
+  for (const std::string &Name : workloadNames()) {
+    std::printf("%-8s", Name.c_str());
+    for (const SchemePoint &P : schemes()) {
+      const SimResult &R = measure(Name, P);
+      std::printf(" %11llu/%-10llu",
+                  static_cast<unsigned long long>(R.Cache.cacheTraffic()),
+                  static_cast<unsigned long long>(R.Cache.busTraffic()));
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    for (const SchemePoint &Point : schemes())
+      benchmark::RegisterBenchmark(
+          ("Decomp/" + Name + "/" + Point.Label).c_str(),
+          [Name, Point](benchmark::State &State) {
+            rowFor(State, Name, Point);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- static_dynamic_ambiguity.cpp - Experiments E2 + E3 ----------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Regenerates the paper's section-5 measurements:
+//   E2  "Statically, about 70 to 80 percent of the load/stored data
+//        references might be marked as unambiguous and should be
+//        bypassed the cache."
+//   E3  "Runtime measurement showed that about 45 to 75 percent of the
+//        loaded/stored data references are unambiguous."
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace urcm;
+using namespace urcm::bench;
+
+namespace {
+
+const SchemeComparison &measured(const std::string &Name) {
+  return comparison(Name, figure5Compile(), paperCache(),
+                    "ambig/" + Name);
+}
+
+void rowFor(benchmark::State &State, const std::string &Name) {
+  for (auto _ : State) {
+    const SchemeComparison &C = measured(Name);
+    benchmark::DoNotOptimize(&C);
+  }
+  const SchemeComparison &C = measured(Name);
+  State.counters["static_unambiguous_pct"] =
+      C.StaticStats.unambiguousFraction() * 100.0;
+  State.counters["dynamic_unambiguous_pct"] =
+      C.Unified.Refs.unambiguousFraction() * 100.0;
+  State.counters["static_refs"] =
+      static_cast<double>(C.StaticStats.totalRefs());
+  State.counters["dynamic_refs"] =
+      static_cast<double>(C.Unified.Refs.total());
+  State.counters["dynamic_bypassed_pct"] =
+      100.0 * static_cast<double>(C.Unified.Refs.Bypassed) /
+      static_cast<double>(C.Unified.Refs.total());
+}
+
+void summary() {
+  std::printf("\nStatic/dynamic unambiguous data references "
+              "(paper section 5)\n");
+  std::printf("%-8s %12s %12s   paper: static 70-80%%, dynamic "
+              "45-75%%\n",
+              "bench", "static", "dynamic");
+  for (const std::string &Name : workloadNames()) {
+    const SchemeComparison &C = measured(Name);
+    std::printf("%-8s %11.1f%% %11.1f%%\n", Name.c_str(),
+                C.StaticStats.unambiguousFraction() * 100.0,
+                C.Unified.Refs.unambiguousFraction() * 100.0);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    benchmark::RegisterBenchmark(("Ambiguity/" + Name).c_str(),
+                                 [Name](benchmark::State &State) {
+                                   rowFor(State, Name);
+                                 })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  summary();
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- alias_lab.cpp - Alias classification playground -------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Demonstrates the paper's five-way alias taxonomy (section 4.1.1.2) and
+// the alias-set closure on a handful of MC snippets, including the
+// compile-time-unsolvable case of the paper's Figure 2.
+//
+// Build & run:  ./build/examples/alias_lab
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/AliasAnalysis.h"
+#include "urcm/irgen/IRGen.h"
+
+#include <cstdio>
+
+using namespace urcm;
+
+namespace {
+
+void analyzeSnippet(const char *Title, const char *Source,
+                    const char *FuncName = "main") {
+  std::printf("=== %s ===\n", Title);
+  DiagnosticEngine Diags;
+  CompiledModule Module = compileToIR(Source, Diags);
+  if (!Module) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return;
+  }
+  const IRFunction *F = Module.IR->findFunction(FuncName);
+  ModuleEscapeInfo ME(*Module.IR);
+  AliasInfo AA(*Module.IR, *F, ME);
+
+  // Enumerate memory references.
+  std::vector<const Instruction *> Refs;
+  for (const auto &B : F->blocks())
+    for (const Instruction &I : B->insts())
+      if (I.isMemAccess())
+        Refs.push_back(&I);
+
+  for (size_t I = 0; I != Refs.size(); ++I)
+    std::printf("  ref %zu: %-30s %s, alias set %d\n", I,
+                printInst(*Module.IR, *F, *Refs[I]).c_str(),
+                AA.isUnambiguous(*Refs[I]) ? "unambiguous" : "ambiguous",
+                AA.aliasSetId(*Refs[I]));
+
+  std::printf("  pairwise:\n");
+  for (size_t A = 0; A != Refs.size(); ++A)
+    for (size_t B = A + 1; B != Refs.size(); ++B)
+      std::printf("    ref %zu vs ref %zu: %s\n", A, B,
+                  aliasKindName(AA.alias(*Refs[A], *Refs[B])));
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  analyzeSnippet("Distinct scalars: mutually exclusive",
+                 "int g; int h;\n"
+                 "void main() { g = 1; h = 2; print(g + h); }");
+
+  analyzeSnippet("Constant indices: provably distinct elements",
+                 "int a[8];\n"
+                 "void main() { a[1] = 1; a[2] = 2; print(a[1]); }");
+
+  analyzeSnippet(
+      "Paper Figure 2: a[i+j] = a[i] + a[j] (unsolvable at compile time)",
+      "int a[16];\n"
+      "int f(int i, int j) { a[i + j] = a[i] + a[j]; return 0; }\n"
+      "void main() { print(f(1, 2)); }",
+      "f");
+
+  analyzeSnippet("Pointer publication: the scalar loses bypass rights",
+                 "int g;\n"
+                 "void take(int *p) { *p = 9; }\n"
+                 "void main() { take(&g); g = 1; print(g); }");
+
+  analyzeSnippet("Alias-set closure: one pointer fuses two arrays",
+                 "int a[4]; int b[4]; int c[4];\n"
+                 "void main() {\n"
+                 "  int *p;\n"
+                 "  int k = 0;\n"
+                 "  if (k) { p = &a[0]; } else { p = &b[0]; }\n"
+                 "  *p = 1;\n"
+                 "  c[0] = 2;\n"
+                 "  print(c[0]);\n"
+                 "}");
+  return 0;
+}

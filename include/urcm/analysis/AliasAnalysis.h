@@ -1,0 +1,144 @@
+//===- urcm/analysis/AliasAnalysis.h - Alias sets (paper §4.1.1) -*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alias classification and alias-set construction, implementing section
+/// 4.1.1 of the paper:
+///
+///  * every memory reference is resolved to an *abstract object* — a
+///    global, a frame slot, or External (memory owned by callers);
+///  * a flow-insensitive points-to/escape analysis bounds what each
+///    pointer-valued register may reference;
+///  * alias sets are the transitive closure of the pairwise
+///    ambiguous-alias relation over objects (paper: "closure of the
+///    ambiguous alias relation"), with the Uniqueness and Completeness
+///    properties of section 4.1.1.2;
+///  * a pairwise query returns the paper's five alias kinds (true /
+///    intersection / sometimes / ambiguous / mutually-exclusive).
+///
+/// References to scalar objects whose address never escapes are
+/// *unambiguous*; the unified-management pass (src/core) bypasses the
+/// cache for them. Everything reached through a pointer, and every array
+/// element, is *ambiguous* and stays cache-managed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_ANALYSIS_ALIASANALYSIS_H
+#define URCM_ANALYSIS_ALIASANALYSIS_H
+
+#include "urcm/ir/IR.h"
+
+#include <vector>
+
+namespace urcm {
+
+/// The five compile-time alias relationships of paper section 4.1.1.2.
+enum class AliasKind {
+  /// Always the same storage.
+  True,
+  /// Known partial overlap (e.g. whole array vs one element).
+  Intersection,
+  /// Same object, overlap depends on runtime values (a[i] vs a[j]).
+  Sometimes,
+  /// Relationship unknown to the compiler.
+  Ambiguous,
+  /// Provably disjoint.
+  MutuallyExclusive,
+};
+
+const char *aliasKindName(AliasKind Kind);
+
+/// Module-level escape facts shared by all per-function analyses: which
+/// globals have their address taken anywhere in the module.
+class ModuleEscapeInfo {
+public:
+  explicit ModuleEscapeInfo(const IRModule &M);
+
+  bool globalEscapes(uint32_t GlobalId) const {
+    return EscapedGlobals[GlobalId];
+  }
+  const std::vector<bool> &escapedGlobals() const { return EscapedGlobals; }
+
+private:
+  std::vector<bool> EscapedGlobals;
+};
+
+/// Per-function alias information.
+class AliasInfo {
+public:
+  AliasInfo(const IRModule &M, const IRFunction &F,
+            const ModuleEscapeInfo &ModuleEscape);
+
+  /// Object id numbering: 0 = External, then globals, then frame slots.
+  uint32_t externalObject() const { return 0; }
+  uint32_t objectForGlobal(uint32_t GlobalId) const { return 1 + GlobalId; }
+  uint32_t objectForFrame(uint32_t SlotId) const {
+    return 1 + NumGlobals + SlotId;
+  }
+  uint32_t numObjects() const { return 1 + NumGlobals + NumFrameSlots; }
+
+  /// True if the address of the object may be held in a pointer (so
+  /// references to it can be reached under another name).
+  bool objectEscapes(uint32_t Object) const { return Escaped[Object]; }
+
+  /// Alias-set id of an object (representative of its closure component).
+  uint32_t aliasSetOfObject(uint32_t Object) const {
+    return AliasSetOfObject[Object];
+  }
+
+  /// Objects register \p R may point at (empty if R never holds an
+  /// address the analysis saw).
+  const std::vector<uint32_t> &pointsTo(Reg R) const {
+    return PointsToList[R];
+  }
+
+  /// A normalized view of one memory reference.
+  struct RefDesc {
+    /// Abstract objects possibly referenced. Contains externalObject()
+    /// when the target is unknown.
+    std::vector<uint32_t> Objects;
+    /// Word offset into the object, when statically known.
+    int64_t Offset = 0;
+    bool OffsetKnown = false;
+    /// True when the reference names one whole scalar object directly.
+    bool DirectScalar = false;
+  };
+
+  /// Describes the memory reference made by Load/Store instruction \p I.
+  RefDesc describe(const Instruction &I) const;
+
+  /// True if \p I provably references a single non-escaping scalar object:
+  /// the paper's *unambiguous* reference.
+  bool isUnambiguous(const Instruction &I) const;
+
+  /// Alias-set id for reference \p I (the closure component of its
+  /// possible targets; singleton sets for unambiguous references).
+  int32_t aliasSetId(const Instruction &I) const;
+
+  /// The paper's five-way pairwise classification of two references.
+  AliasKind alias(const RefDesc &A, const RefDesc &B) const;
+  AliasKind alias(const Instruction &A, const Instruction &B) const;
+
+private:
+  void seedAndPropagate(const IRModule &M, const IRFunction &F,
+                        const ModuleEscapeInfo &ModuleEscape);
+  void buildAliasSets(const IRFunction &F);
+
+  uint32_t NumGlobals = 0;
+  uint32_t NumFrameSlots = 0;
+  /// Per-object: size in words (External has size 0 = unknown).
+  std::vector<uint32_t> ObjectSize;
+  /// Per-object: escapes into pointer-reachable memory.
+  std::vector<bool> Escaped;
+  /// Per-register points-to sets (sorted object ids).
+  std::vector<std::vector<uint32_t>> PointsToList;
+  std::vector<uint32_t> AliasSetOfObject;
+  const IRFunction *F = nullptr;
+};
+
+} // namespace urcm
+
+#endif // URCM_ANALYSIS_ALIASANALYSIS_H

@@ -1,0 +1,67 @@
+//===- urcm/analysis/CFG.h - Control-flow graph utilities -------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor lists, reverse postorder and reachability for IR functions.
+/// All analyses in this library are snapshots: they must be recomputed
+/// after the function is mutated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_ANALYSIS_CFG_H
+#define URCM_ANALYSIS_CFG_H
+
+#include "urcm/ir/IR.h"
+
+#include <vector>
+
+namespace urcm {
+
+/// Identifies one instruction by position. Invalidated by mutation.
+struct InstRef {
+  uint32_t Block = 0;
+  uint32_t Index = 0;
+
+  bool operator==(const InstRef &RHS) const {
+    return Block == RHS.Block && Index == RHS.Index;
+  }
+  bool operator<(const InstRef &RHS) const {
+    return Block != RHS.Block ? Block < RHS.Block : Index < RHS.Index;
+  }
+};
+
+/// Predecessors/successors and orderings of a function's CFG.
+class CFGInfo {
+public:
+  explicit CFGInfo(const IRFunction &F);
+
+  const std::vector<uint32_t> &preds(uint32_t Block) const {
+    return Preds[Block];
+  }
+  const std::vector<uint32_t> &succs(uint32_t Block) const {
+    return Succs[Block];
+  }
+
+  /// Blocks in reverse postorder from entry (unreachable blocks excluded).
+  const std::vector<uint32_t> &rpo() const { return RPO; }
+
+  /// Position of \p Block in the RPO sequence; UINT32_MAX if unreachable.
+  uint32_t rpoIndex(uint32_t Block) const { return RPOIndex[Block]; }
+
+  bool isReachable(uint32_t Block) const {
+    return RPOIndex[Block] != ~0u;
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Preds;
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<uint32_t> RPO;
+  std::vector<uint32_t> RPOIndex;
+};
+
+} // namespace urcm
+
+#endif // URCM_ANALYSIS_CFG_H

@@ -1,0 +1,44 @@
+//===- urcm/analysis/CallFrequency.h - Static call frequency ----*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static estimate of how often each function executes, in the style of
+/// classic profile-free frequency estimation: main runs once, a call site
+/// at loop depth d multiplies by 10^d, and recursion saturates toward the
+/// cap through fixed-point iteration. Used by the ReuseAware bypass
+/// policy so that a location referenced from a hot callee (e.g. a counter
+/// bumped inside a recursive helper) is recognized as reused even though
+/// its enclosing function body is straight-line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_ANALYSIS_CALLFREQUENCY_H
+#define URCM_ANALYSIS_CALLFREQUENCY_H
+
+#include "urcm/ir/IR.h"
+
+#include <vector>
+
+namespace urcm {
+
+/// Module-wide execution-frequency estimates.
+class CallFrequencyEstimate {
+public:
+  explicit CallFrequencyEstimate(const IRModule &M);
+
+  /// Estimated activations of function \p FuncId (>= 0; capped).
+  double frequency(uint32_t FuncId) const { return Freq[FuncId]; }
+
+  /// Saturation cap for recursive cycles.
+  static constexpr double Cap = 1e9;
+
+private:
+  std::vector<double> Freq;
+};
+
+} // namespace urcm
+
+#endif // URCM_ANALYSIS_CALLFREQUENCY_H

@@ -1,0 +1,40 @@
+//===- urcm/analysis/Dominators.h - Dominator tree --------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators computed with the Cooper–Harvey–Kennedy iterative
+/// algorithm. Used by natural-loop detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_ANALYSIS_DOMINATORS_H
+#define URCM_ANALYSIS_DOMINATORS_H
+
+#include "urcm/analysis/CFG.h"
+
+namespace urcm {
+
+/// Dominator information for one function.
+class DominatorTree {
+public:
+  DominatorTree(const IRFunction &F, const CFGInfo &CFG);
+
+  /// Immediate dominator of \p Block (entry's idom is itself);
+  /// UINT32_MAX for unreachable blocks.
+  uint32_t idom(uint32_t Block) const { return IDom[Block]; }
+
+  /// True if \p A dominates \p B (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  const CFGInfo &CFG;
+  std::vector<uint32_t> IDom;
+};
+
+} // namespace urcm
+
+#endif // URCM_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,64 @@
+//===- urcm/analysis/Liveness.h - Register liveness -------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward liveness over virtual registers (paper Definition 1,
+/// section 3.1: the live range of a value). Drives interference-graph
+/// construction and the last-reference (dead) tagging of spill reloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_ANALYSIS_LIVENESS_H
+#define URCM_ANALYSIS_LIVENESS_H
+
+#include "urcm/analysis/CFG.h"
+
+namespace urcm {
+
+/// Per-block live-in/live-out sets for all virtual registers.
+class Liveness {
+public:
+  Liveness(const IRFunction &F, const CFGInfo &CFG);
+
+  bool isLiveIn(uint32_t Block, Reg R) const { return LiveIn[Block][R]; }
+  bool isLiveOut(uint32_t Block, Reg R) const { return LiveOut[Block][R]; }
+
+  const std::vector<bool> &liveIn(uint32_t Block) const {
+    return LiveIn[Block];
+  }
+  const std::vector<bool> &liveOut(uint32_t Block) const {
+    return LiveOut[Block];
+  }
+
+  /// Walks \p Block backwards, invoking \p Visit(Index, LiveAfter) for
+  /// each instruction, where LiveAfter is the set of registers live
+  /// immediately *after* the instruction executes.
+  template <typename Callback>
+  void scanBlockBackward(const IRFunction &F, uint32_t Block,
+                         Callback Visit) const {
+    std::vector<bool> Live = LiveOut[Block];
+    const auto &Insts = F.block(Block)->insts();
+    std::vector<Reg> Uses;
+    for (uint32_t I = static_cast<uint32_t>(Insts.size()); I-- > 0;) {
+      const Instruction &Inst = Insts[I];
+      Visit(I, Live);
+      if (Inst.Dst != NoReg)
+        Live[Inst.Dst] = false;
+      Uses.clear();
+      Inst.appendUses(Uses);
+      for (Reg R : Uses)
+        Live[R] = true;
+    }
+  }
+
+private:
+  std::vector<std::vector<bool>> LiveIn;
+  std::vector<std::vector<bool>> LiveOut;
+};
+
+} // namespace urcm
+
+#endif // URCM_ANALYSIS_LIVENESS_H

@@ -1,0 +1,48 @@
+//===- urcm/analysis/Loops.h - Natural loop nesting -------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from back edges. The per-block loop depth feeds
+/// the Freiburghouse usage-count allocator and the coloring allocator's
+/// spill heuristic (references are weighted 10^depth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_ANALYSIS_LOOPS_H
+#define URCM_ANALYSIS_LOOPS_H
+
+#include "urcm/analysis/Dominators.h"
+
+namespace urcm {
+
+/// One natural loop: header plus member blocks.
+struct LoopInfoEntry {
+  uint32_t Header;
+  std::vector<uint32_t> Blocks;
+};
+
+/// Loop nesting info for one function.
+class LoopInfo {
+public:
+  LoopInfo(const IRFunction &F, const CFGInfo &CFG,
+           const DominatorTree &DT);
+
+  /// Nesting depth of \p Block (0 = not in any loop).
+  uint32_t depth(uint32_t Block) const { return Depth[Block]; }
+
+  const std::vector<LoopInfoEntry> &loops() const { return Loops; }
+
+  /// Reference weight for spill heuristics: 10^min(depth, 6).
+  double refWeight(uint32_t Block) const;
+
+private:
+  std::vector<uint32_t> Depth;
+  std::vector<LoopInfoEntry> Loops;
+};
+
+} // namespace urcm
+
+#endif // URCM_ANALYSIS_LOOPS_H

@@ -1,0 +1,43 @@
+//===- urcm/codegen/CodeGen.h - IR to URCM-RISC lowering --------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers register-allocated IR to a linked URCM-RISC program: frame
+/// layout, calling convention, branch/label resolution, and propagation
+/// of the unified-management hint bits onto machine loads/stores. The
+/// save/restore and argument-passing traffic the lowering itself
+/// introduces is tagged spill-class, with dead tags when the scheme
+/// enables them (paper section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_CODEGEN_CODEGEN_H
+#define URCM_CODEGEN_CODEGEN_H
+
+#include "urcm/codegen/MachineIR.h"
+#include "urcm/core/UnifiedManagement.h"
+#include "urcm/ir/IR.h"
+
+namespace urcm {
+
+/// Codegen knobs.
+struct CodeGenOptions {
+  /// Hint emission for codegen-introduced references (must match the
+  /// scheme the unified pass ran with).
+  UnifiedOptions Hints = UnifiedOptions::unified();
+  uint64_t GlobalBase = 0x1000;
+  uint64_t StackTop = 0x100000;
+};
+
+/// Lowers \p M (already register-allocated; every register < 64) into a
+/// runnable machine program. The module must contain a zero-argument
+/// `main`.
+MachineProgram generateMachineCode(const IRModule &M,
+                                   const CodeGenOptions &Options);
+
+} // namespace urcm
+
+#endif // URCM_CODEGEN_CODEGEN_H

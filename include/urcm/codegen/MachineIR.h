@@ -1,0 +1,148 @@
+//===- urcm/codegen/MachineIR.h - URCM-RISC machine code --------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The URCM-RISC target: a MIPS-like load/store machine with word-grain
+/// addressing. Every Ld/St carries the paper's two compiler-to-hardware
+/// hint bits (cache bypass, last reference) in its MemRefInfo — the
+/// "embed a bit in each instruction" implementation the paper recommends
+/// in section 4.4.
+///
+/// Register model: general registers x0..x63 (the allocator uses a
+/// configurable prefix), plus dedicated SP (stack pointer), RA (return
+/// address), RV (return value) and two codegen scratch registers.
+///
+/// Calling convention (classic callee-save-everything, section-4.2
+/// friendly: all register save/restore traffic is spill-class and goes to
+/// the cache with dead tagging):
+///  * arguments are stored by the caller into its outgoing-argument area
+///    at [SP+0..]; the callee reads them at [SP + FrameSize + i];
+///  * the callee saves every general register it writes (plus RA if it
+///    makes calls) in its prologue and restores them in its epilogue;
+///  * the return value travels in RV.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_CODEGEN_MACHINEIR_H
+#define URCM_CODEGEN_MACHINEIR_H
+
+#include "urcm/ir/IR.h" // For MemRefInfo / RefClass.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// Machine register numbers.
+namespace mreg {
+inline constexpr uint32_t MaxGPR = 64;
+inline constexpr uint32_t SP = 64;   ///< Stack pointer.
+inline constexpr uint32_t RA = 65;   ///< Return address.
+inline constexpr uint32_t RV = 66;   ///< Return value.
+inline constexpr uint32_t TMP0 = 67; ///< Codegen scratch.
+inline constexpr uint32_t TMP1 = 68; ///< Codegen scratch.
+inline constexpr uint32_t NumRegs = 69;
+inline constexpr uint32_t None = ~0u;
+} // namespace mreg
+
+/// URCM-RISC opcodes.
+enum class MOpcode : uint8_t {
+  // ALU: Rd <- Rs1 op (UseImm ? Imm : Rs2).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Slt,
+  Sle,
+  Sgt,
+  Sge,
+  Seq,
+  Sne,
+  // Unary: Rd <- op Rs1.
+  Neg,
+  Not,
+  Mov,
+  // Rd <- Imm.
+  Li,
+  // Memory: EA = (Rs1 == None ? 0 : R[Rs1]) + Imm.
+  Ld, // Rd <- mem[EA].
+  St, // mem[EA] <- R[Rs2].
+  // Control: Target is an absolute code index after linking.
+  Jmp,
+  Bnz, // Branch to Target if R[Rs1] != 0.
+  Call,
+  Ret, // Jump to R[RA].
+  // Environment.
+  Print, // Emit R[Rs1] to the program output stream.
+  Halt,
+};
+
+const char *mopcodeName(MOpcode Op);
+
+/// One machine instruction.
+struct MInst {
+  MOpcode Op;
+  uint32_t Rd = mreg::None;
+  uint32_t Rs1 = mreg::None;
+  uint32_t Rs2 = mreg::None;
+  int64_t Imm = 0;
+  bool UseImm = false;
+  uint32_t Target = 0;
+  /// Hint bits + classification for Ld/St.
+  MemRefInfo MemInfo;
+  /// On Ret only: the function's code is dead after this return (the
+  /// paper's section-3.1 "live range of an instruction", applied to
+  /// once-executed functions). Target/Imm then carry the code range
+  /// [Target, Target+Imm) for the I-cache to reclaim.
+  bool CodeDeadHint = false;
+
+  bool isMemAccess() const {
+    return Op == MOpcode::Ld || Op == MOpcode::St;
+  }
+};
+
+/// Per-function metadata in the linked program.
+struct MachineFunction {
+  std::string Name;
+  uint32_t EntryIndex = 0;
+  uint32_t CodeSize = 0;
+  uint32_t FrameSizeWords = 0;
+  uint32_t NumSavedRegs = 0;
+  bool IsLeaf = true;
+};
+
+/// A linked URCM-RISC program plus its static data layout.
+struct MachineProgram {
+  std::vector<MInst> Code;
+  std::vector<MachineFunction> Functions;
+  /// Index of the startup stub (sets SP, calls main, halts).
+  uint32_t EntryIndex = 0;
+  /// Data layout (word addresses).
+  struct GlobalLayout {
+    std::string Name;
+    uint32_t Address = 0;
+    uint32_t SizeWords = 1;
+  };
+  std::vector<GlobalLayout> Globals;
+  uint64_t GlobalBase = 0x1000;
+  uint64_t StackTop = 0x100000;
+  /// Number of general registers the allocator was given.
+  uint32_t NumAllocatableRegs = 0;
+
+  /// Renders the program as readable assembly.
+  std::string str() const;
+};
+
+} // namespace urcm
+
+#endif // URCM_CODEGEN_MACHINEIR_H

@@ -1,0 +1,462 @@
+//===- urcm/ir/IR.h - URCM three-address IR ---------------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The URCM mid-level IR: a register-machine three-address code over an
+/// unbounded set of virtual registers, with explicit Load/Store memory
+/// instructions. This non-SSA form mirrors the compilers of the paper's
+/// era: register candidates are *webs* built from D-U chains (paper
+/// section 4.1.1.1), not SSA values.
+///
+/// Memory instructions carry a MemRefInfo annotation slot that the unified
+/// register/cache management pass (src/core) fills in: the reference class
+/// (ambiguous / unambiguous / spill), the cache-bypass bit and the
+/// last-reference (dead) bit described in sections 3–4 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_IR_IR_H
+#define URCM_IR_IR_H
+
+#include "urcm/support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+class VarDecl;
+class FunctionDecl;
+
+//===----------------------------------------------------------------------===//
+// Registers
+//===----------------------------------------------------------------------===//
+
+/// A virtual register number. Functions allocate these densely from 0.
+using Reg = uint32_t;
+
+/// Sentinel for "no register" (e.g. instructions with no destination).
+inline constexpr Reg NoReg = ~0u;
+
+//===----------------------------------------------------------------------===//
+// Module-level objects
+//===----------------------------------------------------------------------===//
+
+/// A global variable (scalar or array) in the IR module. Globals live in
+/// main memory; their addresses are link-time constants.
+struct IRGlobal {
+  std::string Name;
+  uint32_t SizeWords = 1;
+  /// Frontend origin, if lowered from MC (may be null for synthetic IR).
+  const VarDecl *Origin = nullptr;
+  /// Assigned by the memory layouter before simulation.
+  uint32_t BaseAddress = 0;
+};
+
+/// Why a frame slot exists; spill slots are created by the register
+/// allocator and, per the unified model, their stores go *to cache*.
+enum class FrameSlotKind { LocalVar, Spill };
+
+/// A stack-frame slot (local array, address-taken scalar, or spill).
+struct IRFrameSlot {
+  std::string Name;
+  uint32_t SizeWords = 1;
+  FrameSlotKind Kind = FrameSlotKind::LocalVar;
+  const VarDecl *Origin = nullptr;
+  /// Word offset within the frame; assigned by frame lowering.
+  uint32_t Offset = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Operands
+//===----------------------------------------------------------------------===//
+
+/// One instruction operand. Global/Frame operands carry a constant word
+/// offset so that `a[3]` needs no explicit address arithmetic; Reg
+/// operands used as addresses may also carry an offset (reg+imm
+/// addressing, as on MIPS).
+class Operand {
+public:
+  enum class Kind : uint8_t { None, Reg, Imm, Global, Frame, Block, Func };
+
+  Operand() : TheKind(Kind::None) {}
+
+  static Operand reg(Reg R, int32_t Offset = 0) {
+    Operand Op(Kind::Reg);
+    Op.RegNo = R;
+    Op.Offset = Offset;
+    return Op;
+  }
+  static Operand imm(int64_t Value) {
+    Operand Op(Kind::Imm);
+    Op.ImmValue = Value;
+    return Op;
+  }
+  static Operand global(uint32_t GlobalId, int32_t Offset = 0) {
+    Operand Op(Kind::Global);
+    Op.Id = GlobalId;
+    Op.Offset = Offset;
+    return Op;
+  }
+  static Operand frame(uint32_t SlotId, int32_t Offset = 0) {
+    Operand Op(Kind::Frame);
+    Op.Id = SlotId;
+    Op.Offset = Offset;
+    return Op;
+  }
+  static Operand block(uint32_t BlockId) {
+    Operand Op(Kind::Block);
+    Op.Id = BlockId;
+    return Op;
+  }
+  static Operand func(uint32_t FuncId) {
+    Operand Op(Kind::Func);
+    Op.Id = FuncId;
+    return Op;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isReg() const { return TheKind == Kind::Reg; }
+  bool isImm() const { return TheKind == Kind::Imm; }
+  bool isGlobal() const { return TheKind == Kind::Global; }
+  bool isFrame() const { return TheKind == Kind::Frame; }
+  bool isBlock() const { return TheKind == Kind::Block; }
+  bool isFunc() const { return TheKind == Kind::Func; }
+  bool isNone() const { return TheKind == Kind::None; }
+
+  Reg getReg() const {
+    assert(isReg() && "not a register operand");
+    return RegNo;
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return ImmValue;
+  }
+  uint32_t getId() const {
+    assert((isGlobal() || isFrame() || isBlock() || isFunc()) &&
+           "operand has no id");
+    return Id;
+  }
+  int32_t getOffset() const {
+    assert((isReg() || isGlobal() || isFrame()) && "operand has no offset");
+    return Offset;
+  }
+
+  bool operator==(const Operand &RHS) const {
+    if (TheKind != RHS.TheKind)
+      return false;
+    switch (TheKind) {
+    case Kind::None:
+      return true;
+    case Kind::Reg:
+      return RegNo == RHS.RegNo && Offset == RHS.Offset;
+    case Kind::Imm:
+      return ImmValue == RHS.ImmValue;
+    case Kind::Global:
+    case Kind::Frame:
+      return Id == RHS.Id && Offset == RHS.Offset;
+    case Kind::Block:
+    case Kind::Func:
+      return Id == RHS.Id;
+    }
+    return false;
+  }
+
+private:
+  explicit Operand(Kind K) : TheKind(K) {}
+
+  Kind TheKind;
+  Reg RegNo = NoReg;
+  int64_t ImmValue = 0;
+  uint32_t Id = 0;
+  int32_t Offset = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Memory reference annotations (the paper's compiler-to-hardware channel)
+//===----------------------------------------------------------------------===//
+
+/// Classification of a Load/Store computed by the unified management pass.
+enum class RefClass : uint8_t {
+  /// Not yet classified (conventional scheme leaves everything Unknown).
+  Unknown,
+  /// Possibly aliased value: must go through the cache (Am_LOAD /
+  /// AmSp_STORE in the paper).
+  Ambiguous,
+  /// Provably unaliased value: bypasses the cache (UmAm_LOAD /
+  /// UmAm_STORE).
+  Unambiguous,
+  /// Register spill store: goes *to cache* (AmSp_STORE), per paper
+  /// section 4.2 rule [2].
+  Spill,
+  /// Reload of a spilled value: cached copy dies on reload (paper
+  /// section 4.2 rule [3]).
+  SpillReload,
+};
+
+/// Per-memory-reference annotation: the single bypass bit plus the
+/// last-reference bit the paper proposes the compiler transmit to the
+/// cache (sections 3.1, 3.2, 4.4).
+struct MemRefInfo {
+  RefClass Class = RefClass::Unknown;
+  /// 1 = bypass the cache, 0 = go through the cache.
+  bool Bypass = false;
+  /// This is the last use of the value: the cache line (if any) holding
+  /// it becomes empty and a dirty copy need not be written back.
+  bool LastRef = false;
+  /// Alias-set id this reference belongs to, or -1.
+  int32_t AliasSetId = -1;
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+/// IR opcodes.
+enum class Opcode : uint8_t {
+  // Arithmetic / logic (Dst, two operands).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Comparisons producing 0/1 (Dst, two operands).
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  CmpEq,
+  CmpNe,
+  // Unary (Dst, one operand).
+  Neg,
+  Not,
+  // Data movement.
+  Mov,   // Dst <- Op0 (Reg/Imm, or Global/Frame meaning "address of").
+  Load,  // Dst <- mem[Op0] (Op0 is an address operand).
+  Store, // mem[Op1] <- Op0 (Op0 value, Op1 address operand).
+  // Calls and I/O.
+  Call,  // Dst (optional) <- call Op0=Func, Op1.. args.
+  Print, // builtin print(Op0).
+  // Terminators.
+  Br,     // Op0 = Block.
+  CondBr, // Op0 = cond reg, Op1 = true Block, Op2 = false Block.
+  Ret,    // Op0 = optional value.
+};
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op ends a basic block.
+bool isTerminator(Opcode Op);
+
+/// One three-address instruction.
+struct Instruction {
+  Opcode Op;
+  /// Destination register, or NoReg.
+  Reg Dst = NoReg;
+  std::vector<Operand> Ops;
+  /// Valid for Load/Store only.
+  MemRefInfo MemInfo;
+  SourceLoc Loc;
+
+  Instruction(Opcode Op, Reg Dst, std::vector<Operand> Ops,
+              SourceLoc Loc = SourceLoc())
+      : Op(Op), Dst(Dst), Ops(std::move(Ops)), Loc(Loc) {}
+
+  bool isLoad() const { return Op == Opcode::Load; }
+  bool isStore() const { return Op == Opcode::Store; }
+  bool isMemAccess() const { return isLoad() || isStore(); }
+  bool isCall() const { return Op == Opcode::Call; }
+  bool isTerm() const { return isTerminator(Op); }
+
+  /// The address operand of a Load/Store.
+  const Operand &addressOperand() const {
+    assert(isMemAccess() && "not a memory access");
+    return isLoad() ? Ops[0] : Ops[1];
+  }
+  Operand &addressOperand() {
+    assert(isMemAccess() && "not a memory access");
+    return isLoad() ? Ops[0] : Ops[1];
+  }
+
+  /// Appends the registers this instruction reads to \p Uses.
+  void appendUses(std::vector<Reg> &Uses) const;
+  /// Returns the register this instruction defines, or NoReg.
+  Reg def() const { return Dst; }
+};
+
+//===----------------------------------------------------------------------===//
+// Basic blocks, functions, module
+//===----------------------------------------------------------------------===//
+
+/// A straight-line sequence of instructions ending in one terminator.
+class BasicBlock {
+public:
+  BasicBlock(uint32_t Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+
+  uint32_t id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  std::vector<Instruction> &insts() { return Insts; }
+  const std::vector<Instruction> &insts() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+  Instruction &back() {
+    assert(!Insts.empty() && "block is empty");
+    return Insts.back();
+  }
+  const Instruction &back() const {
+    assert(!Insts.empty() && "block is empty");
+    return Insts.back();
+  }
+
+  /// True once a terminator has been appended.
+  bool isTerminated() const { return !Insts.empty() && back().isTerm(); }
+
+  /// Successor block ids, read off the terminator.
+  std::vector<uint32_t> successors() const;
+
+private:
+  uint32_t Id;
+  std::string Name;
+  std::vector<Instruction> Insts;
+};
+
+/// An IR function: blocks, frame slots and a virtual register counter.
+class IRFunction {
+public:
+  IRFunction(uint32_t Id, std::string Name, bool ReturnsValue,
+             uint32_t NumParams)
+      : Id(Id), Name(std::move(Name)), ReturnsValue(ReturnsValue),
+        NumParams(NumParams) {
+    ParamRegs.resize(NumParams);
+    for (uint32_t P = 0; P != NumParams; ++P)
+      ParamRegs[P] = P;
+  }
+
+  uint32_t id() const { return Id; }
+  const std::string &name() const { return Name; }
+  bool returnsValue() const { return ReturnsValue; }
+  /// Parameters arrive in virtual registers 0..NumParams-1.
+  uint32_t numParams() const { return NumParams; }
+
+  /// Register that receives parameter \p P on entry. Identity until the
+  /// register allocator renames webs.
+  Reg paramReg(uint32_t P) const {
+    assert(P < ParamRegs.size() && "param index out of range");
+    return ParamRegs[P];
+  }
+  void setParamReg(uint32_t P, Reg R) {
+    assert(P < ParamRegs.size() && "param index out of range");
+    ParamRegs[P] = R;
+  }
+
+  /// Frontend origin (may be null for synthetic IR).
+  const FunctionDecl *origin() const { return Origin; }
+  void setOrigin(const FunctionDecl *D) { Origin = D; }
+
+  Reg newReg() { return NextReg++; }
+  uint32_t numRegs() const { return NextReg; }
+  /// Only the register allocator may lower the counter (after renaming).
+  void setNumRegs(uint32_t N) { NextReg = N; }
+
+  BasicBlock *addBlock(std::string BlockName) {
+    uint32_t BlockId = static_cast<uint32_t>(Blocks.size());
+    Blocks.push_back(std::make_unique<BasicBlock>(BlockId,
+                                                  std::move(BlockName)));
+    return Blocks.back().get();
+  }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  BasicBlock *block(uint32_t BlockId) const {
+    assert(BlockId < Blocks.size() && "block id out of range");
+    return Blocks[BlockId].get();
+  }
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  uint32_t addFrameSlot(IRFrameSlot Slot) {
+    FrameSlots.push_back(std::move(Slot));
+    return static_cast<uint32_t>(FrameSlots.size() - 1);
+  }
+  std::vector<IRFrameSlot> &frameSlots() { return FrameSlots; }
+  const std::vector<IRFrameSlot> &frameSlots() const { return FrameSlots; }
+
+private:
+  uint32_t Id;
+  std::string Name;
+  bool ReturnsValue;
+  uint32_t NumParams;
+  const FunctionDecl *Origin = nullptr;
+  Reg NextReg = 0;
+  std::vector<Reg> ParamRegs;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<IRFrameSlot> FrameSlots;
+};
+
+/// A whole IR module.
+class IRModule {
+public:
+  uint32_t addGlobal(IRGlobal G) {
+    Globals.push_back(std::move(G));
+    return static_cast<uint32_t>(Globals.size() - 1);
+  }
+  std::vector<IRGlobal> &globals() { return Globals; }
+  const std::vector<IRGlobal> &globals() const { return Globals; }
+
+  IRFunction *addFunction(std::string Name, bool ReturnsValue,
+                          uint32_t NumParams) {
+    uint32_t FuncId = static_cast<uint32_t>(Functions.size());
+    Functions.push_back(std::make_unique<IRFunction>(
+        FuncId, std::move(Name), ReturnsValue, NumParams));
+    return Functions.back().get();
+  }
+  const std::vector<std::unique_ptr<IRFunction>> &functions() const {
+    return Functions;
+  }
+  IRFunction *function(uint32_t FuncId) const {
+    assert(FuncId < Functions.size() && "function id out of range");
+    return Functions[FuncId].get();
+  }
+  IRFunction *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+private:
+  std::vector<IRGlobal> Globals;
+  std::vector<std::unique_ptr<IRFunction>> Functions;
+};
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+/// Renders \p M as readable IR assembly (used by tests and examples).
+std::string printIR(const IRModule &M);
+/// Renders one function.
+std::string printIR(const IRModule &M, const IRFunction &F);
+/// Renders one instruction (no trailing newline).
+std::string printInst(const IRModule &M, const IRFunction &F,
+                      const Instruction &I);
+
+} // namespace urcm
+
+#endif // URCM_IR_IR_H

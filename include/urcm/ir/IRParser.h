@@ -1,0 +1,42 @@
+//===- urcm/ir/IRParser.h - Textual IR parser -------------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR produced by printIR back into an IRModule —
+/// the inverse of the printer, enabling round-trip property tests and
+/// hand-written IR test cases. The grammar is exactly the printer's
+/// output format:
+///
+///   global @name : N words
+///   func name(params=P, regs=R, returns=int|void[, paramregs=[rA rB]])
+///     frame %slot : N words [(spill)]
+///   .block:
+///     r1 = add r0, 5
+///     store r1, @g+2 !um !bypass
+///     condbr r1, .then0, .else1
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_IR_IRPARSER_H
+#define URCM_IR_IRPARSER_H
+
+#include "urcm/ir/IR.h"
+#include "urcm/support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace urcm {
+
+/// Parses \p Text into a module. Returns null and reports diagnostics on
+/// malformed input. The result is structurally identical to the module
+/// the text was printed from (printIR(parseIR(T)) == T).
+std::unique_ptr<IRModule> parseIR(const std::string &Text,
+                                  DiagnosticEngine &Diags);
+
+} // namespace urcm
+
+#endif // URCM_IR_IRPARSER_H

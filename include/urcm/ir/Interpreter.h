@@ -1,0 +1,53 @@
+//===- urcm/ir/Interpreter.h - Direct IR execution --------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter that executes URCM IR directly, with a flat
+/// word-addressed memory mirroring the code generator's layout (globals
+/// at GlobalBase, stack growing down from StackTop). It runs both
+/// pre-allocation IR (unbounded virtual registers) and post-allocation
+/// IR, which makes it the differential-testing oracle for the register
+/// allocator, the code generator and the machine simulator: all three
+/// must produce the same program output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_IR_INTERPRETER_H
+#define URCM_IR_INTERPRETER_H
+
+#include "urcm/ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// Interpreter limits and layout.
+struct InterpConfig {
+  uint64_t GlobalBase = 0x1000;
+  uint64_t StackTop = 0x100000;
+  uint64_t MaxSteps = 2000000000ull;
+};
+
+/// Result of interpreting a module's main().
+struct InterpResult {
+  bool Finished = false;
+  std::string Error; ///< Empty on success.
+  uint64_t Steps = 0;
+  std::vector<int64_t> Output;
+
+  bool ok() const { return Finished && Error.empty(); }
+};
+
+/// Interprets \p M starting at main(). \p M must contain a zero-argument
+/// main.
+InterpResult interpretModule(const IRModule &M,
+                             const InterpConfig &Config = InterpConfig());
+
+} // namespace urcm
+
+#endif // URCM_IR_INTERPRETER_H

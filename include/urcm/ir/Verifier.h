@@ -1,0 +1,41 @@
+//===- urcm/ir/Verifier.h - IR structural verifier --------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for the URCM IR. Run after IRGen,
+/// after spill insertion, and after the unified-management pass in debug
+/// pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_IR_VERIFIER_H
+#define URCM_IR_VERIFIER_H
+
+#include "urcm/ir/IR.h"
+#include "urcm/support/Diagnostics.h"
+
+namespace urcm {
+
+/// Verifies \p M; reports problems to \p Diags. Returns true if clean.
+///
+/// Checks performed:
+///  * every block ends with exactly one terminator, and terminators appear
+///    only at block ends;
+///  * operand counts and kinds match each opcode's shape;
+///  * register numbers are below the function's register counter;
+///  * block/global/frame/function operand ids are in range;
+///  * every register use is dominated by some definition along every path
+///    from entry (a dataflow "definitely assigned" check);
+///  * Load/Store address operands are Reg, Global or Frame.
+bool verifyModule(const IRModule &M, DiagnosticEngine &Diags);
+
+/// Verifies a single function.
+bool verifyFunction(const IRModule &M, const IRFunction &F,
+                    DiagnosticEngine &Diags);
+
+} // namespace urcm
+
+#endif // URCM_IR_VERIFIER_H

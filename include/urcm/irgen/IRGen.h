@@ -1,0 +1,68 @@
+//===- urcm/irgen/IRGen.h - AST to IR lowering ------------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically checked MC translation unit to URCM IR.
+///
+/// Storage policy (the IR-level half of the paper's classification):
+///  * scalar locals/params whose address is never taken live in virtual
+///    registers — they are the register-candidate *webs*;
+///  * address-taken scalars, local arrays and register spills live in
+///    frame slots;
+///  * globals live in module memory and are accessed by Load/Store.
+///
+/// Uninitialized scalar locals are zero-initialized (a semantic refinement
+/// of C's undefined value that keeps the IR verifier's definite-assignment
+/// check meaningful).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_IRGEN_IRGEN_H
+#define URCM_IRGEN_IRGEN_H
+
+#include "urcm/ir/IR.h"
+#include "urcm/lang/AST.h"
+#include "urcm/support/Diagnostics.h"
+
+#include <memory>
+
+namespace urcm {
+
+/// IR generation knobs.
+struct IRGenOptions {
+  /// Era-compiler mode: keep *every* scalar local and parameter in a
+  /// frame slot (memory), like a late-1980s compiler without aggressive
+  /// global register allocation. This is the configuration the paper's
+  /// Figure 5 measures: most data references name unambiguous scalars in
+  /// memory, which the unified scheme then bypasses. Expression
+  /// temporaries stay in registers either way.
+  bool ScalarLocalsInMemory = false;
+};
+
+/// Lowers \p TU to an IR module. \p TU must have passed Sema. Returns null
+/// and reports diagnostics on internal failure.
+std::unique_ptr<IRModule> generateIR(const TranslationUnit &TU,
+                                     DiagnosticEngine &Diags,
+                                     const IRGenOptions &Options = {});
+
+/// Result of compiling MC source to IR. The AST is kept alive because the
+/// IR's Origin pointers reference its declarations.
+struct CompiledModule {
+  std::unique_ptr<TranslationUnit> TU;
+  std::unique_ptr<IRModule> IR;
+
+  explicit operator bool() const { return TU && IR; }
+};
+
+/// Convenience: parse + analyze + lower. Returns an empty result on any
+/// error (diagnostics describe what failed).
+CompiledModule compileToIR(const std::string &Source,
+                           DiagnosticEngine &Diags,
+                           const IRGenOptions &Options = {});
+
+} // namespace urcm
+
+#endif // URCM_IRGEN_IRGEN_H

@@ -1,0 +1,547 @@
+//===- urcm/lang/AST.h - MC abstract syntax trees ---------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MC. The hierarchy uses LLVM-style kind enums
+/// and `classof` so that `isa<>/cast<>/dyn_cast<>` from
+/// urcm/support/Casting.h apply. Nodes are owned top-down via unique_ptr;
+/// cross references (e.g. VarRefExpr -> VarDecl) are non-owning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_LANG_AST_H
+#define URCM_LANG_AST_H
+
+#include "urcm/support/Casting.h"
+#include "urcm/support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// MC types. The only base type is a machine word ("int"); pointers point
+/// at int, and arrays are 1-D arrays of int. This matches the paper's
+/// word-oriented machine model (cache line size of one word).
+class Type {
+public:
+  enum class Kind { Void, Int, Pointer, Array };
+
+  static Type voidTy() { return Type(Kind::Void, 0); }
+  static Type intTy() { return Type(Kind::Int, 0); }
+  static Type pointerTy() { return Type(Kind::Pointer, 0); }
+  static Type arrayTy(uint32_t NumElements) {
+    return Type(Kind::Array, NumElements);
+  }
+
+  Type() : TheKind(Kind::Int), NumElements(0) {}
+
+  Kind kind() const { return TheKind; }
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isPointer() const { return TheKind == Kind::Pointer; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  /// True for types usable as an r-value word (int or pointer).
+  bool isScalar() const { return isInt() || isPointer(); }
+
+  /// Array element count; only valid for arrays.
+  uint32_t arraySize() const { return NumElements; }
+
+  /// Size of an object of this type, in machine words.
+  uint32_t sizeInWords() const { return isArray() ? NumElements : 1; }
+
+  bool operator==(const Type &RHS) const {
+    return TheKind == RHS.TheKind && NumElements == RHS.NumElements;
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  std::string str() const;
+
+private:
+  Type(Kind K, uint32_t N) : TheKind(K), NumElements(N) {}
+
+  Kind TheKind;
+  uint32_t NumElements;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+class Expr;
+class Stmt;
+class BlockStmt;
+
+/// Storage class of a variable, used later by ambiguity classification.
+enum class StorageKind { Global, Local, Param };
+
+/// A declared variable (global, local or parameter).
+class VarDecl {
+public:
+  VarDecl(std::string Name, Type Ty, StorageKind Storage, SourceLoc Loc)
+      : Name(std::move(Name)), Ty(Ty), Storage(Storage), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  Type type() const { return Ty; }
+  StorageKind storage() const { return Storage; }
+  SourceLoc loc() const { return Loc; }
+
+  bool isGlobal() const { return Storage == StorageKind::Global; }
+  bool isParam() const { return Storage == StorageKind::Param; }
+
+  /// True once Sema has seen `&var` anywhere; such variables may be
+  /// ambiguously aliased through pointers (paper section 2.1.3).
+  bool isAddressTaken() const { return AddressTaken; }
+  void setAddressTaken() { AddressTaken = true; }
+
+  /// Optional initializer (locals only; globals are zero-initialized).
+  Expr *init() const { return Init.get(); }
+  void setInit(std::unique_ptr<Expr> E) { Init = std::move(E); }
+
+private:
+  std::string Name;
+  Type Ty;
+  StorageKind Storage;
+  SourceLoc Loc;
+  bool AddressTaken = false;
+  std::unique_ptr<Expr> Init;
+};
+
+/// A function definition.
+class FunctionDecl {
+public:
+  FunctionDecl(std::string Name, Type ReturnTy, SourceLoc Loc)
+      : Name(std::move(Name)), ReturnTy(ReturnTy), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  Type returnType() const { return ReturnTy; }
+  SourceLoc loc() const { return Loc; }
+
+  const std::vector<std::unique_ptr<VarDecl>> &params() const {
+    return Params;
+  }
+  VarDecl *addParam(std::string PName, Type Ty, SourceLoc PLoc) {
+    Params.push_back(std::make_unique<VarDecl>(std::move(PName), Ty,
+                                               StorageKind::Param, PLoc));
+    return Params.back().get();
+  }
+
+  BlockStmt *body() const { return Body.get(); }
+  void setBody(std::unique_ptr<BlockStmt> B) { Body = std::move(B); }
+
+private:
+  std::string Name;
+  Type ReturnTy;
+  SourceLoc Loc;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<BlockStmt> Body;
+};
+
+/// A whole MC translation unit: globals plus function definitions.
+class TranslationUnit {
+public:
+  const std::vector<std::unique_ptr<VarDecl>> &globals() const {
+    return Globals;
+  }
+  const std::vector<std::unique_ptr<FunctionDecl>> &functions() const {
+    return Functions;
+  }
+
+  VarDecl *addGlobal(std::string Name, Type Ty, SourceLoc Loc) {
+    Globals.push_back(std::make_unique<VarDecl>(std::move(Name), Ty,
+                                                StorageKind::Global, Loc));
+    return Globals.back().get();
+  }
+  FunctionDecl *addFunction(std::string Name, Type ReturnTy, SourceLoc Loc) {
+    Functions.push_back(
+        std::make_unique<FunctionDecl>(std::move(Name), ReturnTy, Loc));
+    return Functions.back().get();
+  }
+
+  /// Finds a function by name; returns null if absent.
+  FunctionDecl *findFunction(const std::string &Name) const;
+
+private:
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MC expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntLiteral,
+    VarRef,
+    Unary,
+    Binary,
+    Index,
+    Call,
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// The type computed by Sema; Int until Sema runs.
+  Type type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+  Type Ty = Type::intTy();
+};
+
+/// An integer literal.
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLiteral, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+private:
+  int64_t Value;
+};
+
+/// A reference to a declared variable.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(VarDecl *Decl, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Decl(Decl) {}
+
+  VarDecl *decl() const { return Decl; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  VarDecl *Decl;
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, LogicalNot, BitNot, Deref, AddrOf };
+
+/// A unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, std::unique_ptr<Expr> Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  std::unique_ptr<Expr> Operand;
+};
+
+/// Binary operators. LogicalAnd/LogicalOr short-circuit (lowered to control
+/// flow in IRGen).
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogicalAnd,
+  LogicalOr,
+};
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, std::unique_ptr<Expr> LHS,
+             std::unique_ptr<Expr> RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  std::unique_ptr<Expr> LHS, RHS;
+};
+
+/// An array/pointer subscript `base[index]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(std::unique_ptr<Expr> Base, std::unique_ptr<Expr> Index,
+            SourceLoc Loc)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  Expr *base() const { return Base.get(); }
+  Expr *index() const { return Index.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  std::unique_ptr<Expr> Base, Index;
+};
+
+/// Builtin functions recognised by name. `print` appends its argument to
+/// the simulator output stream (used to validate benchmark results).
+enum class BuiltinKind { None, Print };
+
+/// A function call, either to a user function or a builtin.
+class CallExpr : public Expr {
+public:
+  CallExpr(FunctionDecl *Callee, BuiltinKind Builtin,
+           std::vector<std::unique_ptr<Expr>> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(Callee), Builtin(Builtin),
+        Args(std::move(Args)) {}
+
+  /// Null for builtin calls.
+  FunctionDecl *callee() const { return Callee; }
+  BuiltinKind builtin() const { return Builtin; }
+  bool isBuiltin() const { return Builtin != BuiltinKind::None; }
+  const std::vector<std::unique_ptr<Expr>> &args() const { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  FunctionDecl *Callee;
+  BuiltinKind Builtin;
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MC statements.
+class Stmt {
+public:
+  enum class Kind {
+    Block,
+    Decl,
+    Expr,
+    Assign,
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+  };
+
+  virtual ~Stmt() = default;
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// A `{ ... }` statement list.
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(SourceLoc Loc) : Stmt(Kind::Block, Loc) {}
+
+  const std::vector<std::unique_ptr<Stmt>> &stmts() const { return Stmts; }
+  void addStmt(std::unique_ptr<Stmt> S) { Stmts.push_back(std::move(S)); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+};
+
+/// A local variable declaration statement. The VarDecl is owned here.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(std::unique_ptr<VarDecl> Decl, SourceLoc Loc)
+      : Stmt(Kind::Decl, Loc), Decl(std::move(Decl)) {}
+
+  VarDecl *decl() const { return Decl.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  std::unique_ptr<VarDecl> Decl;
+};
+
+/// An expression evaluated for its side effects (a call).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(std::unique_ptr<Expr> E, SourceLoc Loc)
+      : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+
+  Expr *expr() const { return E.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  std::unique_ptr<Expr> E;
+};
+
+/// An assignment `lhs = rhs;` where lhs is an l-value expression.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::unique_ptr<Expr> LHS, std::unique_ptr<Expr> RHS,
+             SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  std::unique_ptr<Expr> LHS, RHS;
+};
+
+/// An if/else statement (else body may be null).
+class IfStmt : public Stmt {
+public:
+  IfStmt(std::unique_ptr<Expr> Cond, std::unique_ptr<Stmt> Then,
+         std::unique_ptr<Stmt> Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Stmt> Then, Else;
+};
+
+/// A while loop.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(std::unique_ptr<Expr> Cond, std::unique_ptr<Stmt> Body,
+            SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {
+  }
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Stmt> Body;
+};
+
+/// A do/while loop.
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(std::unique_ptr<Stmt> Body, std::unique_ptr<Expr> Cond,
+              SourceLoc Loc)
+      : Stmt(Kind::DoWhile, Loc), Body(std::move(Body)),
+        Cond(std::move(Cond)) {}
+
+  Stmt *body() const { return Body.get(); }
+  Expr *cond() const { return Cond.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::DoWhile; }
+
+private:
+  std::unique_ptr<Stmt> Body;
+  std::unique_ptr<Expr> Cond;
+};
+
+/// A for loop. Init and Step are statements (assignments or expression
+/// statements) and may be null, as may Cond.
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::unique_ptr<Stmt> Init, std::unique_ptr<Expr> Cond,
+          std::unique_ptr<Stmt> Step, std::unique_ptr<Stmt> Body,
+          SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+
+  Stmt *init() const { return Init.get(); }
+  Expr *cond() const { return Cond.get(); }
+  Stmt *step() const { return Step.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  std::unique_ptr<Stmt> Init;
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Stmt> Step, Body;
+};
+
+/// A return statement (value may be null in void functions).
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(std::unique_ptr<Expr> Value, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  Expr *value() const { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  std::unique_ptr<Expr> Value;
+};
+
+/// A break statement.
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+/// A continue statement.
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+/// Renders the AST of \p TU as indented pseudo-source (tests, examples).
+std::string printAST(const TranslationUnit &TU);
+
+} // namespace urcm
+
+#endif // URCM_LANG_AST_H

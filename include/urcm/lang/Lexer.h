@@ -1,0 +1,55 @@
+//===- urcm/lang/Lexer.h - MC lexer -----------------------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MC. Supports `//` and `/* */` comments, decimal
+/// and hexadecimal integer literals, and the operator set in Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_LANG_LEXER_H
+#define URCM_LANG_LEXER_H
+
+#include "urcm/lang/Token.h"
+#include "urcm/support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// Converts an MC source buffer into a token stream, one token per call.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token; returns Eof forever at end of input.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, SourceLoc Loc) const;
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  SourceLoc currentLoc() const { return SourceLoc(Line, Col); }
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Lexes the whole buffer (convenience used by tests).
+std::vector<Token> lexAll(const std::string &Source,
+                          DiagnosticEngine &Diags);
+
+} // namespace urcm
+
+#endif // URCM_LANG_LEXER_H

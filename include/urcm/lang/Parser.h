@@ -1,0 +1,81 @@
+//===- urcm/lang/Parser.h - MC recursive-descent parser ---------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MC. Names are resolved during parsing via a
+/// scope stack (declaration before use, C-style); type checking is done by
+/// Sema afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_LANG_PARSER_H
+#define URCM_LANG_PARSER_H
+
+#include "urcm/lang/AST.h"
+#include "urcm/lang/Lexer.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace urcm {
+
+/// Parses one MC translation unit. On error, diagnostics are reported to
+/// the engine and a (possibly partial) AST is still returned; callers must
+/// check Diags.hasErrors().
+class Parser {
+public:
+  Parser(std::string Source, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer.
+  std::unique_ptr<TranslationUnit> parse();
+
+private:
+  // Token plumbing.
+  void consume();
+  bool expect(TokenKind Kind, const char *Context);
+  bool accept(TokenKind Kind);
+
+  // Scopes.
+  void pushScope();
+  void popScope();
+  VarDecl *lookupVar(const std::string &Name) const;
+  bool declareVar(VarDecl *Decl);
+
+  // Grammar productions.
+  void parseTopLevel();
+  void parseFunctionRest(Type ReturnTy, std::string Name, SourceLoc Loc);
+  Type parseTypePrefix(bool AllowVoid);
+  std::unique_ptr<BlockStmt> parseBlock();
+  std::unique_ptr<Stmt> parseStmt();
+  std::unique_ptr<Stmt> parseDeclStmt();
+  std::unique_ptr<Stmt> parseSimpleStmt();
+  std::unique_ptr<Stmt> parseIf();
+  std::unique_ptr<Stmt> parseWhile();
+  std::unique_ptr<Stmt> parseDoWhile();
+  std::unique_ptr<Stmt> parseFor();
+
+  std::unique_ptr<Expr> parseExpr();
+  std::unique_ptr<Expr> parseBinaryRHS(int MinPrec,
+                                       std::unique_ptr<Expr> LHS);
+  std::unique_ptr<Expr> parseUnary();
+  std::unique_ptr<Expr> parsePostfix();
+  std::unique_ptr<Expr> parsePrimary();
+
+  std::unique_ptr<TranslationUnit> TU;
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Tok;
+  FunctionDecl *CurFunction = nullptr;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+};
+
+/// Convenience: lex+parse \p Source.
+std::unique_ptr<TranslationUnit> parseMC(const std::string &Source,
+                                         DiagnosticEngine &Diags);
+
+} // namespace urcm
+
+#endif // URCM_LANG_PARSER_H

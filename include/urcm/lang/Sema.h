@@ -1,0 +1,33 @@
+//===- urcm/lang/Sema.h - MC semantic analysis ------------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MC: type checking, l-value validation,
+/// break/continue placement, call signature checking, and address-taken
+/// marking (the frontend half of the paper's ambiguity classification).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_LANG_SEMA_H
+#define URCM_LANG_SEMA_H
+
+#include "urcm/lang/AST.h"
+#include "urcm/support/Diagnostics.h"
+
+namespace urcm {
+
+/// Runs semantic analysis over \p TU, annotating expression types and
+/// VarDecl address-taken flags in place. Returns true on success (no
+/// errors reported).
+bool analyze(TranslationUnit &TU, DiagnosticEngine &Diags);
+
+/// Convenience: parse + analyze. Returns null if either phase errored.
+std::unique_ptr<TranslationUnit> parseAndAnalyze(const std::string &Source,
+                                                 DiagnosticEngine &Diags);
+
+} // namespace urcm
+
+#endif // URCM_LANG_SEMA_H

@@ -1,0 +1,92 @@
+//===- urcm/lang/Token.h - MC token definitions -----------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MC, the mini-C language the six paper benchmarks are
+/// written in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_LANG_TOKEN_H
+#define URCM_LANG_TOKEN_H
+
+#include "urcm/support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace urcm {
+
+/// Lexical token kinds of MC.
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwDo,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Assign,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  LessLess,
+  GreaterGreater,
+};
+
+/// Returns a human-readable spelling for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed MC token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier spelling; only set for Identifier tokens.
+  std::string Text;
+  /// Literal value; only set for IntLiteral tokens.
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace urcm
+
+#endif // URCM_LANG_TOKEN_H

@@ -1,0 +1,41 @@
+//===- urcm/sim/TraceSim.h - Trace-driven cache replay ----------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stats-only cache simulation over a recorded data-reference trace. This
+/// is how Belady's MIN (the optimal replacement the paper cites [Bel66])
+/// is evaluated: MIN needs future knowledge, which a recorded trace
+/// provides. The same replayer also runs LRU/FIFO/Random so policies can
+/// be compared on an identical reference stream (experiment E8).
+///
+/// Hint semantics (bypass, last-reference) match DataCache exactly; the
+/// replayer just never touches data values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SIM_TRACESIM_H
+#define URCM_SIM_TRACESIM_H
+
+#include "urcm/sim/Cache.h"
+#include "urcm/sim/Simulator.h"
+
+namespace urcm {
+
+/// Replacement policies available to the replayer (superset of the live
+/// cache's: adds Belady MIN).
+enum class TracePolicy { LRU, FIFO, Random, MIN };
+
+const char *tracePolicyName(TracePolicy Policy);
+
+/// Replays \p Trace against a cache with geometry \p Config (the
+/// Config.Policy field is ignored; \p Policy is used instead). Returns
+/// the event counters.
+CacheStats replayTrace(const std::vector<TraceEvent> &Trace,
+                       const CacheConfig &Config, TracePolicy Policy);
+
+} // namespace urcm
+
+#endif // URCM_SIM_TRACESIM_H

@@ -1,0 +1,59 @@
+//===- urcm/support/Casting.h - LLVM-style isa/cast helpers -----*- C++ -*-===//
+//
+// Part of the URCM project: reproduction of Chi & Dietz, "Unified Management
+// of Registers and Cache Using Liveness and Cache Bypass" (PLDI 1989).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of the LLVM `isa<>`, `cast<>` and `dyn_cast<>`
+/// templates on top of a static `classof(const Base *)` predicate. URCM
+/// class hierarchies (AST nodes, IR instructions, machine operands) opt in
+/// by providing a kind enum and a `classof`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_CASTING_H
+#define URCM_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace urcm {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_CASTING_H

@@ -1,0 +1,69 @@
+//===- urcm/support/Diagnostics.h - Diagnostic engine -----------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the MC frontend and the IR verifier.
+/// Diagnostics are collected (not thrown); library code never calls exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_DIAGNOSTICS_H
+#define URCM_SUPPORT_DIAGNOSTICS_H
+
+#include "urcm/support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic: severity, optional location and message.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" in the LLVM style (lower-case
+  /// first letter, no trailing period).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one source buffer or
+/// module. Callers inspect hasErrors() after each phase.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,47 @@
+//===- urcm/support/RNG.h - Deterministic random numbers --------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic SplitMix64 generator. Used for the Random cache
+/// replacement policy and for workload data so every experiment is exactly
+/// reproducible across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_RNG_H
+#define URCM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace urcm {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) is meaningless");
+    return next() % Bound;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_RNG_H

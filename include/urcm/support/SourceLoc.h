@@ -1,0 +1,42 @@
+//===- urcm/support/SourceLoc.h - Source positions --------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations for the MC frontend and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_SOURCELOC_H
+#define URCM_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace urcm {
+
+/// A position in an MC source buffer. Line and column are 1-based; a
+/// default-constructed location is invalid (line 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+
+  /// Renders the location as "line:col" (or "<unknown>" if invalid).
+  std::string str() const;
+};
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_SOURCELOC_H

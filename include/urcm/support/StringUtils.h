@@ -1,0 +1,34 @@
+//===- urcm/support/StringUtils.h - Small string helpers --------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus a few predicates shared by
+/// printers across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_STRINGUTILS_H
+#define URCM_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// printf-style formatting that returns a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_STRINGUTILS_H

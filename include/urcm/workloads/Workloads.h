@@ -1,0 +1,56 @@
+//===- urcm/workloads/Workloads.h - Paper benchmarks ------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six benchmarks of the paper's Figure 5 (the DARPA MIPS package /
+/// Stanford suite), rewritten in MC:
+///
+///   Bubble  - bubble sort of 500 LCG-random elements
+///   Intmm   - 40x40 integer matrix multiplication
+///   Puzzle  - Forest Baskett's 3-D puzzle, size 511
+///   Queen   - the 8-queens problem (all solutions)
+///   Sieve   - primes in [0, 8190]
+///   Towers  - towers of Hanoi, 18 disks, explicit peg arrays
+///
+/// Each workload is deterministic; where the correct answer is known in
+/// closed form it is recorded in ExpectedOutput (empty = validated by
+/// cross-scheme output equality instead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_WORKLOADS_WORKLOADS_H
+#define URCM_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// One benchmark program.
+struct Workload {
+  std::string Name;
+  std::string Description;
+  std::string Source;
+  /// Known-correct print output; empty when validated by cross-scheme
+  /// equality only.
+  std::vector<int64_t> ExpectedOutput;
+};
+
+/// The six Figure-5 benchmarks, in the paper's order.
+const std::vector<Workload> &paperWorkloads();
+
+/// Additional Stanford-suite programs beyond the paper's six (Quick,
+/// Perm): used to check that the reproduction's conclusions are not an
+/// artifact of the original benchmark selection.
+const std::vector<Workload> &extendedWorkloads();
+
+/// Finds a workload by name in either set; returns null if absent.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace urcm
+
+#endif // URCM_WORKLOADS_WORKLOADS_H

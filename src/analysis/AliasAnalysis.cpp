@@ -1,0 +1,388 @@
+//===- AliasAnalysis.cpp - Alias sets (paper §4.1.1) -------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/AliasAnalysis.h"
+
+#include "urcm/lang/AST.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+using namespace urcm;
+
+const char *urcm::aliasKindName(AliasKind Kind) {
+  switch (Kind) {
+  case AliasKind::True:
+    return "true";
+  case AliasKind::Intersection:
+    return "intersection";
+  case AliasKind::Sometimes:
+    return "sometimes";
+  case AliasKind::Ambiguous:
+    return "ambiguous";
+  case AliasKind::MutuallyExclusive:
+    return "mutually-exclusive";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleEscapeInfo
+//===----------------------------------------------------------------------===//
+
+ModuleEscapeInfo::ModuleEscapeInfo(const IRModule &M) {
+  EscapedGlobals.assign(M.globals().size(), false);
+  // A global escapes when its address is materialized anywhere outside a
+  // direct Load/Store address position: Mov/arith operands, call
+  // arguments, stored values or returned values.
+  for (const auto &F : M.functions()) {
+    for (const auto &B : F->blocks()) {
+      for (const Instruction &I : B->insts()) {
+        for (size_t OpIdx = 0, E = I.Ops.size(); OpIdx != E; ++OpIdx) {
+          const Operand &O = I.Ops[OpIdx];
+          if (!O.isGlobal())
+            continue;
+          bool IsDirectAddress =
+              I.isMemAccess() && &O == &I.addressOperand();
+          if (!IsDirectAddress)
+            EscapedGlobals[O.getId()] = true;
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// AliasInfo
+//===----------------------------------------------------------------------===//
+
+AliasInfo::AliasInfo(const IRModule &M, const IRFunction &Fn,
+                     const ModuleEscapeInfo &ModuleEscape)
+    : F(&Fn) {
+  NumGlobals = static_cast<uint32_t>(M.globals().size());
+  NumFrameSlots = static_cast<uint32_t>(Fn.frameSlots().size());
+
+  ObjectSize.assign(numObjects(), 0);
+  for (uint32_t G = 0; G != NumGlobals; ++G)
+    ObjectSize[objectForGlobal(G)] = M.globals()[G].SizeWords;
+  for (uint32_t S = 0; S != NumFrameSlots; ++S)
+    ObjectSize[objectForFrame(S)] = Fn.frameSlots()[S].SizeWords;
+
+  Escaped.assign(numObjects(), false);
+  Escaped[externalObject()] = true;
+  for (uint32_t G = 0; G != NumGlobals; ++G)
+    if (ModuleEscape.globalEscapes(G))
+      Escaped[objectForGlobal(G)] = true;
+
+  seedAndPropagate(M, Fn, ModuleEscape);
+  buildAliasSets(Fn);
+}
+
+namespace {
+
+/// Inserts \p Value into sorted vector \p Set; returns true if added.
+bool insertSorted(std::vector<uint32_t> &Set, uint32_t Value) {
+  auto It = std::lower_bound(Set.begin(), Set.end(), Value);
+  if (It != Set.end() && *It == Value)
+    return false;
+  Set.insert(It, Value);
+  return true;
+}
+
+/// Merges \p Src into \p Dst; returns true if \p Dst grew.
+bool unionInto(std::vector<uint32_t> &Dst, const std::vector<uint32_t> &Src) {
+  bool Grew = false;
+  for (uint32_t V : Src)
+    Grew |= insertSorted(Dst, V);
+  return Grew;
+}
+
+} // namespace
+
+void AliasInfo::seedAndPropagate(const IRModule &M, const IRFunction &Fn,
+                                 const ModuleEscapeInfo &ModuleEscape) {
+  (void)M;
+  const uint32_t NumRegs = Fn.numRegs();
+  PointsToList.assign(NumRegs, {});
+
+  // "Unknown pointer" target set: External plus every escaped global; a
+  // pointer loaded from memory or received as a parameter may reference
+  // any of these. Frame slots that escape to memory are added as the
+  // fixpoint discovers them.
+  std::vector<uint32_t> Unknown;
+  Unknown.push_back(externalObject());
+  for (uint32_t G = 0; G != NumGlobals; ++G)
+    if (ModuleEscape.globalEscapes(G))
+      Unknown.push_back(objectForGlobal(G));
+  std::sort(Unknown.begin(), Unknown.end());
+
+  // Parameters hold caller values. Frontend type information (when
+  // available) tells us which parameters can be pointers at all; integer
+  // parameters point at nothing.
+  for (uint32_t P = 0; P != Fn.numParams(); ++P) {
+    Reg PR = Fn.paramReg(P);
+    if (PR >= NumRegs)
+      continue;
+    bool MayBePointer = true;
+    if (const FunctionDecl *Origin = Fn.origin())
+      MayBePointer = Origin->params()[P]->type().isPointer();
+    if (MayBePointer)
+      PointsToList[PR] = Unknown;
+  }
+
+  // Whether the function's return value / loaded words may be pointers is
+  // unknown in general; results stay conservative below.
+
+  auto ObjectOfOperand = [&](const Operand &O) -> int64_t {
+    if (O.isGlobal())
+      return objectForGlobal(O.getId());
+    if (O.isFrame())
+      return objectForFrame(O.getId());
+    return -1;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &B : Fn.blocks()) {
+      for (const Instruction &I : B->insts()) {
+        // Escape: any Global/Frame operand in a non-address position,
+        // and any register with a points-to set flowing into memory, a
+        // call or a return.
+        auto EscapeOperand = [&](const Operand &O) {
+          int64_t Obj = ObjectOfOperand(O);
+          if (Obj >= 0 && !Escaped[Obj]) {
+            Escaped[Obj] = true;
+            Changed = true;
+            Changed |= insertSorted(Unknown, static_cast<uint32_t>(Obj));
+          }
+          if (O.isReg())
+            for (uint32_t Target : PointsToList[O.getReg()])
+              if (!Escaped[Target]) {
+                Escaped[Target] = true;
+                insertSorted(Unknown, Target);
+                Changed = true;
+              }
+        };
+
+        // Materializing an object's address into a register (any
+        // Global/Frame operand outside a Load/Store address position)
+        // makes the object reachable under a pointer name: it is no
+        // longer unambiguous (paper section 2.1.3).
+        auto MarkAddressTaken = [&](const Operand &O) {
+          int64_t Obj = ObjectOfOperand(O);
+          if (Obj >= 0 && !Escaped[Obj]) {
+            Escaped[Obj] = true;
+            insertSorted(Unknown, static_cast<uint32_t>(Obj));
+            Changed = true;
+          }
+        };
+
+        switch (I.Op) {
+        case Opcode::Mov:
+        case Opcode::Add:
+        case Opcode::Sub: {
+          // Address-preserving data flow.
+          std::vector<uint32_t> &Dst = PointsToList[I.Dst];
+          for (const Operand &O : I.Ops) {
+            int64_t Obj = ObjectOfOperand(O);
+            if (Obj >= 0) {
+              MarkAddressTaken(O);
+              Changed |= insertSorted(Dst, static_cast<uint32_t>(Obj));
+            } else if (O.isReg()) {
+              Changed |= unionInto(Dst, PointsToList[O.getReg()]);
+            }
+          }
+          break;
+        }
+        case Opcode::Load:
+          // A value read from memory may be any pointer that escaped.
+          Changed |= unionInto(PointsToList[I.Dst], Unknown);
+          break;
+        case Opcode::Store:
+          // Storing an address publishes it.
+          EscapeOperand(I.Ops[0]);
+          break;
+        case Opcode::Call: {
+          for (size_t A = 1; A != I.Ops.size(); ++A)
+            EscapeOperand(I.Ops[A]);
+          if (I.Dst != NoReg)
+            Changed |= unionInto(PointsToList[I.Dst], Unknown);
+          break;
+        }
+        case Opcode::Ret:
+          if (!I.Ops.empty())
+            EscapeOperand(I.Ops[0]);
+          break;
+        default:
+          // Other arithmetic on addresses (rare: pointer comparisons,
+          // scaled indexing) still propagates conservatively.
+          if (I.Dst != NoReg) {
+            std::vector<uint32_t> &Dst = PointsToList[I.Dst];
+            for (const Operand &O : I.Ops) {
+              int64_t Obj = ObjectOfOperand(O);
+              if (Obj >= 0) {
+                MarkAddressTaken(O);
+                Changed |= insertSorted(Dst, static_cast<uint32_t>(Obj));
+              } else if (O.isReg()) {
+                Changed |= unionInto(Dst, PointsToList[O.getReg()]);
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void AliasInfo::buildAliasSets(const IRFunction &Fn) {
+  // Union-find over objects.
+  std::vector<uint32_t> Parent(numObjects());
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  std::function<uint32_t(uint32_t)> Find = [&](uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  auto Merge = [&](uint32_t A, uint32_t B) { Parent[Find(A)] = Find(B); };
+
+  // Any register actually used as a memory address merges its possible
+  // targets into one alias set ("sometimes aliases" closure).
+  for (const auto &B : Fn.blocks()) {
+    for (const Instruction &I : B->insts()) {
+      if (!I.isMemAccess())
+        continue;
+      const Operand &Addr = I.addressOperand();
+      if (!Addr.isReg())
+        continue;
+      const std::vector<uint32_t> &Targets = PointsToList[Addr.getReg()];
+      if (Targets.empty()) {
+        // Address of unknown provenance: merges with External.
+        continue;
+      }
+      for (size_t T = 1; T < Targets.size(); ++T)
+        Merge(Targets[0], Targets[T]);
+    }
+  }
+
+  // Every escaped object may be reached through External (a caller or a
+  // stored pointer), so they share External's set.
+  for (uint32_t Obj = 1; Obj != numObjects(); ++Obj)
+    if (Escaped[Obj])
+      Merge(Obj, externalObject());
+
+  AliasSetOfObject.resize(numObjects());
+  for (uint32_t Obj = 0; Obj != numObjects(); ++Obj)
+    AliasSetOfObject[Obj] = Find(Obj);
+}
+
+AliasInfo::RefDesc AliasInfo::describe(const Instruction &I) const {
+  assert(I.isMemAccess() && "describe() needs a Load/Store");
+  const Operand &Addr = I.addressOperand();
+  RefDesc D;
+  switch (Addr.kind()) {
+  case Operand::Kind::Global: {
+    uint32_t Obj = objectForGlobal(Addr.getId());
+    D.Objects.push_back(Obj);
+    D.Offset = Addr.getOffset();
+    D.OffsetKnown = true;
+    D.DirectScalar = ObjectSize[Obj] == 1 && Addr.getOffset() == 0;
+    break;
+  }
+  case Operand::Kind::Frame: {
+    uint32_t Obj = objectForFrame(Addr.getId());
+    D.Objects.push_back(Obj);
+    D.Offset = Addr.getOffset();
+    D.OffsetKnown = true;
+    D.DirectScalar = ObjectSize[Obj] == 1 && Addr.getOffset() == 0;
+    break;
+  }
+  case Operand::Kind::Reg: {
+    const std::vector<uint32_t> &Targets = PointsToList[Addr.getReg()];
+    if (Targets.empty())
+      D.Objects.push_back(externalObject());
+    else
+      D.Objects = Targets;
+    D.OffsetKnown = false;
+    break;
+  }
+  default:
+    assert(false && "invalid address operand");
+  }
+  return D;
+}
+
+bool AliasInfo::isUnambiguous(const Instruction &I) const {
+  RefDesc D = describe(I);
+  // One precisely known scalar object whose address never escapes: no
+  // other name can reach it (paper: mutually exclusive of all others).
+  return D.DirectScalar && D.Objects.size() == 1 &&
+         !Escaped[D.Objects[0]];
+}
+
+int32_t AliasInfo::aliasSetId(const Instruction &I) const {
+  RefDesc D = describe(I);
+  return static_cast<int32_t>(AliasSetOfObject[D.Objects[0]]);
+}
+
+AliasKind AliasInfo::alias(const RefDesc &A, const RefDesc &B) const {
+  // Any unknown component forces the conservative answer unless the other
+  // side is a provably private object.
+  auto HasExternal = [&](const RefDesc &D) {
+    return std::find(D.Objects.begin(), D.Objects.end(),
+                     externalObject()) != D.Objects.end();
+  };
+
+  // Single-object on both sides?
+  if (A.Objects.size() == 1 && B.Objects.size() == 1 &&
+      !HasExternal(A) && !HasExternal(B)) {
+    uint32_t ObjA = A.Objects[0], ObjB = B.Objects[0];
+    if (ObjA != ObjB) {
+      // Distinct named objects never overlap...
+      return AliasKind::MutuallyExclusive;
+    }
+    // Same object: decide by offsets.
+    if (A.OffsetKnown && B.OffsetKnown)
+      return A.Offset == B.Offset ? AliasKind::True
+                                  : AliasKind::MutuallyExclusive;
+    if (ObjectSize[ObjA] == 1)
+      return AliasKind::True; // Scalar: any access is the whole object.
+    return AliasKind::Sometimes; // a[i] vs a[j].
+  }
+
+  // Overlapping possibility sets?
+  bool Overlap = false;
+  for (uint32_t ObjA : A.Objects)
+    if (std::find(B.Objects.begin(), B.Objects.end(), ObjA) !=
+        B.Objects.end())
+      Overlap = true;
+  // External overlaps with anything escaped.
+  if (HasExternal(A))
+    for (uint32_t ObjB : B.Objects)
+      if (Escaped[ObjB])
+        Overlap = true;
+  if (HasExternal(B))
+    for (uint32_t ObjA : A.Objects)
+      if (Escaped[ObjA])
+        Overlap = true;
+
+  if (!Overlap)
+    return AliasKind::MutuallyExclusive;
+
+  // A whole-set containment with multiple candidates is only a partial,
+  // data-dependent overlap: the compiler cannot tell.
+  return AliasKind::Ambiguous;
+}
+
+AliasKind AliasInfo::alias(const Instruction &A,
+                           const Instruction &B) const {
+  return alias(describe(A), describe(B));
+}

@@ -1,0 +1,60 @@
+//===- CFG.cpp - Control-flow graph utilities ------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace urcm;
+
+CFGInfo::CFGInfo(const IRFunction &F) {
+  uint32_t N = F.numBlocks();
+  Preds.resize(N);
+  Succs.resize(N);
+  RPOIndex.assign(N, ~0u);
+
+  for (const auto &B : F.blocks()) {
+    Succs[B->id()] = B->successors();
+    for (uint32_t S : Succs[B->id()])
+      Preds[S].push_back(B->id());
+  }
+
+  // Iterative postorder DFS from entry.
+  std::vector<uint8_t> State(N, 0); // 0 = unvisited, 1 = open, 2 = done.
+  std::vector<std::pair<uint32_t, uint32_t>> Stack; // (block, next succ).
+  std::vector<uint32_t> Postorder;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Block].size()) {
+      uint32_t S = Succs[Block][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Postorder.push_back(Block);
+      State[Block] = 2;
+      Stack.pop_back();
+    }
+  }
+
+  RPO.assign(Postorder.rbegin(), Postorder.rend());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(RPO.size()); I != E; ++I)
+    RPOIndex[RPO[I]] = I;
+
+  // Prune predecessor edges from unreachable blocks so dataflow analyses
+  // never meet over them.
+  for (uint32_t Block = 0; Block != N; ++Block) {
+    auto &P = Preds[Block];
+    P.erase(std::remove_if(P.begin(), P.end(),
+                           [&](uint32_t Pred) {
+                             return RPOIndex[Pred] == ~0u;
+                           }),
+            P.end());
+  }
+}

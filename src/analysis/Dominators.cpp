@@ -1,0 +1,57 @@
+//===- Dominators.cpp - Dominator tree --------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/Dominators.h"
+
+using namespace urcm;
+
+DominatorTree::DominatorTree(const IRFunction &F, const CFGInfo &CFG)
+    : CFG(CFG) {
+  uint32_t N = F.numBlocks();
+  IDom.assign(N, ~0u);
+  if (N == 0)
+    return;
+  IDom[0] = 0;
+
+  // Cooper–Harvey–Kennedy: intersect along RPO until fixpoint.
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (CFG.rpoIndex(A) > CFG.rpoIndex(B))
+        A = IDom[A];
+      while (CFG.rpoIndex(B) > CFG.rpoIndex(A))
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Block : CFG.rpo()) {
+      if (Block == 0)
+        continue;
+      uint32_t NewIDom = ~0u;
+      for (uint32_t Pred : CFG.preds(Block)) {
+        if (IDom[Pred] == ~0u)
+          continue; // Not yet processed.
+        NewIDom = NewIDom == ~0u ? Pred : Intersect(Pred, NewIDom);
+      }
+      if (NewIDom != ~0u && IDom[Block] != NewIDom) {
+        IDom[Block] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (IDom[A] == ~0u || IDom[B] == ~0u)
+    return false;
+  // Walk B's idom chain up to the entry.
+  while (B != A && B != 0)
+    B = IDom[B];
+  return B == A;
+}

@@ -1,0 +1,63 @@
+//===- Liveness.cpp - Register liveness -------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/Liveness.h"
+
+using namespace urcm;
+
+Liveness::Liveness(const IRFunction &F, const CFGInfo &CFG) {
+  const uint32_t NumBlocks = F.numBlocks();
+  const uint32_t NumRegs = F.numRegs();
+  LiveIn.assign(NumBlocks, std::vector<bool>(NumRegs, false));
+  LiveOut.assign(NumBlocks, std::vector<bool>(NumRegs, false));
+
+  // Per-block gen (upward-exposed uses) and kill (defs) sets.
+  std::vector<std::vector<bool>> Gen(NumBlocks,
+                                     std::vector<bool>(NumRegs, false));
+  std::vector<std::vector<bool>> Kill(NumBlocks,
+                                      std::vector<bool>(NumRegs, false));
+  std::vector<Reg> Uses;
+  for (const auto &B : F.blocks()) {
+    auto &G = Gen[B->id()];
+    auto &K = Kill[B->id()];
+    for (const Instruction &I : B->insts()) {
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg R : Uses)
+        if (!K[R])
+          G[R] = true;
+      if (I.Dst != NoReg)
+        K[I.Dst] = true;
+    }
+  }
+
+  // Backward fixpoint, iterating blocks in postorder for fast convergence.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    const auto &Order = CFG.rpo();
+    for (auto It = Order.rbegin(), E = Order.rend(); It != E; ++It) {
+      uint32_t Block = *It;
+      std::vector<bool> &Out = LiveOut[Block];
+      for (uint32_t Succ : CFG.succs(Block)) {
+        const std::vector<bool> &In = LiveIn[Succ];
+        for (uint32_t R = 0; R != NumRegs; ++R)
+          if (In[R] && !Out[R]) {
+            Out[R] = true;
+            Changed = true;
+          }
+      }
+      std::vector<bool> &In = LiveIn[Block];
+      for (uint32_t R = 0; R != NumRegs; ++R) {
+        bool NewIn = Gen[Block][R] || (Out[R] && !Kill[Block][R]);
+        if (NewIn != In[R]) {
+          In[R] = NewIn;
+          Changed = true;
+        }
+      }
+    }
+  }
+}

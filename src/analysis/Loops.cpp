@@ -1,0 +1,79 @@
+//===- Loops.cpp - Natural loop nesting -------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/Loops.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace urcm;
+
+LoopInfo::LoopInfo(const IRFunction &F, const CFGInfo &CFG,
+                   const DominatorTree &DT) {
+  uint32_t N = F.numBlocks();
+  Depth.assign(N, 0);
+
+  // A back edge is Tail -> Header where Header dominates Tail. The natural
+  // loop is Header plus all blocks that reach Tail without going through
+  // Header.
+  for (uint32_t Tail = 0; Tail != N; ++Tail) {
+    if (!CFG.isReachable(Tail))
+      continue;
+    for (uint32_t Header : CFG.succs(Tail)) {
+      if (!DT.dominates(Header, Tail))
+        continue;
+      LoopInfoEntry Loop;
+      Loop.Header = Header;
+      std::vector<bool> InLoop(N, false);
+      InLoop[Header] = true;
+      std::vector<uint32_t> Work;
+      if (Tail != Header) {
+        InLoop[Tail] = true;
+        Work.push_back(Tail);
+      }
+      while (!Work.empty()) {
+        uint32_t Block = Work.back();
+        Work.pop_back();
+        for (uint32_t Pred : CFG.preds(Block))
+          if (!InLoop[Pred]) {
+            InLoop[Pred] = true;
+            Work.push_back(Pred);
+          }
+      }
+      for (uint32_t Block = 0; Block != N; ++Block)
+        if (InLoop[Block])
+          Loop.Blocks.push_back(Block);
+      Loops.push_back(std::move(Loop));
+    }
+  }
+
+  // Merge loops with the same header (multiple back edges) so depth is
+  // counted once per header.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const LoopInfoEntry &A, const LoopInfoEntry &B) {
+              return A.Header < B.Header;
+            });
+  std::vector<LoopInfoEntry> Merged;
+  for (auto &Loop : Loops) {
+    if (!Merged.empty() && Merged.back().Header == Loop.Header) {
+      auto &Dst = Merged.back().Blocks;
+      for (uint32_t Block : Loop.Blocks)
+        if (std::find(Dst.begin(), Dst.end(), Block) == Dst.end())
+          Dst.push_back(Block);
+    } else {
+      Merged.push_back(std::move(Loop));
+    }
+  }
+  Loops = std::move(Merged);
+
+  for (const auto &Loop : Loops)
+    for (uint32_t Block : Loop.Blocks)
+      ++Depth[Block];
+}
+
+double LoopInfo::refWeight(uint32_t Block) const {
+  return std::pow(10.0, std::min<uint32_t>(Depth[Block], 6));
+}

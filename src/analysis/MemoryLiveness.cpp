@@ -1,0 +1,149 @@
+//===- MemoryLiveness.cpp - Location liveness --------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/MemoryLiveness.h"
+
+using namespace urcm;
+
+MemoryLiveness::MemoryLiveness(const IRModule &M, const IRFunction &F,
+                               const CFGInfo &CFG, const AliasInfo &AA) {
+  // Enumerate tracked locations: scalar, non-escaping, non-External
+  // objects.
+  const uint32_t NumObjects = AA.numObjects();
+  std::vector<int32_t> LocOfObject(NumObjects, -1);
+  std::vector<bool> LocIsGlobal;
+  for (uint32_t G = 0; G != M.globals().size(); ++G) {
+    uint32_t Obj = AA.objectForGlobal(G);
+    if (M.globals()[G].SizeWords == 1 && !AA.objectEscapes(Obj)) {
+      LocOfObject[Obj] = static_cast<int32_t>(NumTracked++);
+      LocIsGlobal.push_back(true);
+    }
+  }
+  for (uint32_t S = 0; S != F.frameSlots().size(); ++S) {
+    uint32_t Obj = AA.objectForFrame(S);
+    if (F.frameSlots()[S].SizeWords == 1 && !AA.objectEscapes(Obj)) {
+      LocOfObject[Obj] = static_cast<int32_t>(NumTracked++);
+      LocIsGlobal.push_back(false);
+    }
+  }
+
+  Flags.resize(F.numBlocks());
+  for (const auto &B : F.blocks())
+    Flags[B->id()].resize(B->insts().size());
+  if (NumTracked == 0)
+    return;
+
+  // Location referenced by a memory instruction, or -1 if untracked. Only
+  // whole-scalar direct references (offset 0 on a 1-word object) map to a
+  // tracked location.
+  auto LocationOf = [&](const Instruction &I) -> int32_t {
+    const Operand &Addr = I.addressOperand();
+    if (Addr.isGlobal() && Addr.getOffset() == 0)
+      return LocOfObject[AA.objectForGlobal(Addr.getId())];
+    if (Addr.isFrame() && Addr.getOffset() == 0)
+      return LocOfObject[AA.objectForFrame(Addr.getId())];
+    return -1;
+  };
+
+  // Backward bitvector dataflow.
+  std::vector<std::vector<bool>> LiveIn(F.numBlocks(),
+                                        std::vector<bool>(NumTracked,
+                                                          false));
+  std::vector<std::vector<bool>> LiveOut = LiveIn;
+
+  // Exit liveness: globals survive the activation; frame slots do not.
+  std::vector<bool> ExitLive(NumTracked, false);
+  for (uint32_t Loc = 0; Loc != NumTracked; ++Loc)
+    ExitLive[Loc] = LocIsGlobal[Loc];
+
+  auto Transfer = [&](uint32_t Block, std::vector<bool> Live) {
+    const auto &Insts = F.block(Block)->insts();
+    for (uint32_t I = static_cast<uint32_t>(Insts.size()); I-- > 0;) {
+      const Instruction &Inst = Insts[I];
+      if (Inst.isCall()) {
+        // The callee may read any global it names.
+        for (uint32_t Loc = 0; Loc != NumTracked; ++Loc)
+          if (LocIsGlobal[Loc])
+            Live[Loc] = true;
+        continue;
+      }
+      if (!Inst.isMemAccess())
+        continue;
+      int32_t Loc = LocationOf(Inst);
+      if (Loc < 0)
+        continue;
+      if (Inst.isStore())
+        Live[Loc] = false;
+      else
+        Live[Loc] = true;
+    }
+    return Live;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    const auto &Order = CFG.rpo();
+    for (auto It = Order.rbegin(), E = Order.rend(); It != E; ++It) {
+      uint32_t Block = *It;
+      std::vector<bool> Out(NumTracked, false);
+      const auto &Succs = CFG.succs(Block);
+      if (Succs.empty()) {
+        Out = ExitLive;
+      } else {
+        for (uint32_t Succ : Succs)
+          for (uint32_t Loc = 0; Loc != NumTracked; ++Loc)
+            if (LiveIn[Succ][Loc])
+              Out[Loc] = true;
+      }
+      if (Out != LiveOut[Block]) {
+        LiveOut[Block] = Out;
+        Changed = true;
+      }
+      std::vector<bool> In = Transfer(Block, Out);
+      if (In != LiveIn[Block]) {
+        LiveIn[Block] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+
+  // Final pass: record per-instruction flags.
+  for (const auto &B : F.blocks()) {
+    std::vector<bool> Live = LiveOut[B->id()];
+    const auto &Insts = B->insts();
+    for (uint32_t I = static_cast<uint32_t>(Insts.size()); I-- > 0;) {
+      const Instruction &Inst = Insts[I];
+      if (Inst.isCall()) {
+        for (uint32_t Loc = 0; Loc != NumTracked; ++Loc)
+          if (LocIsGlobal[Loc])
+            Live[Loc] = true;
+        continue;
+      }
+      if (!Inst.isMemAccess())
+        continue;
+      int32_t Loc = LocationOf(Inst);
+      if (Loc < 0)
+        continue;
+      RefFlags &RF = Flags[B->id()][I];
+      RF.Tracked = true;
+      if (Inst.isStore()) {
+        RF.DeadStore = !Live[Loc];
+        Live[Loc] = false;
+      } else {
+        RF.LastRef = !Live[Loc];
+        Live[Loc] = true;
+      }
+    }
+  }
+}
+
+MemoryLiveness::RefFlags MemoryLiveness::flags(uint32_t Block,
+                                               uint32_t Index) const {
+  if (Block >= Flags.size() || Index >= Flags[Block].size())
+    return RefFlags();
+  return Flags[Block][Index];
+}

@@ -1,0 +1,117 @@
+//===- ReachingDefs.cpp - Reaching definitions -------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/ReachingDefs.h"
+
+using namespace urcm;
+
+ReachingDefs::ReachingDefs(const IRFunction &F, const CFGInfo &CFG) {
+  const uint32_t NumBlocks = F.numBlocks();
+  const uint32_t NumRegs = F.numRegs();
+
+  // Enumerate definition sites: parameter pseudo-defs first, then
+  // instruction defs in block order.
+  DefsOfReg.resize(NumRegs);
+  for (uint32_t P = 0; P != F.numParams(); ++P) {
+    Reg PR = F.paramReg(P);
+    DefsOfReg[PR].push_back(static_cast<uint32_t>(Defs.size()));
+    Defs.push_back(DefSite{PR, 0, ~0u});
+  }
+  for (const auto &B : F.blocks())
+    for (uint32_t I = 0, E = static_cast<uint32_t>(B->insts().size());
+         I != E; ++I) {
+      Reg D = B->insts()[I].Dst;
+      if (D == NoReg)
+        continue;
+      DefsOfReg[D].push_back(static_cast<uint32_t>(Defs.size()));
+      Defs.push_back(DefSite{D, B->id(), I});
+    }
+
+  const uint32_t NumDefs = static_cast<uint32_t>(Defs.size());
+  In.assign(NumBlocks, std::vector<bool>(NumDefs, false));
+  std::vector<std::vector<bool>> Out(NumBlocks,
+                                     std::vector<bool>(NumDefs, false));
+
+  // Per-block transfer: Out = Gen U (In - Kill). Compute Gen/Kill.
+  std::vector<std::vector<bool>> Gen(NumBlocks,
+                                     std::vector<bool>(NumDefs, false));
+  std::vector<std::vector<bool>> KillRegs(
+      NumBlocks, std::vector<bool>(NumRegs, false));
+  for (uint32_t DefId = 0; DefId != NumDefs; ++DefId) {
+    const DefSite &D = Defs[DefId];
+    if (D.isParam())
+      continue;
+    KillRegs[D.Block][D.Register] = true;
+  }
+  // Gen: the *last* def of each register in the block.
+  for (const auto &B : F.blocks()) {
+    std::vector<uint32_t> LastDef(NumRegs, ~0u);
+    for (uint32_t DefId = 0; DefId != NumDefs; ++DefId) {
+      const DefSite &D = Defs[DefId];
+      if (!D.isParam() && D.Block == B->id())
+        LastDef[D.Register] = DefId;
+    }
+    for (uint32_t R = 0; R != NumRegs; ++R)
+      if (LastDef[R] != ~0u)
+        Gen[B->id()][LastDef[R]] = true;
+  }
+
+  // Entry generates the parameter pseudo-defs.
+  std::vector<bool> EntryIn(NumDefs, false);
+  for (uint32_t P = 0; P != F.numParams(); ++P)
+    EntryIn[P] = true;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Block : CFG.rpo()) {
+      std::vector<bool> NewIn =
+          Block == 0 ? EntryIn : std::vector<bool>(NumDefs, false);
+      for (uint32_t Pred : CFG.preds(Block))
+        for (uint32_t DefId = 0; DefId != NumDefs; ++DefId)
+          if (Out[Pred][DefId])
+            NewIn[DefId] = true;
+      if (NewIn != In[Block]) {
+        In[Block] = NewIn;
+        Changed = true;
+      }
+      std::vector<bool> NewOut = Gen[Block];
+      for (uint32_t DefId = 0; DefId != NumDefs; ++DefId)
+        if (In[Block][DefId] && !KillRegs[Block][Defs[DefId].Register])
+          NewOut[DefId] = true;
+      if (NewOut != Out[Block]) {
+        Out[Block] = NewOut;
+        Changed = true;
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> ReachingDefs::reachingDefsAt(const IRFunction &F,
+                                                   uint32_t Block,
+                                                   uint32_t Index,
+                                                   Reg R) const {
+  // Scan the block prefix: the last def of R before Index wins.
+  const auto &Insts = F.block(Block)->insts();
+  uint32_t LastLocal = ~0u;
+  for (uint32_t I = 0; I < Index && I < Insts.size(); ++I)
+    if (Insts[I].Dst == R)
+      LastLocal = I;
+  std::vector<uint32_t> Result;
+  if (LastLocal != ~0u) {
+    // Find the def id of that site.
+    for (uint32_t DefId : DefsOfReg[R]) {
+      const DefSite &D = Defs[DefId];
+      if (!D.isParam() && D.Block == Block && D.Index == LastLocal)
+        Result.push_back(DefId);
+    }
+    return Result;
+  }
+  for (uint32_t DefId : DefsOfReg[R])
+    if (In[Block][DefId])
+      Result.push_back(DefId);
+  return Result;
+}

@@ -1,0 +1,91 @@
+//===- Webs.cpp - Value webs (paper Definition 2) ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/Webs.h"
+
+#include <map>
+#include <numeric>
+
+using namespace urcm;
+
+namespace {
+
+/// Minimal union-find.
+class UnionFind {
+public:
+  explicit UnionFind(uint32_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0u);
+  }
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(uint32_t A, uint32_t B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+WebAnalysis::WebAnalysis(const IRFunction &F, const CFGInfo &CFG,
+                         const ReachingDefs &RD) {
+  (void)CFG;
+  const uint32_t NumDefs = static_cast<uint32_t>(RD.defs().size());
+  UnionFind UF(NumDefs);
+
+  // For every use, merge all defs that reach it (Definition 2: if two U-D
+  // chains intersect, they are one value).
+  struct UseRecord {
+    UseSite Site;
+    std::vector<uint32_t> ReachingDefIds;
+  };
+  std::vector<UseRecord> UseRecords;
+  std::vector<Reg> Uses;
+  for (const auto &B : F.blocks()) {
+    for (uint32_t I = 0, E = static_cast<uint32_t>(B->insts().size());
+         I != E; ++I) {
+      Uses.clear();
+      B->insts()[I].appendUses(Uses);
+      for (Reg R : Uses) {
+        UseRecord Rec;
+        Rec.Site = UseSite{R, B->id(), I};
+        Rec.ReachingDefIds = RD.reachingDefsAt(F, B->id(), I, R);
+        for (size_t D = 1; D < Rec.ReachingDefIds.size(); ++D)
+          UF.merge(Rec.ReachingDefIds[0], Rec.ReachingDefIds[D]);
+        UseRecords.push_back(std::move(Rec));
+      }
+    }
+  }
+
+  // Group defs by representative into webs.
+  std::map<uint32_t, uint32_t> RepToWeb;
+  WebOfDef.assign(NumDefs, ~0u);
+  for (uint32_t DefId = 0; DefId != NumDefs; ++DefId) {
+    uint32_t Rep = UF.find(DefId);
+    auto [It, Inserted] =
+        RepToWeb.try_emplace(Rep, static_cast<uint32_t>(Webs.size()));
+    if (Inserted) {
+      Web W;
+      W.Register = RD.defs()[DefId].Register;
+      Webs.push_back(std::move(W));
+    }
+    uint32_t WebId = It->second;
+    WebOfDef[DefId] = WebId;
+    Webs[WebId].DefIds.push_back(DefId);
+    if (RD.defs()[DefId].isParam())
+      Webs[WebId].IncludesParam = true;
+  }
+
+  for (const UseRecord &Rec : UseRecords) {
+    if (Rec.ReachingDefIds.empty())
+      continue; // Verifier rejects this; be defensive anyway.
+    Webs[WebOfDef[Rec.ReachingDefIds[0]]].Uses.push_back(Rec.Site);
+  }
+}

@@ -1,0 +1,520 @@
+//===- CodeGen.cpp - IR to URCM-RISC lowering ---------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/codegen/CodeGen.h"
+
+#include "urcm/analysis/CallFrequency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace urcm;
+
+namespace {
+
+MOpcode aluOpcodeFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return MOpcode::Add;
+  case Opcode::Sub:
+    return MOpcode::Sub;
+  case Opcode::Mul:
+    return MOpcode::Mul;
+  case Opcode::Div:
+    return MOpcode::Div;
+  case Opcode::Rem:
+    return MOpcode::Rem;
+  case Opcode::And:
+    return MOpcode::And;
+  case Opcode::Or:
+    return MOpcode::Or;
+  case Opcode::Xor:
+    return MOpcode::Xor;
+  case Opcode::Shl:
+    return MOpcode::Shl;
+  case Opcode::Shr:
+    return MOpcode::Shr;
+  case Opcode::CmpLt:
+    return MOpcode::Slt;
+  case Opcode::CmpLe:
+    return MOpcode::Sle;
+  case Opcode::CmpGt:
+    return MOpcode::Sgt;
+  case Opcode::CmpGe:
+    return MOpcode::Sge;
+  case Opcode::CmpEq:
+    return MOpcode::Seq;
+  case Opcode::CmpNe:
+    return MOpcode::Sne;
+  default:
+    assert(false && "not an ALU opcode");
+    return MOpcode::Add;
+  }
+}
+
+bool isCommutative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Swapped comparison for operand exchange (a < b == b > a).
+Opcode swappedCompare(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpLt:
+    return Opcode::CmpGt;
+  case Opcode::CmpLe:
+    return Opcode::CmpGe;
+  case Opcode::CmpGt:
+    return Opcode::CmpLt;
+  case Opcode::CmpGe:
+    return Opcode::CmpLe;
+  default:
+    return Op;
+  }
+}
+
+class CodeGenerator {
+public:
+  CodeGenerator(const IRModule &M, const CodeGenOptions &Options)
+      : M(M), Options(Options) {}
+
+  MachineProgram run() {
+    layoutGlobals();
+
+    // Startup stub: SP = StackTop; call main; halt.
+    const IRFunction *Main = M.findFunction("main");
+    assert(Main && "module has no main()");
+    assert(Main->numParams() == 0 && "main must take no parameters");
+    Prog.EntryIndex = 0;
+    emit({MOpcode::Li, mreg::SP, mreg::None, mreg::None,
+          static_cast<int64_t>(Options.StackTop), true, 0, MemRefInfo()});
+    uint32_t CallSite = emit(callInst(Main->id()));
+    emit({MOpcode::Halt, mreg::None, mreg::None, mreg::None, 0, false, 0,
+          MemRefInfo()});
+    CallFixups.push_back({CallSite, Main->id()});
+
+    // Instruction liveness (paper section 3.1, Definition 2): a
+    // function that executes exactly once is dead code after its
+    // return; tag the return so the I-cache can reclaim the lines.
+    CallFrequencyEstimate Frequencies(M);
+
+    for (const auto &F : M.functions()) {
+      uint32_t Entry = static_cast<uint32_t>(Prog.Code.size());
+      generateFunction(*F);
+      if (Options.Hints.EnableDeadTag &&
+          Frequencies.frequency(F->id()) == 1.0) {
+        MInst &FinalRet = Prog.Code.back();
+        assert(FinalRet.Op == MOpcode::Ret && "epilogue must end in ret");
+        FinalRet.CodeDeadHint = true;
+        FinalRet.Target = Entry;
+        FinalRet.Imm = static_cast<int64_t>(Prog.Code.size()) - Entry;
+      }
+    }
+
+    // Link calls to function entries.
+    for (const auto &[Index, FuncId] : CallFixups)
+      Prog.Code[Index].Target = FuncEntry[FuncId];
+
+    Prog.StackTop = Options.StackTop;
+    Prog.GlobalBase = Options.GlobalBase;
+    return std::move(Prog);
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Program plumbing
+  //===--------------------------------------------------------------------===
+
+  uint32_t emit(MInst I) {
+    Prog.Code.push_back(I);
+    return static_cast<uint32_t>(Prog.Code.size() - 1);
+  }
+
+  static MInst callInst(uint32_t FuncId) {
+    MInst I{MOpcode::Call, mreg::None, mreg::None, mreg::None, 0, false, 0,
+            MemRefInfo()};
+    I.Target = FuncId; // Patched to an absolute index at link time.
+    return I;
+  }
+
+  MemRefInfo spillStoreInfo() const {
+    MemRefInfo Info;
+    Info.Class = RefClass::Spill;
+    return Info;
+  }
+  MemRefInfo spillReloadInfo() const {
+    MemRefInfo Info;
+    Info.Class = RefClass::SpillReload;
+    Info.LastRef = Options.Hints.EnableDeadTag;
+    return Info;
+  }
+
+  void layoutGlobals() {
+    uint32_t Addr = static_cast<uint32_t>(Options.GlobalBase);
+    for (const IRGlobal &G : M.globals()) {
+      Prog.Globals.push_back({G.Name, Addr, G.SizeWords});
+      Addr += G.SizeWords;
+    }
+  }
+
+  uint32_t globalAddress(uint32_t GlobalId) const {
+    return Prog.Globals[GlobalId].Address;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Per-function lowering
+  //===--------------------------------------------------------------------===
+
+  struct FrameLayout {
+    uint32_t OutArgsWords = 0;
+    std::vector<uint32_t> SavedRegs; // Saved general registers, in order.
+    bool SavesRA = false;
+    uint32_t SaveAreaOffset = 0;
+    uint32_t RAOffset = 0;
+    std::vector<uint32_t> SlotOffset; // Per IR frame slot.
+    uint32_t FrameSize = 0;
+  };
+
+  FrameLayout computeFrame(const IRFunction &F) {
+    FrameLayout L;
+    std::vector<bool> Written(mreg::MaxGPR, false);
+    for (const auto &B : F.blocks()) {
+      for (const Instruction &I : B->insts()) {
+        if (I.Dst != NoReg) {
+          assert(I.Dst < mreg::MaxGPR && "unallocated register in codegen");
+          Written[I.Dst] = true;
+        }
+        if (I.isCall()) {
+          L.SavesRA = true;
+          L.OutArgsWords = std::max(
+              L.OutArgsWords, static_cast<uint32_t>(I.Ops.size() - 1));
+        }
+      }
+    }
+    // The prologue writes every parameter's home register.
+    for (uint32_t P = 0; P != F.numParams(); ++P)
+      Written[F.paramReg(P)] = true;
+
+    for (uint32_t R = 0; R != mreg::MaxGPR; ++R)
+      if (Written[R])
+        L.SavedRegs.push_back(R);
+
+    uint32_t Offset = L.OutArgsWords;
+    L.SaveAreaOffset = Offset;
+    Offset += static_cast<uint32_t>(L.SavedRegs.size());
+    if (L.SavesRA) {
+      L.RAOffset = Offset;
+      ++Offset;
+    }
+    L.SlotOffset.resize(F.frameSlots().size());
+    for (uint32_t S = 0; S != F.frameSlots().size(); ++S) {
+      L.SlotOffset[S] = Offset;
+      Offset += F.frameSlots()[S].SizeWords;
+    }
+    L.FrameSize = Offset;
+    return L;
+  }
+
+  void generateFunction(const IRFunction &F) {
+    Frame = computeFrame(F);
+    uint32_t Entry = static_cast<uint32_t>(Prog.Code.size());
+    FuncEntry[F.id()] = Entry;
+    BlockFixups.clear();
+    BlockStart.assign(F.numBlocks() + 1, 0); // +1: epilogue pseudo-block.
+    EpilogueLabel = F.numBlocks();
+
+    // Prologue: allocate the frame, save written registers and RA, load
+    // incoming parameters into their home registers.
+    if (Frame.FrameSize != 0)
+      emit({MOpcode::Sub, mreg::SP, mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.FrameSize), true, 0, MemRefInfo()});
+    for (uint32_t J = 0; J != Frame.SavedRegs.size(); ++J)
+      emit({MOpcode::St, mreg::None, mreg::SP, Frame.SavedRegs[J],
+            static_cast<int64_t>(Frame.SaveAreaOffset + J), false, 0,
+            spillStoreInfo()});
+    if (Frame.SavesRA)
+      emit({MOpcode::St, mreg::None, mreg::SP, mreg::RA,
+            static_cast<int64_t>(Frame.RAOffset), false, 0,
+            spillStoreInfo()});
+    for (uint32_t P = 0; P != F.numParams(); ++P)
+      emit({MOpcode::Ld, F.paramReg(P), mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.FrameSize + P), false, 0,
+            spillReloadInfo()});
+
+    for (const auto &B : F.blocks()) {
+      BlockStart[B->id()] = static_cast<uint32_t>(Prog.Code.size());
+      for (const Instruction &I : B->insts())
+        lowerInst(F, I);
+    }
+
+    // Epilogue: restore, free the frame, return.
+    BlockStart[EpilogueLabel] = static_cast<uint32_t>(Prog.Code.size());
+    if (Frame.SavesRA)
+      emit({MOpcode::Ld, mreg::RA, mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.RAOffset), false, 0,
+            spillReloadInfo()});
+    for (uint32_t J = 0; J != Frame.SavedRegs.size(); ++J)
+      emit({MOpcode::Ld, Frame.SavedRegs[J], mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.SaveAreaOffset + J), false, 0,
+            spillReloadInfo()});
+    if (Frame.FrameSize != 0)
+      emit({MOpcode::Add, mreg::SP, mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.FrameSize), true, 0, MemRefInfo()});
+    emit({MOpcode::Ret, mreg::None, mreg::None, mreg::None, 0, false, 0,
+          MemRefInfo()});
+
+    // Resolve intra-function branch targets.
+    for (const auto &[Index, Label] : BlockFixups)
+      Prog.Code[Index].Target = BlockStart[Label];
+
+    MachineFunction MF;
+    MF.Name = F.name();
+    MF.EntryIndex = Entry;
+    MF.CodeSize = static_cast<uint32_t>(Prog.Code.size()) - Entry;
+    MF.FrameSizeWords = Frame.FrameSize;
+    MF.NumSavedRegs = static_cast<uint32_t>(Frame.SavedRegs.size());
+    MF.IsLeaf = !Frame.SavesRA;
+    Prog.Functions.push_back(std::move(MF));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Operand materialization
+  //===--------------------------------------------------------------------===
+
+  /// Materializes \p O as a register, using \p Scratch when a register
+  /// must be synthesized. Returns the register holding the value.
+  uint32_t materialize(const Operand &O, uint32_t Scratch) {
+    switch (O.kind()) {
+    case Operand::Kind::Reg:
+      assert(O.getOffset() == 0 && "address-mode operand in value context");
+      return O.getReg();
+    case Operand::Kind::Imm:
+      emit({MOpcode::Li, Scratch, mreg::None, mreg::None, O.getImm(), true,
+            0, MemRefInfo()});
+      return Scratch;
+    case Operand::Kind::Global:
+      emit({MOpcode::Li, Scratch, mreg::None, mreg::None,
+            static_cast<int64_t>(globalAddress(O.getId())) + O.getOffset(),
+            true, 0, MemRefInfo()});
+      return Scratch;
+    case Operand::Kind::Frame:
+      emit({MOpcode::Add, Scratch, mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.SlotOffset[O.getId()]) +
+                O.getOffset(),
+            true, 0, MemRefInfo()});
+      return Scratch;
+    default:
+      assert(false && "unexpected operand kind");
+      return Scratch;
+    }
+  }
+
+  /// Computes the (base register, immediate) pair addressing \p Addr.
+  std::pair<uint32_t, int64_t> addressOf(const Operand &Addr) {
+    switch (Addr.kind()) {
+    case Operand::Kind::Global:
+      return {mreg::None,
+              static_cast<int64_t>(globalAddress(Addr.getId())) +
+                  Addr.getOffset()};
+    case Operand::Kind::Frame:
+      return {mreg::SP, static_cast<int64_t>(
+                            Frame.SlotOffset[Addr.getId()]) +
+                            Addr.getOffset()};
+    case Operand::Kind::Reg:
+      return {Addr.getReg(), Addr.getOffset()};
+    default:
+      assert(false && "invalid address operand");
+      return {mreg::None, 0};
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Instruction lowering
+  //===--------------------------------------------------------------------===
+
+  void lowerInst(const IRFunction &F, const Instruction &I) {
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+      lowerALU(I);
+      return;
+    case Opcode::Neg:
+    case Opcode::Not: {
+      uint32_t Src = materialize(I.Ops[0], mreg::TMP0);
+      emit({I.Op == Opcode::Neg ? MOpcode::Neg : MOpcode::Not, I.Dst, Src,
+            mreg::None, 0, false, 0, MemRefInfo()});
+      return;
+    }
+    case Opcode::Mov:
+      lowerMov(I);
+      return;
+    case Opcode::Load: {
+      auto [Base, Off] = addressOf(I.Ops[0]);
+      emit({MOpcode::Ld, I.Dst, Base, mreg::None, Off, false, 0,
+            I.MemInfo});
+      return;
+    }
+    case Opcode::Store: {
+      uint32_t Value = materialize(I.Ops[0], mreg::TMP0);
+      auto [Base, Off] = addressOf(I.Ops[1]);
+      emit({MOpcode::St, mreg::None, Base, Value, Off, false, 0,
+            I.MemInfo});
+      return;
+    }
+    case Opcode::Call:
+      lowerCall(I);
+      return;
+    case Opcode::Print: {
+      uint32_t Src = materialize(I.Ops[0], mreg::TMP0);
+      emit({MOpcode::Print, mreg::None, Src, mreg::None, 0, false, 0,
+            MemRefInfo()});
+      return;
+    }
+    case Opcode::Br: {
+      uint32_t Index = emit({MOpcode::Jmp, mreg::None, mreg::None,
+                             mreg::None, 0, false, 0, MemRefInfo()});
+      BlockFixups.push_back({Index, I.Ops[0].getId()});
+      return;
+    }
+    case Opcode::CondBr: {
+      uint32_t Index =
+          emit({MOpcode::Bnz, mreg::None, I.Ops[0].getReg(), mreg::None, 0,
+                false, 0, MemRefInfo()});
+      BlockFixups.push_back({Index, I.Ops[1].getId()});
+      uint32_t JmpIndex = emit({MOpcode::Jmp, mreg::None, mreg::None,
+                                mreg::None, 0, false, 0, MemRefInfo()});
+      BlockFixups.push_back({JmpIndex, I.Ops[2].getId()});
+      return;
+    }
+    case Opcode::Ret: {
+      if (F.returnsValue()) {
+        assert(!I.Ops.empty() && "value return without operand");
+        uint32_t Src = materialize(I.Ops[0], mreg::TMP0);
+        emit({MOpcode::Mov, mreg::RV, Src, mreg::None, 0, false, 0,
+              MemRefInfo()});
+      }
+      uint32_t Index = emit({MOpcode::Jmp, mreg::None, mreg::None,
+                             mreg::None, 0, false, 0, MemRefInfo()});
+      BlockFixups.push_back({Index, EpilogueLabel});
+      return;
+    }
+    }
+  }
+
+  void lowerALU(const Instruction &I) {
+    Operand A = I.Ops[0], B = I.Ops[1];
+    Opcode Op = I.Op;
+    // Prefer an immediate in the second slot.
+    bool AIsImmLike = A.isImm();
+    bool BIsRegLike = B.isReg();
+    if (AIsImmLike && BIsRegLike) {
+      if (isCommutative(Op)) {
+        std::swap(A, B);
+      } else {
+        Opcode Swapped = swappedCompare(Op);
+        if (Swapped != Op) {
+          std::swap(A, B);
+          Op = Swapped;
+        }
+      }
+    }
+    uint32_t Rs1 = materialize(A, mreg::TMP0);
+    if (B.isImm()) {
+      emit({aluOpcodeFor(Op), I.Dst, Rs1, mreg::None, B.getImm(), true, 0,
+            MemRefInfo()});
+      return;
+    }
+    uint32_t Rs2 = materialize(B, mreg::TMP1);
+    emit({aluOpcodeFor(Op), I.Dst, Rs1, Rs2, 0, false, 0, MemRefInfo()});
+  }
+
+  void lowerMov(const Instruction &I) {
+    const Operand &Src = I.Ops[0];
+    switch (Src.kind()) {
+    case Operand::Kind::Reg:
+      assert(Src.getOffset() == 0 && "mov from address-mode operand");
+      if (Src.getReg() != I.Dst)
+        emit({MOpcode::Mov, I.Dst, Src.getReg(), mreg::None, 0, false, 0,
+              MemRefInfo()});
+      return;
+    case Operand::Kind::Imm:
+      emit({MOpcode::Li, I.Dst, mreg::None, mreg::None, Src.getImm(), true,
+            0, MemRefInfo()});
+      return;
+    case Operand::Kind::Global:
+      emit({MOpcode::Li, I.Dst, mreg::None, mreg::None,
+            static_cast<int64_t>(globalAddress(Src.getId())) +
+                Src.getOffset(),
+            true, 0, MemRefInfo()});
+      return;
+    case Operand::Kind::Frame:
+      emit({MOpcode::Add, I.Dst, mreg::SP, mreg::None,
+            static_cast<int64_t>(Frame.SlotOffset[Src.getId()]) +
+                Src.getOffset(),
+            true, 0, MemRefInfo()});
+      return;
+    default:
+      assert(false && "invalid mov source");
+    }
+  }
+
+  void lowerCall(const Instruction &I) {
+    // Store arguments into the outgoing area at [SP + i].
+    for (uint32_t A = 1; A != I.Ops.size(); ++A) {
+      uint32_t Value = materialize(I.Ops[A], mreg::TMP0);
+      emit({MOpcode::St, mreg::None, mreg::SP, Value,
+            static_cast<int64_t>(A - 1), false, 0, spillStoreInfo()});
+    }
+    uint32_t Index = emit(callInst(I.Ops[0].getId()));
+    CallFixups.push_back({Index, I.Ops[0].getId()});
+    if (I.Dst != NoReg)
+      emit({MOpcode::Mov, I.Dst, mreg::RV, mreg::None, 0, false, 0,
+            MemRefInfo()});
+  }
+
+  const IRModule &M;
+  const CodeGenOptions &Options;
+  MachineProgram Prog;
+  FrameLayout Frame;
+  std::map<uint32_t, uint32_t> FuncEntry;
+  std::vector<std::pair<uint32_t, uint32_t>> CallFixups;
+  std::vector<std::pair<uint32_t, uint32_t>> BlockFixups;
+  std::vector<uint32_t> BlockStart;
+  uint32_t EpilogueLabel = 0;
+};
+
+} // namespace
+
+MachineProgram urcm::generateMachineCode(const IRModule &M,
+                                         const CodeGenOptions &Options) {
+  CodeGenerator Gen(M, Options);
+  return Gen.run();
+}

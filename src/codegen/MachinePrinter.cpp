@@ -1,0 +1,196 @@
+//===- MachinePrinter.cpp - URCM-RISC assembly printer ------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/codegen/MachineIR.h"
+#include "urcm/support/StringUtils.h"
+
+using namespace urcm;
+
+const char *urcm::mopcodeName(MOpcode Op) {
+  switch (Op) {
+  case MOpcode::Add:
+    return "add";
+  case MOpcode::Sub:
+    return "sub";
+  case MOpcode::Mul:
+    return "mul";
+  case MOpcode::Div:
+    return "div";
+  case MOpcode::Rem:
+    return "rem";
+  case MOpcode::And:
+    return "and";
+  case MOpcode::Or:
+    return "or";
+  case MOpcode::Xor:
+    return "xor";
+  case MOpcode::Shl:
+    return "shl";
+  case MOpcode::Shr:
+    return "shr";
+  case MOpcode::Slt:
+    return "slt";
+  case MOpcode::Sle:
+    return "sle";
+  case MOpcode::Sgt:
+    return "sgt";
+  case MOpcode::Sge:
+    return "sge";
+  case MOpcode::Seq:
+    return "seq";
+  case MOpcode::Sne:
+    return "sne";
+  case MOpcode::Neg:
+    return "neg";
+  case MOpcode::Not:
+    return "not";
+  case MOpcode::Mov:
+    return "mov";
+  case MOpcode::Li:
+    return "li";
+  case MOpcode::Ld:
+    return "ld";
+  case MOpcode::St:
+    return "st";
+  case MOpcode::Jmp:
+    return "jmp";
+  case MOpcode::Bnz:
+    return "bnz";
+  case MOpcode::Call:
+    return "call";
+  case MOpcode::Ret:
+    return "ret";
+  case MOpcode::Print:
+    return "print";
+  case MOpcode::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+static std::string regName(uint32_t R) {
+  switch (R) {
+  case mreg::SP:
+    return "sp";
+  case mreg::RA:
+    return "ra";
+  case mreg::RV:
+    return "rv";
+  case mreg::TMP0:
+    return "t0";
+  case mreg::TMP1:
+    return "t1";
+  case mreg::None:
+    return "<none>";
+  default:
+    return formatString("x%u", R);
+  }
+}
+
+static std::string hintSuffix(const MemRefInfo &Info) {
+  std::string Out;
+  switch (Info.Class) {
+  case RefClass::Unknown:
+    break;
+  case RefClass::Ambiguous:
+    Out += " ;am";
+    break;
+  case RefClass::Unambiguous:
+    Out += " ;um";
+    break;
+  case RefClass::Spill:
+    Out += " ;spill";
+    break;
+  case RefClass::SpillReload:
+    Out += " ;reload";
+    break;
+  }
+  if (Info.Bypass)
+    Out += ",bypass";
+  if (Info.LastRef)
+    Out += ",lastref";
+  return Out;
+}
+
+static std::string printMInst(const MInst &I) {
+  std::string Out = mopcodeName(I.Op);
+  switch (I.Op) {
+  case MOpcode::Add:
+  case MOpcode::Sub:
+  case MOpcode::Mul:
+  case MOpcode::Div:
+  case MOpcode::Rem:
+  case MOpcode::And:
+  case MOpcode::Or:
+  case MOpcode::Xor:
+  case MOpcode::Shl:
+  case MOpcode::Shr:
+  case MOpcode::Slt:
+  case MOpcode::Sle:
+  case MOpcode::Sgt:
+  case MOpcode::Sge:
+  case MOpcode::Seq:
+  case MOpcode::Sne:
+    Out += " " + regName(I.Rd) + ", " + regName(I.Rs1) + ", ";
+    Out += I.UseImm ? formatString("%lld", static_cast<long long>(I.Imm))
+                    : regName(I.Rs2);
+    break;
+  case MOpcode::Neg:
+  case MOpcode::Not:
+  case MOpcode::Mov:
+    Out += " " + regName(I.Rd) + ", " + regName(I.Rs1);
+    break;
+  case MOpcode::Li:
+    Out += " " + regName(I.Rd) +
+           formatString(", %lld", static_cast<long long>(I.Imm));
+    break;
+  case MOpcode::Ld:
+    Out += " " + regName(I.Rd) + ", [" +
+           (I.Rs1 == mreg::None ? "" : regName(I.Rs1) + "+") +
+           formatString("%lld]", static_cast<long long>(I.Imm));
+    Out += hintSuffix(I.MemInfo);
+    break;
+  case MOpcode::St:
+    Out += " " + regName(I.Rs2) + ", [" +
+           (I.Rs1 == mreg::None ? "" : regName(I.Rs1) + "+") +
+           formatString("%lld]", static_cast<long long>(I.Imm));
+    Out += hintSuffix(I.MemInfo);
+    break;
+  case MOpcode::Jmp:
+    Out += formatString(" %u", I.Target);
+    break;
+  case MOpcode::Bnz:
+    Out += " " + regName(I.Rs1) + formatString(", %u", I.Target);
+    break;
+  case MOpcode::Call:
+    Out += formatString(" %u", I.Target);
+    break;
+  case MOpcode::Ret:
+  case MOpcode::Halt:
+    break;
+  case MOpcode::Print:
+    Out += " " + regName(I.Rs1);
+    break;
+  }
+  return Out;
+}
+
+std::string MachineProgram::str() const {
+  std::string Out;
+  for (const auto &G : Globals)
+    Out += formatString("; global %s @ %u (%u words)\n", G.Name.c_str(),
+                        G.Address, G.SizeWords);
+  for (uint32_t Index = 0; Index != Code.size(); ++Index) {
+    for (const MachineFunction &F : Functions)
+      if (F.EntryIndex == Index)
+        Out += formatString("%s:  ; frame=%u saved=%u\n", F.Name.c_str(),
+                            F.FrameSizeWords, F.NumSavedRegs);
+    Out += formatString("%5u:  ", Index);
+    Out += printMInst(Code[Index]);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,137 @@
+//===- Driver.cpp - End-to-end compiler driver ---------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/driver/Driver.h"
+
+#include "urcm/ir/Verifier.h"
+
+using namespace urcm;
+
+CompileResult urcm::compileProgram(const std::string &Source,
+                                   const CompileOptions &Options,
+                                   DiagnosticEngine &Diags) {
+  CompileResult Result;
+  Result.Module = compileToIR(Source, Diags, Options.IRGen);
+  if (!Result.Module)
+    return Result;
+  IRModule &M = *Result.Module.IR;
+
+  if (Options.VerifyIR && !verifyModule(M, Diags))
+    return Result;
+
+  if (Options.PromoteLoopScalars) {
+    Result.Promotion = promoteLoopScalars(M);
+    if (Options.VerifyIR && !verifyModule(M, Diags))
+      return Result;
+  }
+
+  if (Options.RunCleanup) {
+    Result.Transforms = runCleanupPipeline(M, Options.Transforms);
+    if (Options.VerifyIR && !verifyModule(M, Diags))
+      return Result;
+  }
+
+  Result.RegAlloc = allocateRegisters(M, Options.RegAlloc);
+
+  if (Options.VerifyIR && !verifyModule(M, Diags))
+    return Result;
+
+  Result.Static = applyUnifiedManagement(M, Options.Scheme);
+
+  CodeGenOptions CG;
+  CG.Hints = Options.Scheme;
+  CG.GlobalBase = Options.GlobalBase;
+  CG.StackTop = Options.StackTop;
+  Result.Program = generateMachineCode(M, CG);
+  Result.Program.NumAllocatableRegs = Options.RegAlloc.NumColors;
+  Result.Ok = true;
+  return Result;
+}
+
+SimResult urcm::compileAndRun(const std::string &Source,
+                              const CompileOptions &Options,
+                              const SimConfig &Sim,
+                              DiagnosticEngine &Diags) {
+  CompileResult Compiled = compileProgram(Source, Options, Diags);
+  if (!Compiled.Ok) {
+    SimResult Failed;
+    Failed.Error = "compilation failed:\n" + Diags.str();
+    return Failed;
+  }
+  Simulator S(Sim);
+  return S.run(Compiled.Program);
+}
+
+double SchemeComparison::cacheTrafficReductionPercent() const {
+  uint64_t Base = Conventional.Cache.cacheTraffic();
+  if (Base == 0)
+    return 0.0;
+  double Reduced = static_cast<double>(Base) -
+                   static_cast<double>(Unified.Cache.cacheTraffic());
+  return 100.0 * Reduced / static_cast<double>(Base);
+}
+
+double SchemeComparison::busTrafficReductionPercent() const {
+  uint64_t Base = Conventional.Cache.busTraffic();
+  if (Base == 0)
+    return 0.0;
+  double Reduced = static_cast<double>(Base) -
+                   static_cast<double>(Unified.Cache.busTraffic());
+  return 100.0 * Reduced / static_cast<double>(Base);
+}
+
+double SchemeComparison::dynamicUnambiguousPercent() const {
+  return Unified.Refs.unambiguousFraction() * 100.0;
+}
+
+SchemeComparison urcm::compareSchemes(const std::string &Source,
+                                      const CompileOptions &BaseOptions,
+                                      const CacheConfig &Cache) {
+  SchemeComparison Result;
+
+  SimConfig Sim;
+  Sim.Cache = Cache;
+
+  // Keep the caller's bypass policy / threshold; only toggle the hints.
+  CompileOptions Conventional = BaseOptions;
+  Conventional.Scheme.EnableBypass = false;
+  Conventional.Scheme.EnableDeadTag = false;
+  DiagnosticEngine DiagsConv;
+  Result.Conventional =
+      compileAndRun(Source, Conventional, Sim, DiagsConv);
+
+  CompileOptions Unified = BaseOptions;
+  Unified.Scheme.EnableBypass = true;
+  Unified.Scheme.EnableDeadTag = true;
+  DiagnosticEngine DiagsUni;
+  CompileResult Compiled = compileProgram(Source, Unified, DiagsUni);
+  if (!Compiled.Ok) {
+    Result.Error = "unified compilation failed:\n" + DiagsUni.str();
+    return Result;
+  }
+  Result.StaticStats = Compiled.Static;
+  Simulator S(Sim);
+  Result.Unified = S.run(Compiled.Program);
+
+  if (!Result.Conventional.ok()) {
+    Result.Error = "conventional run failed: " + Result.Conventional.Error;
+    return Result;
+  }
+  if (!Result.Unified.ok()) {
+    Result.Error = "unified run failed: " + Result.Unified.Error;
+    return Result;
+  }
+  if (Result.Conventional.Output != Result.Unified.Output) {
+    Result.Error = "scheme outputs diverge (unsound hints?)";
+    return Result;
+  }
+  if (Result.Unified.CoherenceViolations != 0 ||
+      Result.Conventional.CoherenceViolations != 0) {
+    Result.Error = "coherence violations detected";
+    return Result;
+  }
+  return Result;
+}

@@ -1,0 +1,98 @@
+//===- IR.cpp - URCM three-address IR core --------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/ir/IR.h"
+
+using namespace urcm;
+
+const char *urcm::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Print:
+    return "print";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "unknown";
+}
+
+bool urcm::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+void Instruction::appendUses(std::vector<Reg> &Uses) const {
+  for (const Operand &O : Ops)
+    if (O.isReg())
+      Uses.push_back(O.getReg());
+}
+
+std::vector<uint32_t> BasicBlock::successors() const {
+  std::vector<uint32_t> Succs;
+  if (Insts.empty())
+    return Succs;
+  const Instruction &Term = back();
+  switch (Term.Op) {
+  case Opcode::Br:
+    Succs.push_back(Term.Ops[0].getId());
+    break;
+  case Opcode::CondBr:
+    Succs.push_back(Term.Ops[1].getId());
+    // A CondBr with identical arms has a single successor.
+    if (Term.Ops[2].getId() != Term.Ops[1].getId())
+      Succs.push_back(Term.Ops[2].getId());
+    break;
+  default:
+    break;
+  }
+  return Succs;
+}

@@ -1,0 +1,127 @@
+//===- IRPrinter.cpp - Textual IR output ----------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/ir/IR.h"
+#include "urcm/support/StringUtils.h"
+
+using namespace urcm;
+
+static std::string printOperand(const IRModule &M, const IRFunction &F,
+                                const Operand &O) {
+  switch (O.kind()) {
+  case Operand::Kind::None:
+    return "<none>";
+  case Operand::Kind::Reg:
+    if (O.getOffset() != 0)
+      return formatString("[r%u%+d]", O.getReg(), O.getOffset());
+    return formatString("r%u", O.getReg());
+  case Operand::Kind::Imm:
+    return formatString("%lld", static_cast<long long>(O.getImm()));
+  case Operand::Kind::Global: {
+    const IRGlobal &G = M.globals()[O.getId()];
+    if (O.getOffset() != 0)
+      return formatString("@%s%+d", G.Name.c_str(), O.getOffset());
+    return "@" + G.Name;
+  }
+  case Operand::Kind::Frame: {
+    const IRFrameSlot &S = F.frameSlots()[O.getId()];
+    if (O.getOffset() != 0)
+      return formatString("%%%s%+d", S.Name.c_str(), O.getOffset());
+    return "%" + S.Name;
+  }
+  case Operand::Kind::Block:
+    return "." + F.block(O.getId())->name();
+  case Operand::Kind::Func:
+    return M.function(O.getId())->name();
+  }
+  return "?";
+}
+
+static std::string refClassTag(const MemRefInfo &Info) {
+  std::string Tag;
+  switch (Info.Class) {
+  case RefClass::Unknown:
+    return Tag;
+  case RefClass::Ambiguous:
+    Tag = " !am";
+    break;
+  case RefClass::Unambiguous:
+    Tag = " !um";
+    break;
+  case RefClass::Spill:
+    Tag = " !spill";
+    break;
+  case RefClass::SpillReload:
+    Tag = " !reload";
+    break;
+  }
+  if (Info.Bypass)
+    Tag += " !bypass";
+  if (Info.LastRef)
+    Tag += " !lastref";
+  return Tag;
+}
+
+std::string urcm::printInst(const IRModule &M, const IRFunction &F,
+                            const Instruction &I) {
+  std::string Out;
+  if (I.Dst != NoReg)
+    Out += formatString("r%u = ", I.Dst);
+  Out += opcodeName(I.Op);
+  for (size_t Idx = 0, E = I.Ops.size(); Idx != E; ++Idx) {
+    Out += Idx == 0 ? " " : ", ";
+    Out += printOperand(M, F, I.Ops[Idx]);
+  }
+  if (I.isMemAccess())
+    Out += refClassTag(I.MemInfo);
+  return Out;
+}
+
+std::string urcm::printIR(const IRModule &M, const IRFunction &F) {
+  std::string Out = formatString("func %s(params=%u, regs=%u, returns=%s",
+                                 F.name().c_str(), F.numParams(),
+                                 F.numRegs(),
+                                 F.returnsValue() ? "int" : "void");
+  // Parameter home registers (non-identity after web renaming).
+  bool Identity = true;
+  for (uint32_t P = 0; P != F.numParams(); ++P)
+    Identity &= F.paramReg(P) == P;
+  if (!Identity) {
+    Out += ", paramregs=[";
+    for (uint32_t P = 0; P != F.numParams(); ++P) {
+      if (P != 0)
+        Out += ' ';
+      Out += formatString("r%u", F.paramReg(P));
+    }
+    Out += ']';
+  }
+  Out += ")\n";
+  for (const IRFrameSlot &S : F.frameSlots())
+    Out += formatString("  frame %%%s : %u words%s\n", S.Name.c_str(),
+                        S.SizeWords,
+                        S.Kind == FrameSlotKind::Spill ? " (spill)" : "");
+  for (const auto &B : F.blocks()) {
+    Out += formatString(".%s:\n", B->name().c_str());
+    for (const Instruction &I : B->insts()) {
+      Out += "  ";
+      Out += printInst(M, F, I);
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+std::string urcm::printIR(const IRModule &M) {
+  std::string Out;
+  for (const IRGlobal &G : M.globals())
+    Out += formatString("global @%s : %u words\n", G.Name.c_str(),
+                        G.SizeWords);
+  for (const auto &F : M.functions()) {
+    Out += '\n';
+    Out += printIR(M, *F);
+  }
+  return Out;
+}

@@ -1,0 +1,317 @@
+//===- Verifier.cpp - IR structural verifier ------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/ir/Verifier.h"
+
+#include "urcm/support/StringUtils.h"
+
+#include <deque>
+
+using namespace urcm;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const IRModule &M, const IRFunction &F, DiagnosticEngine &Diags)
+      : M(M), F(F), Diags(Diags) {}
+
+  bool run() {
+    if (F.numBlocks() == 0) {
+      error("function has no blocks");
+      return false;
+    }
+    for (const auto &B : F.blocks())
+      checkBlock(*B);
+    if (!Failed)
+      checkDefiniteAssignment();
+    return !Failed;
+  }
+
+private:
+  void error(const std::string &Message) {
+    Failed = true;
+    Diags.error(SourceLoc(),
+                formatString("%s: %s", F.name().c_str(), Message.c_str()));
+  }
+
+  void checkBlock(const BasicBlock &B) {
+    if (B.empty() || !B.back().isTerm()) {
+      error(formatString("block .%s does not end with a terminator",
+                         B.name().c_str()));
+      return;
+    }
+    for (size_t I = 0, E = B.insts().size(); I != E; ++I) {
+      const Instruction &Inst = B.insts()[I];
+      if (Inst.isTerm() && I + 1 != E)
+        error(formatString("terminator in the middle of block .%s",
+                           B.name().c_str()));
+      checkInst(B, Inst);
+    }
+  }
+
+  void checkOperandKinds(const BasicBlock &B, const Instruction &I,
+                         size_t Index,
+                         std::initializer_list<Operand::Kind> Allowed) {
+    if (Index >= I.Ops.size())
+      return;
+    const Operand &O = I.Ops[Index];
+    for (Operand::Kind K : Allowed)
+      if (O.kind() == K)
+        return;
+    error(formatString("operand %zu of '%s' in .%s has invalid kind",
+                       Index, opcodeName(I.Op), B.name().c_str()));
+  }
+
+  void requireOps(const BasicBlock &B, const Instruction &I, size_t Min,
+                  size_t Max) {
+    if (I.Ops.size() < Min || I.Ops.size() > Max)
+      error(formatString("'%s' in .%s has %zu operands; expected %zu..%zu",
+                         opcodeName(I.Op), B.name().c_str(), I.Ops.size(),
+                         Min, Max));
+  }
+
+  void checkInst(const BasicBlock &B, const Instruction &I) {
+    using K = Operand::Kind;
+    const std::initializer_list<K> Value = {K::Reg, K::Imm};
+    const std::initializer_list<K> Address = {K::Reg, K::Global, K::Frame};
+    const std::initializer_list<K> Movable = {K::Reg, K::Imm, K::Global,
+                                              K::Frame};
+
+    if (I.Dst != NoReg && I.Dst >= F.numRegs())
+      error(formatString("destination register r%u out of range in .%s",
+                         I.Dst, B.name().c_str()));
+
+    // Range checks on every operand.
+    for (const Operand &O : I.Ops) {
+      switch (O.kind()) {
+      case K::Reg:
+        if (O.getReg() >= F.numRegs())
+          error(formatString("register r%u out of range in .%s",
+                             O.getReg(), B.name().c_str()));
+        break;
+      case K::Global:
+        if (O.getId() >= M.globals().size())
+          error("global operand id out of range");
+        break;
+      case K::Frame:
+        if (O.getId() >= F.frameSlots().size())
+          error("frame operand id out of range");
+        break;
+      case K::Block:
+        if (O.getId() >= F.numBlocks())
+          error("block operand id out of range");
+        break;
+      case K::Func:
+        if (O.getId() >= M.functions().size())
+          error("function operand id out of range");
+        break;
+      case K::Imm:
+      case K::None:
+        break;
+      }
+    }
+
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+      requireOps(B, I, 2, 2);
+      if (I.Dst == NoReg)
+        error(formatString("'%s' must define a register", opcodeName(I.Op)));
+      // Address-of operands are legal arithmetic inputs (pointer math).
+      checkOperandKinds(B, I, 0, Movable);
+      checkOperandKinds(B, I, 1, Movable);
+      break;
+    case Opcode::Neg:
+    case Opcode::Not:
+      requireOps(B, I, 1, 1);
+      if (I.Dst == NoReg)
+        error(formatString("'%s' must define a register", opcodeName(I.Op)));
+      checkOperandKinds(B, I, 0, Value);
+      break;
+    case Opcode::Mov:
+      requireOps(B, I, 1, 1);
+      if (I.Dst == NoReg)
+        error("'mov' must define a register");
+      checkOperandKinds(B, I, 0, Movable);
+      break;
+    case Opcode::Load:
+      requireOps(B, I, 1, 1);
+      if (I.Dst == NoReg)
+        error("'load' must define a register");
+      checkOperandKinds(B, I, 0, Address);
+      break;
+    case Opcode::Store:
+      requireOps(B, I, 2, 2);
+      if (I.Dst != NoReg)
+        error("'store' must not define a register");
+      checkOperandKinds(B, I, 0, Value);
+      checkOperandKinds(B, I, 1, Address);
+      break;
+    case Opcode::Call: {
+      if (I.Ops.empty() || !I.Ops[0].isFunc()) {
+        error("'call' must name a function in operand 0");
+        break;
+      }
+      const IRFunction *Callee = M.function(I.Ops[0].getId());
+      if (I.Ops.size() - 1 != Callee->numParams())
+        error(formatString("call to %s passes %zu args; expected %u",
+                           Callee->name().c_str(), I.Ops.size() - 1,
+                           Callee->numParams()));
+      if (I.Dst != NoReg && !Callee->returnsValue())
+        error(formatString("call to void function %s defines a register",
+                           Callee->name().c_str()));
+      for (size_t Idx = 1; Idx < I.Ops.size(); ++Idx)
+        checkOperandKinds(B, I, Idx, Movable);
+      break;
+    }
+    case Opcode::Print:
+      requireOps(B, I, 1, 1);
+      checkOperandKinds(B, I, 0, Value);
+      break;
+    case Opcode::Br:
+      requireOps(B, I, 1, 1);
+      checkOperandKinds(B, I, 0, {K::Block});
+      break;
+    case Opcode::CondBr:
+      requireOps(B, I, 3, 3);
+      checkOperandKinds(B, I, 0, {K::Reg});
+      checkOperandKinds(B, I, 1, {K::Block});
+      checkOperandKinds(B, I, 2, {K::Block});
+      break;
+    case Opcode::Ret:
+      requireOps(B, I, 0, 1);
+      if (!I.Ops.empty())
+        checkOperandKinds(B, I, 0, Value);
+      break;
+    }
+  }
+
+  /// Forward dataflow: a register may only be used if it is assigned on
+  /// every path from entry. Parameters r0..numParams-1 start assigned.
+  void checkDefiniteAssignment() {
+    const uint32_t NumBlocks = F.numBlocks();
+    const uint32_t NumRegs = F.numRegs();
+    if (NumRegs == 0)
+      return;
+
+    // DefinedOut[b] = set of regs definitely assigned at the end of b.
+    // Initialize to "all" (top) for a meet-over-paths intersection.
+    std::vector<std::vector<bool>> DefinedOut(
+        NumBlocks, std::vector<bool>(NumRegs, true));
+    std::vector<std::vector<uint32_t>> Preds(NumBlocks);
+    for (const auto &B : F.blocks())
+      for (uint32_t Succ : B->successors())
+        Preds[Succ].push_back(B->id());
+
+    std::deque<uint32_t> Work;
+    for (uint32_t BlockId = 0; BlockId != NumBlocks; ++BlockId)
+      Work.push_back(BlockId);
+
+    auto ComputeIn = [&](uint32_t BlockId) {
+      std::vector<bool> In(NumRegs, BlockId == 0);
+      if (BlockId == 0) {
+        // Entry: only parameters are assigned.
+        In.assign(NumRegs, false);
+        for (uint32_t P = 0; P != F.numParams(); ++P)
+          if (F.paramReg(P) < NumRegs)
+            In[F.paramReg(P)] = true;
+        return In;
+      }
+      if (Preds[BlockId].empty())
+        return In; // Unreachable block: nothing assigned.
+      In.assign(NumRegs, true);
+      for (uint32_t Pred : Preds[BlockId])
+        for (uint32_t R = 0; R != NumRegs; ++R)
+          In[R] = In[R] && DefinedOut[Pred][R];
+      return In;
+    };
+
+    while (!Work.empty()) {
+      uint32_t BlockId = Work.front();
+      Work.pop_front();
+      std::vector<bool> State = ComputeIn(BlockId);
+      for (const Instruction &I : F.block(BlockId)->insts())
+        if (I.Dst != NoReg)
+          State[I.Dst] = true;
+      if (State != DefinedOut[BlockId]) {
+        DefinedOut[BlockId] = State;
+        for (uint32_t Succ : F.block(BlockId)->successors())
+          Work.push_back(Succ);
+      }
+    }
+
+    // Reachability: unreachable blocks never execute, so their uses are
+    // exempt from definite-assignment (the frontend replaces their
+    // bodies, but synthetic IR may still contain them).
+    std::vector<bool> Reachable(NumBlocks, false);
+    {
+      std::vector<uint32_t> WorkList{0};
+      Reachable[0] = true;
+      while (!WorkList.empty()) {
+        uint32_t Block = WorkList.back();
+        WorkList.pop_back();
+        for (uint32_t Succ : F.block(Block)->successors())
+          if (!Reachable[Succ]) {
+            Reachable[Succ] = true;
+            WorkList.push_back(Succ);
+          }
+      }
+    }
+
+    // Final pass: flag uses of maybe-unassigned registers.
+    for (const auto &B : F.blocks()) {
+      if (!Reachable[B->id()])
+        continue;
+      std::vector<bool> State = ComputeIn(B->id());
+      std::vector<Reg> Uses;
+      for (const Instruction &I : B->insts()) {
+        Uses.clear();
+        I.appendUses(Uses);
+        for (Reg R : Uses)
+          if (!State[R])
+            error(formatString("r%u used before assignment in .%s", R,
+                               B->name().c_str()));
+        if (I.Dst != NoReg)
+          State[I.Dst] = true;
+      }
+    }
+  }
+
+  const IRModule &M;
+  const IRFunction &F;
+  DiagnosticEngine &Diags;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool urcm::verifyFunction(const IRModule &M, const IRFunction &F,
+                          DiagnosticEngine &Diags) {
+  Verifier V(M, F, Diags);
+  return V.run();
+}
+
+bool urcm::verifyModule(const IRModule &M, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    Ok &= verifyFunction(M, *F, Diags);
+  return Ok;
+}

@@ -1,0 +1,714 @@
+//===- IRGen.cpp - AST to IR lowering -------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/irgen/IRGen.h"
+
+#include "urcm/lang/Sema.h"
+#include "urcm/support/StringUtils.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace urcm;
+
+namespace {
+
+/// Where an MC variable lives in the IR.
+struct VarStorage {
+  enum class Kind { Register, Frame, Global };
+  Kind StorageKind;
+  /// Register number (Kind::Register), frame slot id (Kind::Frame) or
+  /// global id (Kind::Global).
+  uint32_t Id;
+};
+
+class FunctionIRGen {
+public:
+  FunctionIRGen(const TranslationUnit &TU, IRModule &M, IRFunction &F,
+                const FunctionDecl &Decl,
+                const std::unordered_map<const VarDecl *, uint32_t> &Globals,
+                const std::unordered_map<const FunctionDecl *, uint32_t>
+                    &FuncIds,
+                const IRGenOptions &Options)
+      : TU(TU), M(M), F(F), Decl(Decl), GlobalIds(Globals),
+        FuncIds(FuncIds), Options(Options) {}
+
+  void run() {
+    Cur = F.addBlock("entry");
+    bindParams();
+    genStmt(*Decl.body());
+    // Fall-through return for functions whose body can reach the end.
+    if (!Cur->isTerminated()) {
+      if (F.returnsValue())
+        emit(Opcode::Ret, NoReg, {Operand::imm(0)});
+      else
+        emit(Opcode::Ret, NoReg, {});
+    }
+    clearUnreachableBlocks();
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Emission helpers
+  //===--------------------------------------------------------------------===
+
+  void emit(Opcode Op, Reg Dst, std::vector<Operand> Ops,
+            SourceLoc Loc = SourceLoc()) {
+    // Dead code after a terminator (e.g. code following `return`) is
+    // dropped; the block is already complete.
+    if (Cur->isTerminated())
+      return;
+    Cur->insts().push_back(Instruction(Op, Dst, std::move(Ops), Loc));
+  }
+
+  Reg emitToNewReg(Opcode Op, std::vector<Operand> Ops,
+                   SourceLoc Loc = SourceLoc()) {
+    Reg Dst = F.newReg();
+    emit(Op, Dst, std::move(Ops), Loc);
+    return Dst;
+  }
+
+  BasicBlock *newBlock(const std::string &Hint) {
+    return F.addBlock(formatString("%s%u", Hint.c_str(), NextBlockSuffix++));
+  }
+
+  void setInsertPoint(BasicBlock *B) { Cur = B; }
+
+  /// Constant-folded conditions can leave whole regions unreachable;
+  /// their bodies may use registers never assigned on any live path,
+  /// which would confuse the definite-assignment checks and the web
+  /// builder. Replace each unreachable block's body with a bare return.
+  void clearUnreachableBlocks() {
+    std::vector<bool> Reachable(F.numBlocks(), false);
+    std::vector<uint32_t> Work{0};
+    Reachable[0] = true;
+    while (!Work.empty()) {
+      uint32_t Block = Work.back();
+      Work.pop_back();
+      for (uint32_t Succ : F.block(Block)->successors())
+        if (!Reachable[Succ]) {
+          Reachable[Succ] = true;
+          Work.push_back(Succ);
+        }
+    }
+    for (const auto &B : F.blocks()) {
+      if (Reachable[B->id()])
+        continue;
+      B->insts().clear();
+      if (F.returnsValue())
+        B->insts().push_back(
+            Instruction(Opcode::Ret, NoReg, {Operand::imm(0)}));
+      else
+        B->insts().push_back(Instruction(Opcode::Ret, NoReg, {}));
+    }
+  }
+
+  void branchTo(BasicBlock *B) {
+    emit(Opcode::Br, NoReg, {Operand::block(B->id())});
+  }
+
+  /// Materializes \p Op into a register if it is not one already.
+  Reg asReg(const Operand &Op) {
+    if (Op.isReg() && Op.getOffset() == 0)
+      return Op.getReg();
+    return emitToNewReg(Opcode::Mov, {Op});
+  }
+
+  //===--------------------------------------------------------------------===
+  // Variable storage
+  //===--------------------------------------------------------------------===
+
+  void bindParams() {
+    uint32_t Index = 0;
+    for (const auto &P : Decl.params()) {
+      Reg Incoming = Index++; // Convention: params arrive in r0..rN-1.
+      F.newReg();             // Reserve the incoming register number.
+      if (P->isAddressTaken() || Options.ScalarLocalsInMemory) {
+        uint32_t Slot = F.addFrameSlot(
+            IRFrameSlot{P->name(), 1, FrameSlotKind::LocalVar, P.get(), 0});
+        Storage[P.get()] = {VarStorage::Kind::Frame, Slot};
+        emit(Opcode::Store,
+             NoReg, {Operand::reg(Incoming), Operand::frame(Slot)});
+      } else {
+        Storage[P.get()] = {VarStorage::Kind::Register, Incoming};
+      }
+    }
+  }
+
+  VarStorage storageFor(const VarDecl *V) {
+    auto It = Storage.find(V);
+    if (It != Storage.end())
+      return It->second;
+    auto GlobalIt = GlobalIds.find(V);
+    if (GlobalIt != GlobalIds.end()) {
+      VarStorage S{VarStorage::Kind::Global, GlobalIt->second};
+      Storage[V] = S;
+      return S;
+    }
+    // First sighting of a local: allocate its home.
+    VarStorage S{};
+    if (V->type().isScalar() && !V->isAddressTaken() &&
+        !Options.ScalarLocalsInMemory) {
+      S = {VarStorage::Kind::Register, F.newReg()};
+    } else {
+      uint32_t Slot = F.addFrameSlot(IRFrameSlot{
+          V->name(), V->type().sizeInWords(), FrameSlotKind::LocalVar, V,
+          0});
+      S = {VarStorage::Kind::Frame, Slot};
+    }
+    Storage[V] = S;
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===
+  // L-values
+  //===--------------------------------------------------------------------===
+
+  /// A resolved l-value: either a register home or a memory address
+  /// operand usable by Load/Store.
+  struct LValue {
+    bool IsRegister;
+    Reg Home = NoReg;  // When IsRegister.
+    Operand Address;   // When !IsRegister.
+  };
+
+  LValue genLValue(const Expr &E) {
+    if (const auto *V = dyn_cast<VarRefExpr>(&E)) {
+      VarStorage S = storageFor(V->decl());
+      switch (S.StorageKind) {
+      case VarStorage::Kind::Register:
+        return LValue{true, S.Id, Operand()};
+      case VarStorage::Kind::Frame:
+        return LValue{false, NoReg, Operand::frame(S.Id)};
+      case VarStorage::Kind::Global:
+        return LValue{false, NoReg, Operand::global(S.Id)};
+      }
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+      assert(U->op() == UnaryOp::Deref && "not an l-value unary");
+      Operand Ptr = genExpr(*U->operand());
+      return LValue{false, NoReg, Operand::reg(asReg(Ptr))};
+    }
+    const auto *I = cast<IndexExpr>(&E);
+    return LValue{false, NoReg, genElementAddress(*I)};
+  }
+
+  /// Computes the address operand for base[index].
+  Operand genElementAddress(const IndexExpr &E) {
+    // Fold a constant index into the addressing-mode offset.
+    const auto *ConstIndex = dyn_cast<IntLiteralExpr>(E.index());
+
+    // Direct base: a named array (global or frame) indexes with no
+    // explicit address arithmetic when the index is constant.
+    if (const auto *V = dyn_cast<VarRefExpr>(E.base())) {
+      if (V->decl()->type().isArray()) {
+        VarStorage S = storageFor(V->decl());
+        assert(S.StorageKind != VarStorage::Kind::Register &&
+               "array cannot be register resident");
+        bool IsGlobal = S.StorageKind == VarStorage::Kind::Global;
+        if (ConstIndex) {
+          int32_t Off = static_cast<int32_t>(ConstIndex->value());
+          return IsGlobal ? Operand::global(S.Id, Off)
+                          : Operand::frame(S.Id, Off);
+        }
+        Operand Index = genExpr(*E.index());
+        Operand Base = IsGlobal ? Operand::global(S.Id)
+                                : Operand::frame(S.Id);
+        Reg Addr = emitToNewReg(Opcode::Add, {Base, Index});
+        return Operand::reg(Addr);
+      }
+    }
+
+    // Pointer base: compute the pointer value, then offset.
+    Operand Base = genExpr(*E.base());
+    if (ConstIndex)
+      return Operand::reg(asReg(Base),
+                          static_cast<int32_t>(ConstIndex->value()));
+    Operand Index = genExpr(*E.index());
+    Reg Addr = emitToNewReg(Opcode::Add, {Base, Index});
+    return Operand::reg(Addr);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  Operand genExpr(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLiteral:
+      return Operand::imm(cast<IntLiteralExpr>(&E)->value());
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRefExpr>(&E);
+      VarStorage S = storageFor(V->decl());
+      switch (S.StorageKind) {
+      case VarStorage::Kind::Register:
+        return Operand::reg(S.Id);
+      case VarStorage::Kind::Frame:
+        if (V->decl()->type().isArray()) // Decay: address of slot.
+          return Operand::reg(
+              emitToNewReg(Opcode::Mov, {Operand::frame(S.Id)}));
+        return Operand::reg(
+            emitToNewReg(Opcode::Load, {Operand::frame(S.Id)}, E.loc()));
+      case VarStorage::Kind::Global:
+        if (V->decl()->type().isArray())
+          return Operand::reg(
+              emitToNewReg(Opcode::Mov, {Operand::global(S.Id)}));
+        return Operand::reg(
+            emitToNewReg(Opcode::Load, {Operand::global(S.Id)}, E.loc()));
+      }
+      return Operand::imm(0);
+    }
+    case Expr::Kind::Unary:
+      return genUnary(*cast<UnaryExpr>(&E));
+    case Expr::Kind::Binary:
+      return genBinary(*cast<BinaryExpr>(&E));
+    case Expr::Kind::Index: {
+      Operand Addr = genElementAddress(*cast<IndexExpr>(&E));
+      return Operand::reg(emitToNewReg(Opcode::Load, {Addr}, E.loc()));
+    }
+    case Expr::Kind::Call:
+      return genCall(*cast<CallExpr>(&E));
+    }
+    return Operand::imm(0);
+  }
+
+  Operand genUnary(const UnaryExpr &E) {
+    switch (E.op()) {
+    case UnaryOp::Neg: {
+      Operand Op = genExpr(*E.operand());
+      if (Op.isImm())
+        return Operand::imm(-Op.getImm());
+      return Operand::reg(emitToNewReg(Opcode::Neg, {Op}));
+    }
+    case UnaryOp::BitNot: {
+      Operand Op = genExpr(*E.operand());
+      if (Op.isImm())
+        return Operand::imm(~Op.getImm());
+      return Operand::reg(emitToNewReg(Opcode::Not, {Op}));
+    }
+    case UnaryOp::LogicalNot: {
+      Operand Op = genExpr(*E.operand());
+      if (Op.isImm())
+        return Operand::imm(Op.getImm() == 0 ? 1 : 0);
+      return Operand::reg(
+          emitToNewReg(Opcode::CmpEq, {Op, Operand::imm(0)}));
+    }
+    case UnaryOp::Deref: {
+      Operand Ptr = genExpr(*E.operand());
+      return Operand::reg(
+          emitToNewReg(Opcode::Load, {Operand::reg(asReg(Ptr))}, E.loc()));
+    }
+    case UnaryOp::AddrOf: {
+      const Expr &Inner = *E.operand();
+      if (const auto *V = dyn_cast<VarRefExpr>(&Inner)) {
+        VarStorage S = storageFor(V->decl());
+        assert(S.StorageKind != VarStorage::Kind::Register &&
+               "address of register-resident variable (Sema bug)");
+        Operand Home = S.StorageKind == VarStorage::Kind::Global
+                           ? Operand::global(S.Id)
+                           : Operand::frame(S.Id);
+        return Operand::reg(emitToNewReg(Opcode::Mov, {Home}));
+      }
+      if (const auto *I = dyn_cast<IndexExpr>(&Inner)) {
+        Operand Addr = genElementAddress(*I);
+        if (Addr.isReg() && Addr.getOffset() == 0)
+          return Addr;
+        if (Addr.isReg())
+          return Operand::reg(emitToNewReg(
+              Opcode::Add, {Operand::reg(Addr.getReg()),
+                            Operand::imm(Addr.getOffset())}));
+        return Operand::reg(emitToNewReg(Opcode::Mov, {Addr}));
+      }
+      // &*p is just p.
+      const auto *U = cast<UnaryExpr>(&Inner);
+      assert(U->op() == UnaryOp::Deref && "not an l-value");
+      return genExpr(*U->operand());
+    }
+    }
+    return Operand::imm(0);
+  }
+
+  static Opcode binaryOpcode(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return Opcode::Add;
+    case BinaryOp::Sub:
+      return Opcode::Sub;
+    case BinaryOp::Mul:
+      return Opcode::Mul;
+    case BinaryOp::Div:
+      return Opcode::Div;
+    case BinaryOp::Rem:
+      return Opcode::Rem;
+    case BinaryOp::And:
+      return Opcode::And;
+    case BinaryOp::Or:
+      return Opcode::Or;
+    case BinaryOp::Xor:
+      return Opcode::Xor;
+    case BinaryOp::Shl:
+      return Opcode::Shl;
+    case BinaryOp::Shr:
+      return Opcode::Shr;
+    case BinaryOp::Lt:
+      return Opcode::CmpLt;
+    case BinaryOp::Le:
+      return Opcode::CmpLe;
+    case BinaryOp::Gt:
+      return Opcode::CmpGt;
+    case BinaryOp::Ge:
+      return Opcode::CmpGe;
+    case BinaryOp::Eq:
+      return Opcode::CmpEq;
+    case BinaryOp::Ne:
+      return Opcode::CmpNe;
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      break;
+    }
+    assert(false && "logical operators are lowered to control flow");
+    return Opcode::Add;
+  }
+
+  Operand genBinary(const BinaryExpr &E) {
+    if (E.op() == BinaryOp::LogicalAnd || E.op() == BinaryOp::LogicalOr) {
+      // Materialize the short-circuit result as 0/1 through control flow.
+      Reg Result = F.newReg();
+      BasicBlock *TrueB = newBlock("sc.true");
+      BasicBlock *FalseB = newBlock("sc.false");
+      BasicBlock *DoneB = newBlock("sc.done");
+      genCondition(E, TrueB, FalseB);
+      setInsertPoint(TrueB);
+      emit(Opcode::Mov, Result, {Operand::imm(1)});
+      branchTo(DoneB);
+      setInsertPoint(FalseB);
+      emit(Opcode::Mov, Result, {Operand::imm(0)});
+      branchTo(DoneB);
+      setInsertPoint(DoneB);
+      return Operand::reg(Result);
+    }
+
+    Operand L = genExpr(*E.lhs());
+    Operand R = genExpr(*E.rhs());
+    // Constant folding keeps the instruction mix close to what a real
+    // 1989 optimizing compiler would emit.
+    if (L.isImm() && R.isImm())
+      if (auto Folded = foldConstant(E.op(), L.getImm(), R.getImm()))
+        return Operand::imm(*Folded);
+    return Operand::reg(emitToNewReg(binaryOpcode(E.op()), {L, R}));
+  }
+
+  static std::optional<int64_t> foldConstant(BinaryOp Op, int64_t L,
+                                             int64_t R) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return L + R;
+    case BinaryOp::Sub:
+      return L - R;
+    case BinaryOp::Mul:
+      return L * R;
+    case BinaryOp::Div:
+      if (R == 0)
+        return std::nullopt;
+      return L / R;
+    case BinaryOp::Rem:
+      if (R == 0)
+        return std::nullopt;
+      return L % R;
+    case BinaryOp::And:
+      return L & R;
+    case BinaryOp::Or:
+      return L | R;
+    case BinaryOp::Xor:
+      return L ^ R;
+    case BinaryOp::Shl:
+      return L << (R & 63);
+    case BinaryOp::Shr:
+      return L >> (R & 63);
+    case BinaryOp::Lt:
+      return L < R;
+    case BinaryOp::Le:
+      return L <= R;
+    case BinaryOp::Gt:
+      return L > R;
+    case BinaryOp::Ge:
+      return L >= R;
+    case BinaryOp::Eq:
+      return L == R;
+    case BinaryOp::Ne:
+      return L != R;
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      break;
+    }
+    return std::nullopt;
+  }
+
+  Operand genCall(const CallExpr &E) {
+    if (E.builtin() == BuiltinKind::Print) {
+      Operand Arg = genExpr(*E.args()[0]);
+      emit(Opcode::Print, NoReg, {Arg}, E.loc());
+      return Operand::imm(0);
+    }
+    std::vector<Operand> Ops;
+    Ops.push_back(Operand::func(FuncIds.at(E.callee())));
+    for (const auto &A : E.args())
+      Ops.push_back(genExpr(*A));
+    bool HasResult = !E.callee()->returnType().isVoid();
+    Reg Dst = HasResult ? F.newReg() : NoReg;
+    emit(Opcode::Call, Dst, std::move(Ops), E.loc());
+    return HasResult ? Operand::reg(Dst) : Operand::imm(0);
+  }
+
+  /// Emits control flow for `if (E) goto TrueB else goto FalseB`,
+  /// handling &&, || and ! without materializing booleans.
+  void genCondition(const Expr &E, BasicBlock *TrueB, BasicBlock *FalseB) {
+    if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+      if (B->op() == BinaryOp::LogicalAnd) {
+        BasicBlock *Mid = newBlock("and.rhs");
+        genCondition(*B->lhs(), Mid, FalseB);
+        setInsertPoint(Mid);
+        genCondition(*B->rhs(), TrueB, FalseB);
+        return;
+      }
+      if (B->op() == BinaryOp::LogicalOr) {
+        BasicBlock *Mid = newBlock("or.rhs");
+        genCondition(*B->lhs(), TrueB, Mid);
+        setInsertPoint(Mid);
+        genCondition(*B->rhs(), TrueB, FalseB);
+        return;
+      }
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+      if (U->op() == UnaryOp::LogicalNot) {
+        genCondition(*U->operand(), FalseB, TrueB);
+        return;
+      }
+    }
+    Operand Cond = genExpr(E);
+    if (Cond.isImm()) {
+      branchTo(Cond.getImm() != 0 ? TrueB : FalseB);
+      return;
+    }
+    emit(Opcode::CondBr, NoReg,
+         {Operand::reg(asReg(Cond)), Operand::block(TrueB->id()),
+          Operand::block(FalseB->id())});
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statements
+  //===--------------------------------------------------------------------===
+
+  void genStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      for (const auto &Child : cast<BlockStmt>(&S)->stmts())
+        genStmt(*Child);
+      return;
+    case Stmt::Kind::Decl: {
+      VarDecl *D = cast<DeclStmt>(&S)->decl();
+      VarStorage Home = storageFor(D);
+      if (D->init()) {
+        Operand Value = genExpr(*D->init());
+        storeTo(Home, Value, S.loc());
+      } else if (Home.StorageKind == VarStorage::Kind::Register) {
+        // Zero-initialize register-resident scalars (see header note).
+        emit(Opcode::Mov, Home.Id, {Operand::imm(0)});
+      }
+      return;
+    }
+    case Stmt::Kind::Expr:
+      genExpr(*cast<ExprStmt>(&S)->expr());
+      return;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(&S);
+      LValue Target = genLValue(*A->lhs());
+      Operand Value = genExpr(*A->rhs());
+      if (Target.IsRegister) {
+        emit(Opcode::Mov, Target.Home, {Value}, S.loc());
+      } else {
+        emit(Opcode::Store, NoReg, {Value, Target.Address}, S.loc());
+      }
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      BasicBlock *ThenB = newBlock("if.then");
+      BasicBlock *DoneB = newBlock("if.done");
+      BasicBlock *ElseB = I->elseStmt() ? newBlock("if.else") : DoneB;
+      genCondition(*I->cond(), ThenB, ElseB);
+      setInsertPoint(ThenB);
+      genStmt(*I->thenStmt());
+      branchTo(DoneB);
+      if (I->elseStmt()) {
+        setInsertPoint(ElseB);
+        genStmt(*I->elseStmt());
+        branchTo(DoneB);
+      }
+      setInsertPoint(DoneB);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(&S);
+      BasicBlock *CondB = newBlock("while.cond");
+      BasicBlock *BodyB = newBlock("while.body");
+      BasicBlock *DoneB = newBlock("while.done");
+      branchTo(CondB);
+      setInsertPoint(CondB);
+      genCondition(*W->cond(), BodyB, DoneB);
+      LoopStack.push_back({CondB, DoneB});
+      setInsertPoint(BodyB);
+      genStmt(*W->body());
+      branchTo(CondB);
+      LoopStack.pop_back();
+      setInsertPoint(DoneB);
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto *W = cast<DoWhileStmt>(&S);
+      BasicBlock *BodyB = newBlock("do.body");
+      BasicBlock *CondB = newBlock("do.cond");
+      BasicBlock *DoneB = newBlock("do.done");
+      branchTo(BodyB);
+      LoopStack.push_back({CondB, DoneB});
+      setInsertPoint(BodyB);
+      genStmt(*W->body());
+      branchTo(CondB);
+      LoopStack.pop_back();
+      setInsertPoint(CondB);
+      genCondition(*W->cond(), BodyB, DoneB);
+      setInsertPoint(DoneB);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *FS = cast<ForStmt>(&S);
+      if (FS->init())
+        genStmt(*FS->init());
+      BasicBlock *CondB = newBlock("for.cond");
+      BasicBlock *BodyB = newBlock("for.body");
+      BasicBlock *StepB = newBlock("for.step");
+      BasicBlock *DoneB = newBlock("for.done");
+      branchTo(CondB);
+      setInsertPoint(CondB);
+      if (FS->cond())
+        genCondition(*FS->cond(), BodyB, DoneB);
+      else
+        branchTo(BodyB);
+      LoopStack.push_back({StepB, DoneB});
+      setInsertPoint(BodyB);
+      genStmt(*FS->body());
+      branchTo(StepB);
+      LoopStack.pop_back();
+      setInsertPoint(StepB);
+      if (FS->step())
+        genStmt(*FS->step());
+      branchTo(CondB);
+      setInsertPoint(DoneB);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(&S);
+      if (R->value()) {
+        Operand Value = genExpr(*R->value());
+        emit(Opcode::Ret, NoReg, {Value}, S.loc());
+      } else {
+        emit(Opcode::Ret, NoReg, {}, S.loc());
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+      assert(!LoopStack.empty() && "break outside loop (Sema bug)");
+      branchTo(LoopStack.back().BreakTarget);
+      return;
+    case Stmt::Kind::Continue:
+      assert(!LoopStack.empty() && "continue outside loop (Sema bug)");
+      branchTo(LoopStack.back().ContinueTarget);
+      return;
+    }
+  }
+
+  void storeTo(VarStorage Home, const Operand &Value, SourceLoc Loc) {
+    switch (Home.StorageKind) {
+    case VarStorage::Kind::Register:
+      emit(Opcode::Mov, Home.Id, {Value}, Loc);
+      return;
+    case VarStorage::Kind::Frame:
+      emit(Opcode::Store, NoReg, {Value, Operand::frame(Home.Id)}, Loc);
+      return;
+    case VarStorage::Kind::Global:
+      emit(Opcode::Store, NoReg, {Value, Operand::global(Home.Id)}, Loc);
+      return;
+    }
+  }
+
+  struct LoopTargets {
+    BasicBlock *ContinueTarget;
+    BasicBlock *BreakTarget;
+  };
+
+  [[maybe_unused]] const TranslationUnit &TU;
+  IRModule &M;
+  IRFunction &F;
+  const FunctionDecl &Decl;
+  const std::unordered_map<const VarDecl *, uint32_t> &GlobalIds;
+  const std::unordered_map<const FunctionDecl *, uint32_t> &FuncIds;
+  const IRGenOptions &Options;
+  BasicBlock *Cur = nullptr;
+  std::unordered_map<const VarDecl *, VarStorage> Storage;
+  std::vector<LoopTargets> LoopStack;
+  unsigned NextBlockSuffix = 0;
+};
+
+} // namespace
+
+std::unique_ptr<IRModule> urcm::generateIR(const TranslationUnit &TU,
+                                           DiagnosticEngine &Diags,
+                                           const IRGenOptions &Options) {
+  auto M = std::make_unique<IRModule>();
+
+  std::unordered_map<const VarDecl *, uint32_t> GlobalIds;
+  for (const auto &G : TU.globals())
+    GlobalIds[G.get()] = M->addGlobal(
+        IRGlobal{G->name(), G->type().sizeInWords(), G.get(), 0});
+
+  // Create all functions first so calls (including mutual recursion via
+  // textual order) can reference ids.
+  std::unordered_map<const FunctionDecl *, uint32_t> FuncIds;
+  for (const auto &FD : TU.functions()) {
+    IRFunction *F = M->addFunction(
+        FD->name(), !FD->returnType().isVoid(),
+        static_cast<uint32_t>(FD->params().size()));
+    F->setOrigin(FD.get());
+    FuncIds[FD.get()] = F->id();
+  }
+
+  for (const auto &FD : TU.functions()) {
+    if (!FD->body()) {
+      Diags.error(FD->loc(), formatString("function '%s' has no body",
+                                          FD->name().c_str()));
+      continue;
+    }
+    IRFunction *F = M->function(FuncIds[FD.get()]);
+    FunctionIRGen Gen(TU, *M, *F, *FD, GlobalIds, FuncIds, Options);
+    Gen.run();
+  }
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}
+
+CompiledModule urcm::compileToIR(const std::string &Source,
+                                 DiagnosticEngine &Diags,
+                                 const IRGenOptions &Options) {
+  CompiledModule Result;
+  Result.TU = parseAndAnalyze(Source, Diags);
+  if (!Result.TU)
+    return CompiledModule();
+  Result.IR = generateIR(*Result.TU, Diags, Options);
+  if (!Result.IR)
+    return CompiledModule();
+  return Result;
+}

@@ -1,0 +1,266 @@
+//===- AST.cpp - MC AST utilities and printer -----------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/AST.h"
+
+#include "urcm/support/StringUtils.h"
+
+using namespace urcm;
+
+std::string Type::str() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int:
+    return "int";
+  case Kind::Pointer:
+    return "int*";
+  case Kind::Array:
+    return formatString("int[%u]", NumElements);
+  }
+  return "?";
+}
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// AST printer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders expressions and statements as indented pseudo-source. Used by
+/// parser tests to check tree shape and by the alias-lab example.
+class ASTPrinter {
+public:
+  std::string run(const TranslationUnit &TU) {
+    for (const auto &G : TU.globals())
+      line(formatString("global %s %s", G->type().str().c_str(),
+                        G->name().c_str()));
+    for (const auto &F : TU.functions())
+      printFunction(*F);
+    return Out;
+  }
+
+private:
+  void line(const std::string &Text) {
+    Out.append(static_cast<size_t>(Indent) * 2, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  void printFunction(const FunctionDecl &F) {
+    std::vector<std::string> Params;
+    for (const auto &P : F.params())
+      Params.push_back(P->type().str() + " " + P->name());
+    line(formatString("func %s %s(%s)", F.returnType().str().c_str(),
+                      F.name().c_str(), join(Params, ", ").c_str()));
+    if (F.body()) {
+      ++Indent;
+      printStmt(*F.body());
+      --Indent;
+    }
+  }
+
+  void printStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block: {
+      const auto &B = *cast<BlockStmt>(&S);
+      line("{");
+      ++Indent;
+      for (const auto &Child : B.stmts())
+        printStmt(*Child);
+      --Indent;
+      line("}");
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      const auto &D = *cast<DeclStmt>(&S);
+      std::string Text = formatString("decl %s %s",
+                                      D.decl()->type().str().c_str(),
+                                      D.decl()->name().c_str());
+      if (D.decl()->init())
+        Text += " = " + printExpr(*D.decl()->init());
+      line(Text);
+      return;
+    }
+    case Stmt::Kind::Expr:
+      line(printExpr(*cast<ExprStmt>(&S)->expr()));
+      return;
+    case Stmt::Kind::Assign: {
+      const auto &A = *cast<AssignStmt>(&S);
+      line(printExpr(*A.lhs()) + " = " + printExpr(*A.rhs()));
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto &I = *cast<IfStmt>(&S);
+      line("if " + printExpr(*I.cond()));
+      ++Indent;
+      printStmt(*I.thenStmt());
+      --Indent;
+      if (I.elseStmt()) {
+        line("else");
+        ++Indent;
+        printStmt(*I.elseStmt());
+        --Indent;
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto &W = *cast<WhileStmt>(&S);
+      line("while " + printExpr(*W.cond()));
+      ++Indent;
+      printStmt(*W.body());
+      --Indent;
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto &W = *cast<DoWhileStmt>(&S);
+      line("do");
+      ++Indent;
+      printStmt(*W.body());
+      --Indent;
+      line("while " + printExpr(*W.cond()));
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto &F = *cast<ForStmt>(&S);
+      line("for");
+      ++Indent;
+      if (F.init())
+        printStmt(*F.init());
+      if (F.cond())
+        line("cond " + printExpr(*F.cond()));
+      if (F.step())
+        printStmt(*F.step());
+      printStmt(*F.body());
+      --Indent;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto &R = *cast<ReturnStmt>(&S);
+      line(R.value() ? "return " + printExpr(*R.value()) : "return");
+      return;
+    }
+    case Stmt::Kind::Break:
+      line("break");
+      return;
+    case Stmt::Kind::Continue:
+      line("continue");
+      return;
+    }
+  }
+
+  std::string printExpr(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLiteral:
+      return formatString(
+          "%lld",
+          static_cast<long long>(cast<IntLiteralExpr>(&E)->value()));
+    case Expr::Kind::VarRef:
+      return cast<VarRefExpr>(&E)->decl()->name();
+    case Expr::Kind::Unary: {
+      const auto &U = *cast<UnaryExpr>(&E);
+      const char *Op = "?";
+      switch (U.op()) {
+      case UnaryOp::Neg:
+        Op = "-";
+        break;
+      case UnaryOp::LogicalNot:
+        Op = "!";
+        break;
+      case UnaryOp::BitNot:
+        Op = "~";
+        break;
+      case UnaryOp::Deref:
+        Op = "*";
+        break;
+      case UnaryOp::AddrOf:
+        Op = "&";
+        break;
+      }
+      return std::string("(") + Op + printExpr(*U.operand()) + ")";
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = *cast<BinaryExpr>(&E);
+      const char *Op = binaryOpSpelling(B.op());
+      return "(" + printExpr(*B.lhs()) + " " + Op + " " +
+             printExpr(*B.rhs()) + ")";
+    }
+    case Expr::Kind::Index: {
+      const auto &I = *cast<IndexExpr>(&E);
+      return printExpr(*I.base()) + "[" + printExpr(*I.index()) + "]";
+    }
+    case Expr::Kind::Call: {
+      const auto &C = *cast<CallExpr>(&E);
+      std::vector<std::string> Args;
+      for (const auto &A : C.args())
+        Args.push_back(printExpr(*A));
+      std::string Name =
+          C.isBuiltin() ? std::string("print") : C.callee()->name();
+      return Name + "(" + join(Args, ", ") + ")";
+    }
+    }
+    return "?";
+  }
+
+  static const char *binaryOpSpelling(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return "+";
+    case BinaryOp::Sub:
+      return "-";
+    case BinaryOp::Mul:
+      return "*";
+    case BinaryOp::Div:
+      return "/";
+    case BinaryOp::Rem:
+      return "%";
+    case BinaryOp::And:
+      return "&";
+    case BinaryOp::Or:
+      return "|";
+    case BinaryOp::Xor:
+      return "^";
+    case BinaryOp::Shl:
+      return "<<";
+    case BinaryOp::Shr:
+      return ">>";
+    case BinaryOp::Lt:
+      return "<";
+    case BinaryOp::Le:
+      return "<=";
+    case BinaryOp::Gt:
+      return ">";
+    case BinaryOp::Ge:
+      return ">=";
+    case BinaryOp::Eq:
+      return "==";
+    case BinaryOp::Ne:
+      return "!=";
+    case BinaryOp::LogicalAnd:
+      return "&&";
+    case BinaryOp::LogicalOr:
+      return "||";
+    }
+    return "?";
+  }
+
+  std::string Out;
+  int Indent = 0;
+};
+
+} // namespace
+
+std::string urcm::printAST(const TranslationUnit &TU) {
+  ASTPrinter P;
+  return P.run(TU);
+}

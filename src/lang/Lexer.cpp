@@ -1,0 +1,305 @@
+//===- Lexer.cpp - MC lexer -----------------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/Lexer.h"
+
+#include "urcm/support/StringUtils.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace urcm;
+
+const char *urcm::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  return Index < Source.size() ? Source[Index] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (peek() != '\0') {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},           {"void", TokenKind::KwVoid},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},       {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},     {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"do", TokenKind::KwDo},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc);
+
+  Token T = makeToken(TokenKind::Identifier, Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  int64_t Value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool AnyDigit = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      int Digit = std::isdigit(static_cast<unsigned char>(C))
+                      ? C - '0'
+                      : std::tolower(static_cast<unsigned char>(C)) - 'a' + 10;
+      Value = Value * 16 + Digit;
+      AnyDigit = true;
+    }
+    if (!AnyDigit)
+      Diags.error(Loc, "hexadecimal literal has no digits");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = currentLoc();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Loc);
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Loc);
+  case '+':
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Loc);
+  case '^':
+    return makeToken(TokenKind::Caret, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc);
+  case '&':
+    return makeToken(match('&') ? TokenKind::AmpAmp : TokenKind::Amp, Loc);
+  case '|':
+    return makeToken(match('|') ? TokenKind::PipePipe : TokenKind::Pipe, Loc);
+  case '!':
+    return makeToken(match('=') ? TokenKind::BangEqual : TokenKind::Bang, Loc);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqualEqual : TokenKind::Assign,
+                     Loc);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc);
+    if (match('<'))
+      return makeToken(TokenKind::LessLess, Loc);
+    return makeToken(TokenKind::Less, Loc);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::GreaterGreater, Loc);
+    return makeToken(TokenKind::Greater, Loc);
+  default:
+    Diags.error(Loc, formatString("unexpected character '%c'", C));
+    return next();
+  }
+}
+
+std::vector<Token> urcm::lexAll(const std::string &Source,
+                                DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = L.next();
+    bool IsEof = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (IsEof)
+      break;
+  }
+  return Tokens;
+}

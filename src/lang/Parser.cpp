@@ -1,0 +1,503 @@
+//===- Parser.cpp - MC recursive-descent parser ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/Parser.h"
+
+#include "urcm/support/StringUtils.h"
+
+using namespace urcm;
+
+Parser::Parser(std::string Source, DiagnosticEngine &Diags)
+    : Lex(std::move(Source), Diags), Diags(Diags) {
+  Tok = Lex.next();
+}
+
+void Parser::consume() { Tok = Lex.next(); }
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (Tok.is(Kind)) {
+    consume();
+    return true;
+  }
+  Diags.error(Tok.Loc, formatString("expected %s %s, found %s",
+                                    tokenKindName(Kind), Context,
+                                    tokenKindName(Tok.Kind)));
+  return false;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!Tok.is(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+void Parser::pushScope() { Scopes.emplace_back(); }
+
+void Parser::popScope() { Scopes.pop_back(); }
+
+VarDecl *Parser::lookupVar(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool Parser::declareVar(VarDecl *Decl) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().try_emplace(Decl->name(), Decl);
+  (void)It;
+  if (!Inserted)
+    Diags.error(Decl->loc(),
+                formatString("redeclaration of '%s'", Decl->name().c_str()));
+  return Inserted;
+}
+
+std::unique_ptr<TranslationUnit> Parser::parse() {
+  TU = std::make_unique<TranslationUnit>();
+  pushScope(); // Global scope.
+  while (!Tok.is(TokenKind::Eof))
+    parseTopLevel();
+  popScope();
+  return std::move(TU);
+}
+
+/// type-prefix := ('int' '*'? | 'void')
+Type Parser::parseTypePrefix(bool AllowVoid) {
+  if (Tok.is(TokenKind::KwVoid)) {
+    if (!AllowVoid)
+      Diags.error(Tok.Loc, "'void' is only valid as a return type");
+    consume();
+    return Type::voidTy();
+  }
+  expect(TokenKind::KwInt, "in type");
+  if (accept(TokenKind::Star))
+    return Type::pointerTy();
+  return Type::intTy();
+}
+
+/// top-level := type identifier ( function-rest | global-var-rest )
+void Parser::parseTopLevel() {
+  SourceLoc Loc = Tok.Loc;
+  Type Ty = parseTypePrefix(/*AllowVoid=*/true);
+  std::string Name = Tok.Text;
+  if (!expect(TokenKind::Identifier, "in top-level declaration")) {
+    consume();
+    return;
+  }
+
+  if (Tok.is(TokenKind::LParen)) {
+    parseFunctionRest(Ty, std::move(Name), Loc);
+    return;
+  }
+
+  // Global variable; optional `[N]` array suffix, no initializer (globals
+  // are zero-initialized, matching the paper's simulator environment).
+  if (Ty.isVoid())
+    Diags.error(Loc, "global variable cannot have type 'void'");
+  if (accept(TokenKind::LBracket)) {
+    if (Ty.isPointer())
+      Diags.error(Loc, "arrays of pointers are not supported");
+    if (Tok.is(TokenKind::IntLiteral)) {
+      int64_t N = Tok.IntValue;
+      consume();
+      if (N <= 0)
+        Diags.error(Loc, "array size must be positive");
+      else
+        Ty = Type::arrayTy(static_cast<uint32_t>(N));
+    } else {
+      Diags.error(Tok.Loc, "expected array size literal");
+    }
+    expect(TokenKind::RBracket, "after array size");
+  }
+  VarDecl *G = TU->addGlobal(std::move(Name), Ty, Loc);
+  declareVar(G);
+  expect(TokenKind::Semi, "after global declaration");
+}
+
+/// function-rest := '(' params? ')' block
+void Parser::parseFunctionRest(Type ReturnTy, std::string Name,
+                               SourceLoc Loc) {
+  if (TU->findFunction(Name))
+    Diags.error(Loc, formatString("redefinition of function '%s'",
+                                  Name.c_str()));
+  FunctionDecl *F = TU->addFunction(std::move(Name), ReturnTy, Loc);
+  CurFunction = F;
+  expect(TokenKind::LParen, "after function name");
+  pushScope(); // Parameter + body scope.
+  if (!Tok.is(TokenKind::RParen)) {
+    do {
+      SourceLoc PLoc = Tok.Loc;
+      Type PTy = parseTypePrefix(/*AllowVoid=*/false);
+      std::string PName = Tok.Text;
+      if (!expect(TokenKind::Identifier, "in parameter"))
+        break;
+      VarDecl *P = F->addParam(std::move(PName), PTy, PLoc);
+      declareVar(P);
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameters");
+  if (Tok.is(TokenKind::LBrace))
+    F->setBody(parseBlock());
+  else
+    Diags.error(Tok.Loc, "expected function body");
+  popScope();
+  CurFunction = nullptr;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = Tok.Loc;
+  expect(TokenKind::LBrace, "to start block");
+  auto Block = std::make_unique<BlockStmt>(Loc);
+  pushScope();
+  while (!Tok.is(TokenKind::RBrace) && !Tok.is(TokenKind::Eof)) {
+    if (auto S = parseStmt())
+      Block->addStmt(std::move(S));
+    else
+      consume(); // Error recovery: skip one token and retry.
+  }
+  popScope();
+  expect(TokenKind::RBrace, "to end block");
+  return Block;
+}
+
+std::unique_ptr<Stmt> Parser::parseStmt() {
+  switch (Tok.Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwInt:
+    return parseDeclStmt();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn: {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    std::unique_ptr<Expr> Value;
+    if (!Tok.is(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "after return");
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    expect(TokenKind::Semi, "after break");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    expect(TokenKind::Semi, "after continue");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::Semi: {
+    // Empty statement: model as an empty block.
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    return std::make_unique<BlockStmt>(Loc);
+  }
+  default: {
+    auto S = parseSimpleStmt();
+    expect(TokenKind::Semi, "after statement");
+    return S;
+  }
+  }
+}
+
+/// decl-stmt := 'int' '*'? identifier ('[' literal ']')? ('=' expr)? ';'
+std::unique_ptr<Stmt> Parser::parseDeclStmt() {
+  SourceLoc Loc = Tok.Loc;
+  Type Ty = parseTypePrefix(/*AllowVoid=*/false);
+  std::string Name = Tok.Text;
+  if (!expect(TokenKind::Identifier, "in declaration"))
+    return nullptr;
+  if (accept(TokenKind::LBracket)) {
+    if (Ty.isPointer())
+      Diags.error(Loc, "arrays of pointers are not supported");
+    if (Tok.is(TokenKind::IntLiteral)) {
+      int64_t N = Tok.IntValue;
+      consume();
+      if (N <= 0)
+        Diags.error(Loc, "array size must be positive");
+      else
+        Ty = Type::arrayTy(static_cast<uint32_t>(N));
+    } else {
+      Diags.error(Tok.Loc, "expected array size literal");
+    }
+    expect(TokenKind::RBracket, "after array size");
+  }
+  auto Decl = std::make_unique<VarDecl>(std::move(Name), Ty,
+                                        StorageKind::Local, Loc);
+  if (accept(TokenKind::Assign)) {
+    if (Ty.isArray())
+      Diags.error(Loc, "array initializers are not supported");
+    Decl->setInit(parseExpr());
+  }
+  expect(TokenKind::Semi, "after declaration");
+  declareVar(Decl.get());
+  return std::make_unique<DeclStmt>(std::move(Decl), Loc);
+}
+
+/// simple-stmt := lvalue '=' expr | expr   (no trailing ';' consumed)
+std::unique_ptr<Stmt> Parser::parseSimpleStmt() {
+  SourceLoc Loc = Tok.Loc;
+  auto LHS = parseExpr();
+  if (!LHS)
+    return nullptr;
+  if (accept(TokenKind::Assign)) {
+    auto RHS = parseExpr();
+    return std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS), Loc);
+  }
+  return std::make_unique<ExprStmt>(std::move(LHS), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseIf() {
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  expect(TokenKind::LParen, "after 'if'");
+  auto Cond = parseExpr();
+  expect(TokenKind::RParen, "after condition");
+  auto Then = parseStmt();
+  std::unique_ptr<Stmt> Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseWhile() {
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  expect(TokenKind::LParen, "after 'while'");
+  auto Cond = parseExpr();
+  expect(TokenKind::RParen, "after condition");
+  auto Body = parseStmt();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+std::unique_ptr<Stmt> Parser::parseDoWhile() {
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  auto Body = parseStmt();
+  expect(TokenKind::KwWhile, "after do-body");
+  expect(TokenKind::LParen, "after 'while'");
+  auto Cond = parseExpr();
+  expect(TokenKind::RParen, "after condition");
+  expect(TokenKind::Semi, "after do/while");
+  return std::make_unique<DoWhileStmt>(std::move(Body), std::move(Cond),
+                                       Loc);
+}
+
+/// for := 'for' '(' simple-stmt? ';' expr? ';' simple-stmt? ')' stmt
+std::unique_ptr<Stmt> Parser::parseFor() {
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  expect(TokenKind::LParen, "after 'for'");
+  std::unique_ptr<Stmt> Init;
+  if (!Tok.is(TokenKind::Semi))
+    Init = parseSimpleStmt();
+  expect(TokenKind::Semi, "after for-init");
+  std::unique_ptr<Expr> Cond;
+  if (!Tok.is(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after for-condition");
+  std::unique_ptr<Stmt> Step;
+  if (!Tok.is(TokenKind::RParen))
+    Step = parseSimpleStmt();
+  expect(TokenKind::RParen, "after for-step");
+  auto Body = parseStmt();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions (precedence climbing)
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct BinOpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+/// Returns precedence info for the binary operator starting at \p Kind, or
+/// precedence -1 if \p Kind is not a binary operator.
+static BinOpInfo binOpInfo(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Star:
+    return {BinaryOp::Mul, 10};
+  case TokenKind::Slash:
+    return {BinaryOp::Div, 10};
+  case TokenKind::Percent:
+    return {BinaryOp::Rem, 10};
+  case TokenKind::Plus:
+    return {BinaryOp::Add, 9};
+  case TokenKind::Minus:
+    return {BinaryOp::Sub, 9};
+  case TokenKind::LessLess:
+    return {BinaryOp::Shl, 8};
+  case TokenKind::GreaterGreater:
+    return {BinaryOp::Shr, 8};
+  case TokenKind::Less:
+    return {BinaryOp::Lt, 7};
+  case TokenKind::LessEqual:
+    return {BinaryOp::Le, 7};
+  case TokenKind::Greater:
+    return {BinaryOp::Gt, 7};
+  case TokenKind::GreaterEqual:
+    return {BinaryOp::Ge, 7};
+  case TokenKind::EqualEqual:
+    return {BinaryOp::Eq, 6};
+  case TokenKind::BangEqual:
+    return {BinaryOp::Ne, 6};
+  case TokenKind::Amp:
+    return {BinaryOp::And, 5};
+  case TokenKind::Caret:
+    return {BinaryOp::Xor, 4};
+  case TokenKind::Pipe:
+    return {BinaryOp::Or, 3};
+  case TokenKind::AmpAmp:
+    return {BinaryOp::LogicalAnd, 2};
+  case TokenKind::PipePipe:
+    return {BinaryOp::LogicalOr, 1};
+  default:
+    return {BinaryOp::Add, -1};
+  }
+}
+
+std::unique_ptr<Expr> Parser::parseExpr() {
+  auto LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  return parseBinaryRHS(1, std::move(LHS));
+}
+
+std::unique_ptr<Expr> Parser::parseBinaryRHS(int MinPrec,
+                                             std::unique_ptr<Expr> LHS) {
+  for (;;) {
+    BinOpInfo Info = binOpInfo(Tok.Kind);
+    if (Info.Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    auto RHS = parseUnary();
+    if (!RHS)
+      return LHS;
+    BinOpInfo Next = binOpInfo(Tok.Kind);
+    if (Next.Prec > Info.Prec)
+      RHS = parseBinaryRHS(Info.Prec + 1, std::move(RHS));
+    LHS = std::make_unique<BinaryExpr>(Info.Op, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+}
+
+std::unique_ptr<Expr> Parser::parseUnary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::Minus:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  case TokenKind::Bang:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::LogicalNot, parseUnary(),
+                                       Loc);
+  case TokenKind::Tilde:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::BitNot, parseUnary(), Loc);
+  case TokenKind::Star:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::Deref, parseUnary(), Loc);
+  case TokenKind::Amp:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::AddrOf, parseUnary(), Loc);
+  default:
+    return parsePostfix();
+  }
+}
+
+std::unique_ptr<Expr> Parser::parsePostfix() {
+  auto E = parsePrimary();
+  while (E && Tok.is(TokenKind::LBracket)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    auto Index = parseExpr();
+    expect(TokenKind::RBracket, "after subscript");
+    E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+  }
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parsePrimary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral: {
+    int64_t Value = Tok.IntValue;
+    consume();
+    return std::make_unique<IntLiteralExpr>(Value, Loc);
+  }
+  case TokenKind::LParen: {
+    consume();
+    auto E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  case TokenKind::Identifier: {
+    std::string Name = Tok.Text;
+    consume();
+    if (Tok.is(TokenKind::LParen)) {
+      // Call: builtin or user function.
+      consume();
+      std::vector<std::unique_ptr<Expr>> Args;
+      if (!Tok.is(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      if (Name == "print")
+        return std::make_unique<CallExpr>(nullptr, BuiltinKind::Print,
+                                          std::move(Args), Loc);
+      FunctionDecl *Callee = TU->findFunction(Name);
+      if (!Callee && CurFunction && CurFunction->name() == Name)
+        Callee = CurFunction;
+      if (!Callee) {
+        Diags.error(Loc, formatString("call to undeclared function '%s'",
+                                      Name.c_str()));
+        return std::make_unique<IntLiteralExpr>(0, Loc);
+      }
+      return std::make_unique<CallExpr>(Callee, BuiltinKind::None,
+                                        std::move(Args), Loc);
+    }
+    VarDecl *Decl = lookupVar(Name);
+    if (!Decl) {
+      Diags.error(Loc,
+                  formatString("use of undeclared variable '%s'",
+                               Name.c_str()));
+      return std::make_unique<IntLiteralExpr>(0, Loc);
+    }
+    return std::make_unique<VarRefExpr>(Decl, Loc);
+  }
+  default:
+    Diags.error(Loc, formatString("expected expression, found %s",
+                                  tokenKindName(Tok.Kind)));
+    return nullptr;
+  }
+}
+
+std::unique_ptr<TranslationUnit> urcm::parseMC(const std::string &Source,
+                                               DiagnosticEngine &Diags) {
+  Parser P(Source, Diags);
+  return P.parse();
+}

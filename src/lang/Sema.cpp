@@ -1,0 +1,348 @@
+//===- Sema.cpp - MC semantic analysis ------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/Sema.h"
+
+#include "urcm/lang/Parser.h"
+#include "urcm/support/StringUtils.h"
+
+using namespace urcm;
+
+namespace {
+
+/// Array-to-pointer decay: the type an expression has when used as an
+/// r-value word.
+Type decayed(Type T) { return T.isArray() ? Type::pointerTy() : T; }
+
+class SemaVisitor {
+public:
+  SemaVisitor(TranslationUnit &TU, DiagnosticEngine &Diags)
+      : TU(TU), Diags(Diags) {}
+
+  bool run() {
+    for (const auto &F : TU.functions())
+      checkFunction(*F);
+    if (const FunctionDecl *Main = TU.findFunction("main")) {
+      if (!Main->params().empty())
+        Diags.error(Main->loc(), "'main' must take no parameters");
+    } else {
+      Diags.error(SourceLoc(), "program has no 'main' function");
+    }
+    return !Diags.hasErrors();
+  }
+
+private:
+  void checkFunction(FunctionDecl &F) {
+    CurFunction = &F;
+    for (const auto &P : F.params())
+      if (!P->type().isScalar())
+        Diags.error(P->loc(), "parameters must be int or int*");
+    if (F.body())
+      checkStmt(*F.body());
+    CurFunction = nullptr;
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      for (const auto &Child : cast<BlockStmt>(&S)->stmts())
+        checkStmt(*Child);
+      return;
+    case Stmt::Kind::Decl: {
+      VarDecl *D = cast<DeclStmt>(&S)->decl();
+      if (Expr *Init = D->init()) {
+        Type Ty = checkExpr(*Init);
+        if (!assignable(D->type(), Ty))
+          Diags.error(S.loc(),
+                      formatString("cannot initialize '%s' of type %s "
+                                   "with value of type %s",
+                                   D->name().c_str(),
+                                   D->type().str().c_str(),
+                                   Ty.str().c_str()));
+      }
+      return;
+    }
+    case Stmt::Kind::Expr: {
+      Expr *E = cast<ExprStmt>(&S)->expr();
+      checkExpr(*E);
+      if (!isa<CallExpr>(E))
+        Diags.warning(S.loc(), "expression statement has no effect");
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(&S);
+      Type LHS = checkExpr(*A->lhs());
+      Type RHS = checkExpr(*A->rhs());
+      if (!isLValue(*A->lhs()))
+        Diags.error(S.loc(), "left side of assignment is not an l-value");
+      else if (LHS.isArray())
+        Diags.error(S.loc(), "cannot assign to an array");
+      else if (!assignable(LHS, RHS))
+        Diags.error(S.loc(),
+                    formatString("cannot assign value of type %s to %s",
+                                 RHS.str().c_str(), LHS.str().c_str()));
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(&S);
+      checkCondition(*I->cond());
+      checkStmt(*I->thenStmt());
+      if (I->elseStmt())
+        checkStmt(*I->elseStmt());
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(&S);
+      checkCondition(*W->cond());
+      ++LoopDepth;
+      checkStmt(*W->body());
+      --LoopDepth;
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      auto *W = cast<DoWhileStmt>(&S);
+      ++LoopDepth;
+      checkStmt(*W->body());
+      --LoopDepth;
+      checkCondition(*W->cond());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(&S);
+      if (F->init())
+        checkStmt(*F->init());
+      if (F->cond())
+        checkCondition(*F->cond());
+      if (F->step())
+        checkStmt(*F->step());
+      ++LoopDepth;
+      checkStmt(*F->body());
+      --LoopDepth;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(&S);
+      Type Want = CurFunction->returnType();
+      if (R->value()) {
+        Type Got = checkExpr(*R->value());
+        if (Want.isVoid())
+          Diags.error(S.loc(), "void function cannot return a value");
+        else if (!assignable(Want, Got))
+          Diags.error(S.loc(),
+                      formatString("return type mismatch: expected %s, "
+                                   "got %s",
+                                   Want.str().c_str(), Got.str().c_str()));
+      } else if (!Want.isVoid()) {
+        Diags.error(S.loc(), "non-void function must return a value");
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (LoopDepth == 0)
+        Diags.error(S.loc(), "'break' outside of a loop");
+      return;
+    case Stmt::Kind::Continue:
+      if (LoopDepth == 0)
+        Diags.error(S.loc(), "'continue' outside of a loop");
+      return;
+    }
+  }
+
+  void checkCondition(Expr &E) {
+    Type Ty = checkExpr(E);
+    if (!decayed(Ty).isScalar())
+      Diags.error(E.loc(), "condition must be a scalar value");
+  }
+
+  /// True if \p E denotes a storage location.
+  static bool isLValue(const Expr &E) {
+    if (const auto *V = dyn_cast<VarRefExpr>(&E))
+      return !V->decl()->type().isVoid();
+    if (isa<IndexExpr>(&E))
+      return true;
+    if (const auto *U = dyn_cast<UnaryExpr>(&E))
+      return U->op() == UnaryOp::Deref;
+    return false;
+  }
+
+  /// True if a value of type \p From can be stored into storage of type
+  /// \p To (with decay).
+  static bool assignable(Type To, Type From) {
+    From = decayed(From);
+    if (To.isInt())
+      return From.isInt();
+    if (To.isPointer())
+      return From.isPointer();
+    return false;
+  }
+
+  Type checkExpr(Expr &E) {
+    Type Ty = computeType(E);
+    E.setType(Ty);
+    return Ty;
+  }
+
+  Type computeType(Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLiteral:
+      return Type::intTy();
+    case Expr::Kind::VarRef:
+      return cast<VarRefExpr>(&E)->decl()->type();
+    case Expr::Kind::Unary:
+      return checkUnary(*cast<UnaryExpr>(&E));
+    case Expr::Kind::Binary:
+      return checkBinary(*cast<BinaryExpr>(&E));
+    case Expr::Kind::Index: {
+      auto *I = cast<IndexExpr>(&E);
+      Type Base = checkExpr(*I->base());
+      Type Index = checkExpr(*I->index());
+      if (!Base.isArray() && !Base.isPointer())
+        Diags.error(E.loc(), "subscripted value is not an array or pointer");
+      if (!Index.isInt())
+        Diags.error(E.loc(), "array subscript must be an int");
+      return Type::intTy();
+    }
+    case Expr::Kind::Call:
+      return checkCall(*cast<CallExpr>(&E));
+    }
+    return Type::intTy();
+  }
+
+  Type checkUnary(UnaryExpr &U) {
+    Type Operand = checkExpr(*U.operand());
+    switch (U.op()) {
+    case UnaryOp::Neg:
+    case UnaryOp::LogicalNot:
+    case UnaryOp::BitNot:
+      if (!decayed(Operand).isInt())
+        Diags.error(U.loc(), "operand must be an int");
+      return Type::intTy();
+    case UnaryOp::Deref:
+      if (!decayed(Operand).isPointer())
+        Diags.error(U.loc(), "cannot dereference a non-pointer");
+      return Type::intTy();
+    case UnaryOp::AddrOf: {
+      Expr *Inner = U.operand();
+      if (auto *V = dyn_cast<VarRefExpr>(Inner)) {
+        // Taking the address of a scalar makes it potentially aliased
+        // through any pointer: the frontend half of the paper's
+        // ambiguity classification.
+        if (V->decl()->type().isScalar())
+          V->decl()->setAddressTaken();
+      } else if (!isLValue(*Inner)) {
+        Diags.error(U.loc(), "cannot take the address of an r-value");
+      }
+      return Type::pointerTy();
+    }
+    }
+    return Type::intTy();
+  }
+
+  Type checkBinary(BinaryExpr &B) {
+    Type L = decayed(checkExpr(*B.lhs()));
+    Type R = decayed(checkExpr(*B.rhs()));
+    switch (B.op()) {
+    case BinaryOp::Add:
+      if (L.isPointer() && R.isInt())
+        return Type::pointerTy();
+      if (L.isInt() && R.isPointer())
+        return Type::pointerTy();
+      if (L.isInt() && R.isInt())
+        return Type::intTy();
+      break;
+    case BinaryOp::Sub:
+      if (L.isPointer() && R.isInt())
+        return Type::pointerTy();
+      if (L.isPointer() && R.isPointer())
+        return Type::intTy();
+      if (L.isInt() && R.isInt())
+        return Type::intTy();
+      break;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Rem:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+    case BinaryOp::Xor:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (L.isInt() && R.isInt())
+        return Type::intTy();
+      break;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if ((L.isInt() && R.isInt()) || (L.isPointer() && R.isPointer()))
+        return Type::intTy();
+      break;
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      if (L.isScalar() && R.isScalar())
+        return Type::intTy();
+      break;
+    }
+    Diags.error(B.loc(), formatString("invalid operands to binary "
+                                      "operator: %s and %s",
+                                      L.str().c_str(), R.str().c_str()));
+    return Type::intTy();
+  }
+
+  Type checkCall(CallExpr &C) {
+    std::vector<Type> ArgTypes;
+    for (const auto &A : C.args())
+      ArgTypes.push_back(checkExpr(*A));
+
+    if (C.builtin() == BuiltinKind::Print) {
+      if (ArgTypes.size() != 1 || !decayed(ArgTypes[0]).isInt())
+        Diags.error(C.loc(), "print takes exactly one int argument");
+      return Type::voidTy();
+    }
+
+    FunctionDecl *Callee = C.callee();
+    if (ArgTypes.size() != Callee->params().size()) {
+      Diags.error(C.loc(),
+                  formatString("call to '%s' with %zu arguments; expected "
+                               "%zu",
+                               Callee->name().c_str(), ArgTypes.size(),
+                               Callee->params().size()));
+      return Callee->returnType();
+    }
+    for (size_t I = 0, E = ArgTypes.size(); I != E; ++I)
+      if (!assignable(Callee->params()[I]->type(), ArgTypes[I]))
+        Diags.error(C.args()[I]->loc(),
+                    formatString("argument %zu to '%s' has type %s; "
+                                 "expected %s",
+                                 I + 1, Callee->name().c_str(),
+                                 ArgTypes[I].str().c_str(),
+                                 Callee->params()[I]->type().str().c_str()));
+    return Callee->returnType();
+  }
+
+  TranslationUnit &TU;
+  DiagnosticEngine &Diags;
+  FunctionDecl *CurFunction = nullptr;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace
+
+bool urcm::analyze(TranslationUnit &TU, DiagnosticEngine &Diags) {
+  SemaVisitor V(TU, Diags);
+  return V.run();
+}
+
+std::unique_ptr<TranslationUnit>
+urcm::parseAndAnalyze(const std::string &Source, DiagnosticEngine &Diags) {
+  auto TU = parseMC(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  if (!analyze(*TU, Diags))
+    return nullptr;
+  return TU;
+}

@@ -1,0 +1,289 @@
+//===- Cache.cpp - Data cache model -------------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/Cache.h"
+
+#include "urcm/support/StringUtils.h"
+
+#include <cassert>
+
+using namespace urcm;
+
+const char *urcm::writePolicyName(WritePolicy Policy) {
+  switch (Policy) {
+  case WritePolicy::WriteBack:
+    return "write-back";
+  case WritePolicy::WriteThrough:
+    return "write-through";
+  }
+  return "?";
+}
+
+const char *urcm::replacementPolicyName(ReplacementPolicy Policy) {
+  switch (Policy) {
+  case ReplacementPolicy::LRU:
+    return "LRU";
+  case ReplacementPolicy::FIFO:
+    return "FIFO";
+  case ReplacementPolicy::Random:
+    return "Random";
+  }
+  return "?";
+}
+
+std::string CacheStats::str() const {
+  return formatString(
+      "refs=%llu hits=%llu (%.2f%%) fills=%llu wb=%llu deadfree=%llu "
+      "wbAvoided=%llu bypassR=%llu bypassW=%llu cacheTraffic=%llu "
+      "busTraffic=%llu",
+      static_cast<unsigned long long>(Reads + Writes),
+      static_cast<unsigned long long>(ReadHits + WriteHits),
+      hitRate() * 100.0, static_cast<unsigned long long>(Fills),
+      static_cast<unsigned long long>(WriteBacks),
+      static_cast<unsigned long long>(DeadFrees),
+      static_cast<unsigned long long>(DeadWriteBacksAvoided),
+      static_cast<unsigned long long>(BypassReads),
+      static_cast<unsigned long long>(BypassWrites),
+      static_cast<unsigned long long>(cacheTraffic()),
+      static_cast<unsigned long long>(busTraffic()));
+}
+
+uint64_t urcm::memoryAccessCycles(const CacheStats &Stats,
+                                  const LatencyModel &Model) {
+  // Every through-cache reference pays the hit latency (misses pay it
+  // on top of the transfer); every bus word pays the memory latency.
+  return (Stats.Reads + Stats.Writes) * Model.CacheHitCycles +
+         Stats.busTraffic() * Model.MemoryCycles;
+}
+
+DataCache::DataCache(const CacheConfig &Config, MainMemory &Mem)
+    : Config(Config), Mem(Mem), Rng(Config.Seed) {
+  assert(Config.NumLines > 0 && "cache must have lines");
+  assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
+         "associativity must divide the line count");
+  assert(Config.LineWords > 0 && "line size must be positive");
+  Lines.resize(Config.NumLines);
+  for (Line &L : Lines)
+    L.Data.assign(Config.LineWords, 0);
+}
+
+DataCache::Line *DataCache::findLine(uint64_t LineAddress) {
+  uint32_t Set = setOf(LineAddress);
+  for (uint32_t Way = 0; Way != Config.Assoc; ++Way) {
+    Line &L = Lines[static_cast<size_t>(Set) * Config.Assoc + Way];
+    if (L.Valid && L.Tag == LineAddress)
+      return &L;
+  }
+  return nullptr;
+}
+
+const DataCache::Line *DataCache::findLine(uint64_t LineAddress) const {
+  return const_cast<DataCache *>(this)->findLine(LineAddress);
+}
+
+bool DataCache::probe(uint64_t Addr) const {
+  return findLine(lineAddr(Addr)) != nullptr;
+}
+
+DataCache::Line *DataCache::chooseVictim(uint32_t Set) {
+  Line *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
+  for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
+    if (!Base[Way].Valid)
+      return &Base[Way];
+
+  switch (Config.Policy) {
+  case ReplacementPolicy::LRU: {
+    Line *Victim = Base;
+    for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
+      if (Base[Way].LastUsed < Victim->LastUsed)
+        Victim = &Base[Way];
+    return Victim;
+  }
+  case ReplacementPolicy::FIFO: {
+    Line *Victim = Base;
+    for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
+      if (Base[Way].InsertedAt < Victim->InsertedAt)
+        Victim = &Base[Way];
+    return Victim;
+  }
+  case ReplacementPolicy::Random:
+    return &Base[Rng.nextBelow(Config.Assoc)];
+  }
+  return Base;
+}
+
+void DataCache::evict(Line &L, bool CountAsFlush) {
+  if (!L.Valid)
+    return;
+  if (L.Dirty) {
+    for (uint32_t W = 0; W != Config.LineWords; ++W)
+      Mem.write(L.Tag * Config.LineWords + W, L.Data[W]);
+    if (CountAsFlush) {
+      Stats.FlushWriteBackWords += Config.LineWords;
+    } else {
+      ++Stats.WriteBacks;
+      Stats.WriteBackWords += Config.LineWords;
+    }
+  }
+  if (!CountAsFlush)
+    ++Stats.Evictions;
+  L.Valid = false;
+  L.Dirty = false;
+}
+
+DataCache::Line *DataCache::allocate(uint64_t LineAddress, bool FetchWords) {
+  Line *Victim = chooseVictim(setOf(LineAddress));
+  evict(*Victim);
+  Victim->Valid = true;
+  Victim->Dirty = false;
+  Victim->Tag = LineAddress;
+  Victim->InsertedAt = ++Tick;
+  if (FetchWords) {
+    for (uint32_t W = 0; W != Config.LineWords; ++W)
+      Victim->Data[W] = Mem.read(LineAddress * Config.LineWords + W);
+    ++Stats.Fills;
+    Stats.FillWords += Config.LineWords;
+  } else {
+    // One-word write-allocate: the store overwrites the whole line, so
+    // no fetch is necessary. The data slot is filled by the caller.
+    ++Stats.Fills;
+  }
+  touch(*Victim);
+  return Victim;
+}
+
+void DataCache::freeLine(Line &L, bool AvoidWriteBack) {
+  ++Stats.DeadFrees;
+  if (Config.LineWords == 1) {
+    if (L.Dirty && AvoidWriteBack)
+      ++Stats.DeadWriteBacksAvoided;
+    else if (L.Dirty)
+      evict(L);
+    L.Valid = false;
+    L.Dirty = false;
+    return;
+  }
+  // Multi-word lines: other words in the line may still be live, so the
+  // line is only demoted to least-recently-used (paper's alternative).
+  L.LastUsed = 0;
+  L.InsertedAt = 0;
+}
+
+int64_t DataCache::read(uint64_t Addr, const MemRefInfo &Info) {
+  uint64_t LineAddress = lineAddr(Addr);
+  uint32_t WordInLine = static_cast<uint32_t>(Addr % Config.LineWords);
+
+  if (Info.Bypass) {
+    // UmAm_LOAD: probe; a hit migrates the value to the register and
+    // frees the line. A dirty line is written back first: the paper's
+    // drop-without-write-back is only sound when the register allocator
+    // guarantees a UmAm_STORE precedes the next load of the location,
+    // and mixed policies (ReuseAware: cached in one function, bypassed
+    // in another) break that guarantee — the paranoid shadow check in
+    // the simulator caught exactly this. A miss reads memory directly,
+    // leaving the cache untouched.
+    if (Line *L = findLine(LineAddress)) {
+      int64_t Value = L->Data[WordInLine];
+      ++Stats.BypassHitMigrations;
+      if (Config.LineWords == 1) {
+        ++Stats.DeadFrees;
+        if (L->Dirty)
+          evict(*L);
+        L->Valid = false;
+        L->Dirty = false;
+      } else {
+        // Multi-word lines cannot be dropped safely; write back and
+        // invalidate instead.
+        evict(*L);
+      }
+      return Value;
+    }
+    ++Stats.BypassReads;
+    return Mem.read(Addr);
+  }
+
+  ++Stats.Reads;
+  Line *L = findLine(LineAddress);
+  if (L) {
+    ++Stats.ReadHits;
+    touch(*L);
+  } else {
+    L = allocate(LineAddress, /*FetchWords=*/true);
+  }
+  int64_t Value = L->Data[WordInLine];
+  if (Info.LastRef)
+    freeLine(*L, /*AvoidWriteBack=*/true);
+  return Value;
+}
+
+void DataCache::write(uint64_t Addr, int64_t Value, const MemRefInfo &Info) {
+  uint64_t LineAddress = lineAddr(Addr);
+  uint32_t WordInLine = static_cast<uint32_t>(Addr % Config.LineWords);
+
+  if (Info.Bypass) {
+    // UmAm_STORE: straight to memory. A stale cached copy should not
+    // exist under the compiler contract; if one does, keep it coherent.
+    ++Stats.BypassWrites;
+    Mem.write(Addr, Value);
+    if (Line *L = findLine(LineAddress))
+      L->Data[WordInLine] = Value;
+    return;
+  }
+
+  ++Stats.Writes;
+  Line *L = findLine(LineAddress);
+
+  if (Config.Write == WritePolicy::WriteThrough) {
+    // Write-through / no-write-allocate: memory always gets the word;
+    // the cache is only updated on a hit. Lines are never dirty.
+    Mem.write(Addr, Value);
+    ++Stats.WriteThroughWords;
+    if (L) {
+      ++Stats.WriteHits;
+      touch(*L);
+      L->Data[WordInLine] = Value;
+      if (Info.LastRef)
+        freeLine(*L, /*AvoidWriteBack=*/true);
+    }
+    return;
+  }
+
+  if (L) {
+    ++Stats.WriteHits;
+    touch(*L);
+  } else {
+    // Write-allocate. One-word lines skip the fetch (fully overwritten).
+    L = allocate(LineAddress, /*FetchWords=*/Config.LineWords > 1);
+  }
+  L->Data[WordInLine] = Value;
+  L->Dirty = true;
+  if (Info.LastRef) {
+    // Dead store: the value will never be read; the line is reclaimable
+    // immediately and the memory copy need not be produced.
+    freeLine(*L, /*AvoidWriteBack=*/true);
+  }
+}
+
+void DataCache::flush() {
+  for (Line &L : Lines)
+    evict(L, /*CountAsFlush=*/true);
+}
+
+void DataCache::invalidateRange(uint64_t Lo, uint64_t Hi) {
+  for (Line &L : Lines) {
+    if (!L.Valid)
+      continue;
+    uint64_t First = L.Tag * Config.LineWords;
+    uint64_t Last = First + Config.LineWords;
+    if (First >= Lo && Last <= Hi) {
+      if (L.Dirty)
+        evict(L);
+      L.Valid = false;
+      L.Dirty = false;
+      ++Stats.DeadFrees;
+    }
+  }
+}

@@ -1,0 +1,154 @@
+//===- Occupancy.cpp - Dead cache-occupancy analysis ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/Occupancy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace urcm;
+
+namespace {
+
+/// Per-line-address event history for liveness queries: sorted event
+/// indexes of through-cache reads and writes.
+struct LineHistory {
+  std::vector<uint64_t> Reads;
+  std::vector<uint64_t> Writes;
+};
+
+/// True if line \p LA is dead at time \p Now: no through-cache read of
+/// it happens after Now before its next overwrite (or ever).
+bool isDeadAt(const std::unordered_map<uint64_t, LineHistory> &History,
+              uint64_t LA, uint64_t Now) {
+  auto It = History.find(LA);
+  if (It == History.end())
+    return true;
+  const LineHistory &H = It->second;
+  auto NextRead =
+      std::upper_bound(H.Reads.begin(), H.Reads.end(), Now);
+  if (NextRead == H.Reads.end())
+    return true; // Never read again.
+  auto NextWrite =
+      std::upper_bound(H.Writes.begin(), H.Writes.end(), Now);
+  if (NextWrite == H.Writes.end())
+    return false; // Read again, never overwritten first.
+  return *NextWrite < *NextRead; // Overwritten before the next read.
+}
+
+/// Minimal LRU cache that only tracks resident tags.
+class TagCache {
+public:
+  explicit TagCache(const CacheConfig &Config) : Config(Config) {
+    Valid.assign(Config.NumLines, false);
+    Tag.assign(Config.NumLines, 0);
+    LastUsed.assign(Config.NumLines, 0);
+  }
+
+  /// Accesses line \p LA (through-cache). Installs on miss.
+  void access(uint64_t LA) {
+    ++Tick;
+    if (int32_t Way = find(LA); Way >= 0) {
+      LastUsed[Way] = Tick;
+      return;
+    }
+    uint32_t Set = setOf(LA);
+    uint32_t Victim = Set * Config.Assoc;
+    for (uint32_t W = Set * Config.Assoc;
+         W != (Set + 1) * Config.Assoc; ++W) {
+      if (!Valid[W]) {
+        Victim = W;
+        break;
+      }
+      if (LastUsed[W] < LastUsed[Victim])
+        Victim = W;
+    }
+    Valid[Victim] = true;
+    Tag[Victim] = LA;
+    LastUsed[Victim] = Tick;
+  }
+
+  /// Frees the line holding \p LA if resident (dead tag / migration).
+  void invalidate(uint64_t LA) {
+    if (int32_t Way = find(LA); Way >= 0)
+      Valid[Way] = false;
+  }
+
+  template <typename Callback> void forEachResident(Callback Visit) const {
+    for (uint32_t W = 0; W != Config.NumLines; ++W)
+      if (Valid[W])
+        Visit(Tag[W]);
+  }
+
+private:
+  uint32_t numSets() const { return Config.NumLines / Config.Assoc; }
+  uint32_t setOf(uint64_t LA) const {
+    return static_cast<uint32_t>(LA % numSets());
+  }
+  int32_t find(uint64_t LA) const {
+    uint32_t Set = setOf(LA);
+    for (uint32_t W = Set * Config.Assoc;
+         W != (Set + 1) * Config.Assoc; ++W)
+      if (Valid[W] && Tag[W] == LA)
+        return static_cast<int32_t>(W);
+    return -1;
+  }
+
+  CacheConfig Config;
+  std::vector<bool> Valid;
+  std::vector<uint64_t> Tag;
+  std::vector<uint64_t> LastUsed;
+  uint64_t Tick = 0;
+};
+
+} // namespace
+
+OccupancyStats
+urcm::analyzeDeadOccupancy(const std::vector<TraceEvent> &Trace,
+                           const CacheConfig &Config,
+                           uint64_t SampleInterval) {
+  OccupancyStats Stats;
+  if (SampleInterval == 0)
+    SampleInterval = 1;
+
+  // Pass 1: per-line read/write history (through-cache accesses only —
+  // bypassed references never occupy lines).
+  std::unordered_map<uint64_t, LineHistory> History;
+  for (uint64_t Index = 0; Index != Trace.size(); ++Index) {
+    const TraceEvent &E = Trace[Index];
+    if (E.Info.Bypass)
+      continue;
+    uint64_t LA = E.Addr / Config.LineWords;
+    LineHistory &H = History[LA];
+    (E.IsWrite ? H.Writes : H.Reads).push_back(Index);
+  }
+
+  // Pass 2: replay with an LRU tag cache, honoring the hint bits, and
+  // sample dead residency.
+  TagCache Cache(Config);
+  for (uint64_t Index = 0; Index != Trace.size(); ++Index) {
+    const TraceEvent &E = Trace[Index];
+    uint64_t LA = E.Addr / Config.LineWords;
+    if (E.Info.Bypass) {
+      if (!E.IsWrite)
+        Cache.invalidate(LA); // UmAm_LOAD migration frees a hit.
+    } else {
+      Cache.access(LA);
+      if (E.Info.LastRef && Config.LineWords == 1)
+        Cache.invalidate(LA);
+    }
+
+    if (Index % SampleInterval == 0) {
+      ++Stats.Samples;
+      Cache.forEachResident([&](uint64_t ResidentLA) {
+        ++Stats.ResidentLineSamples;
+        if (isDeadAt(History, ResidentLA, Index))
+          ++Stats.DeadLineSamples;
+      });
+    }
+  }
+  return Stats;
+}

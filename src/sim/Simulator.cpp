@@ -1,0 +1,226 @@
+//===- Simulator.cpp - URCM-RISC simulator ------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/Simulator.h"
+
+#include "urcm/support/StringUtils.h"
+
+#include <array>
+#include <memory>
+
+using namespace urcm;
+
+SimResult Simulator::run(const MachineProgram &Prog) {
+  SimResult Result;
+  MainMemory Mem(Prog.StackTop + 64);
+  DataCache Cache(Config.Cache, Mem);
+
+  // Optional instruction cache: tag-only simulation over code indexes.
+  std::unique_ptr<MainMemory> IMem;
+  std::unique_ptr<DataCache> ICache;
+  if (Config.ModelICache) {
+    IMem = std::make_unique<MainMemory>(Prog.Code.size() + 64);
+    ICache = std::make_unique<DataCache>(Config.ICache, *IMem);
+  }
+  const MemRefInfo PlainFetch;
+
+  std::array<int64_t, mreg::NumRegs> R{};
+  uint64_t PC = Prog.EntryIndex;
+  int LastBypassBit = -1;
+
+  auto Fail = [&](std::string Message) {
+    Result.Error = std::move(Message);
+  };
+
+  auto CountRef = [&](const MemRefInfo &Info, bool IsWrite,
+                      uint64_t Addr) {
+    switch (Info.Class) {
+    case RefClass::Unambiguous:
+      ++Result.Refs.Unambiguous;
+      break;
+    case RefClass::Ambiguous:
+      ++Result.Refs.Ambiguous;
+      break;
+    case RefClass::Spill:
+    case RefClass::SpillReload:
+      ++Result.Refs.Spill;
+      break;
+    case RefClass::Unknown:
+      ++Result.Refs.Unknown;
+      break;
+    }
+    if (Info.Bypass)
+      ++Result.Refs.Bypassed;
+    if (Info.LastRef)
+      ++Result.Refs.LastRefTagged;
+    int Bit = Info.Bypass ? 1 : 0;
+    if (LastBypassBit >= 0 && Bit != LastBypassBit)
+      ++Result.BypassTransitions;
+    LastBypassBit = Bit;
+    if (Config.RecordTrace)
+      Result.Trace.push_back(TraceEvent{Addr, IsWrite, Info});
+  };
+
+  while (Result.Steps < Config.MaxSteps) {
+    if (PC >= Prog.Code.size()) {
+      Fail(formatString("PC %llu outside program",
+                        static_cast<unsigned long long>(PC)));
+      break;
+    }
+    const MInst &I = Prog.Code[PC];
+    ++Result.Steps;
+    if (ICache) {
+      ++Result.InstructionFetches;
+      ICache->read(PC, PlainFetch);
+    }
+    uint64_t NextPC = PC + 1;
+
+    auto Src2 = [&]() { return I.UseImm ? I.Imm : R[I.Rs2]; };
+
+    switch (I.Op) {
+    case MOpcode::Add:
+      R[I.Rd] = R[I.Rs1] + Src2();
+      break;
+    case MOpcode::Sub:
+      R[I.Rd] = R[I.Rs1] - Src2();
+      break;
+    case MOpcode::Mul:
+      R[I.Rd] = R[I.Rs1] * Src2();
+      break;
+    case MOpcode::Div: {
+      int64_t D = Src2();
+      if (D == 0) {
+        Fail("division by zero");
+        break;
+      }
+      R[I.Rd] = R[I.Rs1] / D;
+      break;
+    }
+    case MOpcode::Rem: {
+      int64_t D = Src2();
+      if (D == 0) {
+        Fail("remainder by zero");
+        break;
+      }
+      R[I.Rd] = R[I.Rs1] % D;
+      break;
+    }
+    case MOpcode::And:
+      R[I.Rd] = R[I.Rs1] & Src2();
+      break;
+    case MOpcode::Or:
+      R[I.Rd] = R[I.Rs1] | Src2();
+      break;
+    case MOpcode::Xor:
+      R[I.Rd] = R[I.Rs1] ^ Src2();
+      break;
+    case MOpcode::Shl:
+      R[I.Rd] = R[I.Rs1] << (Src2() & 63);
+      break;
+    case MOpcode::Shr:
+      R[I.Rd] = R[I.Rs1] >> (Src2() & 63);
+      break;
+    case MOpcode::Slt:
+      R[I.Rd] = R[I.Rs1] < Src2();
+      break;
+    case MOpcode::Sle:
+      R[I.Rd] = R[I.Rs1] <= Src2();
+      break;
+    case MOpcode::Sgt:
+      R[I.Rd] = R[I.Rs1] > Src2();
+      break;
+    case MOpcode::Sge:
+      R[I.Rd] = R[I.Rs1] >= Src2();
+      break;
+    case MOpcode::Seq:
+      R[I.Rd] = R[I.Rs1] == Src2();
+      break;
+    case MOpcode::Sne:
+      R[I.Rd] = R[I.Rs1] != Src2();
+      break;
+    case MOpcode::Neg:
+      R[I.Rd] = -R[I.Rs1];
+      break;
+    case MOpcode::Not:
+      R[I.Rd] = ~R[I.Rs1];
+      break;
+    case MOpcode::Mov:
+      R[I.Rd] = R[I.Rs1];
+      break;
+    case MOpcode::Li:
+      R[I.Rd] = I.Imm;
+      break;
+    case MOpcode::Ld: {
+      int64_t Base = I.Rs1 == mreg::None ? 0 : R[I.Rs1];
+      int64_t EA = Base + I.Imm;
+      if (EA < 0 || static_cast<uint64_t>(EA) >= Mem.size()) {
+        Fail(formatString("load address %lld out of range",
+                          static_cast<long long>(EA)));
+        break;
+      }
+      uint64_t Addr = static_cast<uint64_t>(EA);
+      CountRef(I.MemInfo, /*IsWrite=*/false, Addr);
+      int64_t Value = Cache.read(Addr, I.MemInfo);
+      if (Config.Paranoid && Value != Mem.shadowRead(Addr))
+        ++Result.CoherenceViolations;
+      R[I.Rd] = Value;
+      break;
+    }
+    case MOpcode::St: {
+      int64_t Base = I.Rs1 == mreg::None ? 0 : R[I.Rs1];
+      int64_t EA = Base + I.Imm;
+      if (EA < 0 || static_cast<uint64_t>(EA) >= Mem.size()) {
+        Fail(formatString("store address %lld out of range",
+                          static_cast<long long>(EA)));
+        break;
+      }
+      uint64_t Addr = static_cast<uint64_t>(EA);
+      CountRef(I.MemInfo, /*IsWrite=*/true, Addr);
+      Cache.write(Addr, R[I.Rs2], I.MemInfo);
+      Mem.shadowWrite(Addr, R[I.Rs2]);
+      break;
+    }
+    case MOpcode::Jmp:
+      NextPC = I.Target;
+      break;
+    case MOpcode::Bnz:
+      if (R[I.Rs1] != 0)
+        NextPC = I.Target;
+      break;
+    case MOpcode::Call:
+      R[mreg::RA] = static_cast<int64_t>(PC + 1);
+      NextPC = I.Target;
+      break;
+    case MOpcode::Ret:
+      NextPC = static_cast<uint64_t>(R[mreg::RA]);
+      // Code-dead hint: this function never runs again; reclaim its
+      // I-cache lines.
+      if (I.CodeDeadHint && ICache)
+        ICache->invalidateRange(I.Target,
+                                I.Target + static_cast<uint64_t>(I.Imm));
+      break;
+    case MOpcode::Print:
+      Result.Output.push_back(R[I.Rs1]);
+      break;
+    case MOpcode::Halt:
+      Result.Halted = true;
+      break;
+    }
+
+    if (Result.Halted || !Result.Error.empty())
+      break;
+    PC = NextPC;
+  }
+
+  if (!Result.Halted && Result.Error.empty())
+    Result.Error = "step limit exceeded";
+
+  Cache.flush();
+  Result.Cache = Cache.stats();
+  if (ICache)
+    Result.ICache = ICache->stats();
+  return Result;
+}

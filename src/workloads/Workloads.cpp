@@ -1,0 +1,530 @@
+//===- Workloads.cpp - Paper benchmarks ----------------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/workloads/Workloads.h"
+
+using namespace urcm;
+
+namespace {
+
+// Bubble: bubble sort of 500 pseudo-random elements (paper: "executed on
+// a set of 500 random data"). The LCG is written in MC so the data is
+// identical everywhere. Prints an is-sorted flag (expected 1), the
+// first/last elements and a checksum.
+const char *BubbleSource = R"mc(
+int a[500];
+int n;
+
+void init() {
+  int i;
+  int seed = 12345;
+  for (i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed < 0) { seed = -seed; }
+    a[i] = seed % 10000;
+  }
+}
+
+void bubble() {
+  int i;
+  int j;
+  int t;
+  for (i = 0; i < n - 1; i = i + 1) {
+    for (j = 0; j < n - 1 - i; j = j + 1) {
+      if (a[j] > a[j + 1]) {
+        t = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+    }
+  }
+}
+
+int sorted() {
+  int i;
+  for (i = 0; i < n - 1; i = i + 1) {
+    if (a[i] > a[i + 1]) { return 0; }
+  }
+  return 1;
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < n; i = i + 1) {
+    sum = sum + a[i] * (i + 1);
+  }
+  return sum;
+}
+
+void main() {
+  n = 500;
+  init();
+  bubble();
+  print(sorted());
+  print(a[0]);
+  print(a[n - 1]);
+  print(checksum());
+}
+)mc";
+
+// Intmm: 40x40 integer matrix multiply (flattened 2-D arrays). Prints the
+// corner elements and the full checksum.
+const char *IntmmSource = R"mc(
+int ma[1600];
+int mb[1600];
+int mc[1600];
+
+void initmatrices() {
+  int i;
+  int j;
+  for (i = 0; i < 40; i = i + 1) {
+    for (j = 0; j < 40; j = j + 1) {
+      ma[i * 40 + j] = (i + 2 * j) % 100 - 50;
+      mb[i * 40 + j] = (3 * i + j) % 100 - 50;
+    }
+  }
+}
+
+void intmm() {
+  int i;
+  int j;
+  int k;
+  int sum;
+  for (i = 0; i < 40; i = i + 1) {
+    for (j = 0; j < 40; j = j + 1) {
+      sum = 0;
+      for (k = 0; k < 40; k = k + 1) {
+        sum = sum + ma[i * 40 + k] * mb[k * 40 + j];
+      }
+      mc[i * 40 + j] = sum;
+    }
+  }
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < 1600; i = i + 1) {
+    sum = sum + mc[i];
+  }
+  return sum;
+}
+
+void main() {
+  initmatrices();
+  intmm();
+  print(mc[0]);
+  print(mc[1599]);
+  print(checksum());
+}
+)mc";
+
+// Puzzle: Forest Baskett's 3-D packing puzzle (Stanford suite), size 511,
+// d = 8, 13 pieces in 4 classes. Recursion + heavy array traffic. Prints
+// the number of trial() activations (kount) and a success flag.
+const char *PuzzleSource = R"mc(
+int puzzl[512];
+int p[6656];
+int class[13];
+int piecemax[13];
+int piececount[4];
+int kount;
+
+int fit(int i, int j) {
+  int k;
+  for (k = 0; k <= piecemax[i]; k = k + 1) {
+    if (p[i * 512 + k]) {
+      if (puzzl[j + k]) { return 0; }
+    }
+  }
+  return 1;
+}
+
+int place(int i, int j) {
+  int k;
+  for (k = 0; k <= piecemax[i]; k = k + 1) {
+    if (p[i * 512 + k]) { puzzl[j + k] = 1; }
+  }
+  piececount[class[i]] = piececount[class[i]] - 1;
+  for (k = j; k <= 511; k = k + 1) {
+    if (!puzzl[k]) { return k; }
+  }
+  return 0;
+}
+
+void removepiece(int i, int j) {
+  int k;
+  for (k = 0; k <= piecemax[i]; k = k + 1) {
+    if (p[i * 512 + k]) { puzzl[j + k] = 0; }
+  }
+  piececount[class[i]] = piececount[class[i]] + 1;
+}
+
+int trial(int j) {
+  int i;
+  int k;
+  kount = kount + 1;
+  for (i = 0; i <= 12; i = i + 1) {
+    if (piececount[class[i]] != 0) {
+      if (fit(i, j)) {
+        k = place(i, j);
+        if (trial(k) || k == 0) {
+          return 1;
+        } else {
+          removepiece(i, j);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+void definepiece(int index, int cl, int di, int dj, int dk) {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i <= di; i = i + 1) {
+    for (j = 0; j <= dj; j = j + 1) {
+      for (k = 0; k <= dk; k = k + 1) {
+        p[index * 512 + i + 8 * (j + 8 * k)] = 1;
+      }
+    }
+  }
+  class[index] = cl;
+  piecemax[index] = di + 8 * (dj + 8 * dk);
+}
+
+void main() {
+  int i;
+  int j;
+  int k;
+  int m;
+  int n;
+
+  for (m = 0; m <= 511; m = m + 1) { puzzl[m] = 1; }
+  for (i = 1; i <= 5; i = i + 1) {
+    for (j = 1; j <= 5; j = j + 1) {
+      for (k = 1; k <= 5; k = k + 1) {
+        puzzl[i + 8 * (j + 8 * k)] = 0;
+      }
+    }
+  }
+  for (i = 0; i <= 12; i = i + 1) {
+    for (m = 0; m <= 511; m = m + 1) {
+      p[i * 512 + m] = 0;
+    }
+  }
+
+  definepiece(0, 0, 3, 1, 0);
+  definepiece(1, 0, 1, 0, 3);
+  definepiece(2, 0, 0, 3, 1);
+  definepiece(3, 0, 1, 3, 0);
+  definepiece(4, 0, 3, 0, 1);
+  definepiece(5, 0, 0, 1, 3);
+  definepiece(6, 1, 2, 0, 0);
+  definepiece(7, 1, 0, 2, 0);
+  definepiece(8, 1, 0, 0, 2);
+  definepiece(9, 2, 1, 1, 0);
+  definepiece(10, 2, 1, 0, 1);
+  definepiece(11, 2, 0, 1, 1);
+  definepiece(12, 3, 1, 1, 1);
+
+  piececount[0] = 13;
+  piececount[1] = 3;
+  piececount[2] = 1;
+  piececount[3] = 1;
+
+  m = 1 + 8 * (1 + 8 * 1);
+  kount = 0;
+  if (fit(0, m)) {
+    n = place(0, m);
+    if (trial(n)) {
+      print(1);
+    } else {
+      print(0);
+    }
+  } else {
+    print(0 - 1);
+  }
+  print(kount);
+}
+)mc";
+
+// Queen: count all solutions of the 8-queens problem (92). Column/
+// diagonal occupancy arrays give the ambiguous traffic; recursion gives
+// the spill traffic.
+const char *QueenSource = R"mc(
+int col[8];
+int diag1[15];
+int diag2[15];
+int solutions;
+
+void solve(int row) {
+  int c;
+  if (row == 8) {
+    solutions = solutions + 1;
+    return;
+  }
+  for (c = 0; c < 8; c = c + 1) {
+    if (!col[c] && !diag1[row + c] && !diag2[row - c + 7]) {
+      col[c] = 1;
+      diag1[row + c] = 1;
+      diag2[row - c + 7] = 1;
+      solve(row + 1);
+      col[c] = 0;
+      diag1[row + c] = 0;
+      diag2[row - c + 7] = 0;
+    }
+  }
+}
+
+void main() {
+  solutions = 0;
+  solve(0);
+  print(solutions);
+}
+)mc";
+
+// Sieve: primes in [0, 8190] by the sieve of Eratosthenes. Prints the
+// count and the largest prime found.
+const char *SieveSource = R"mc(
+int flags[8191];
+
+void main() {
+  int i;
+  int k;
+  int count;
+  int largest;
+
+  for (i = 0; i <= 8190; i = i + 1) { flags[i] = 1; }
+  flags[0] = 0;
+  flags[1] = 0;
+  for (i = 2; i * i <= 8190; i = i + 1) {
+    if (flags[i]) {
+      for (k = i * i; k <= 8190; k = k + i) {
+        flags[k] = 0;
+      }
+    }
+  }
+  count = 0;
+  largest = 0;
+  for (i = 0; i <= 8190; i = i + 1) {
+    if (flags[i]) {
+      count = count + 1;
+      largest = i;
+    }
+  }
+  print(count);
+  print(largest);
+}
+)mc";
+
+// Towers: towers of Hanoi with 18 disks and explicit peg arrays (the
+// Stanford flavor: array pushes/pops rather than pure recursion). Prints
+// the move count (2^18 - 1 = 262143) and a consistency flag.
+const char *TowersSource = R"mc(
+int stack[60];
+int top[3];
+int moves;
+
+void push(int peg, int disk) {
+  stack[peg * 20 + top[peg]] = disk;
+  top[peg] = top[peg] + 1;
+}
+
+int pop(int peg) {
+  top[peg] = top[peg] - 1;
+  return stack[peg * 20 + top[peg]];
+}
+
+void movedisk(int from, int to) {
+  int d;
+  d = pop(from);
+  push(to, d);
+  moves = moves + 1;
+}
+
+void hanoi(int n, int from, int to, int via) {
+  if (n == 0) { return; }
+  hanoi(n - 1, from, via, to);
+  movedisk(from, to);
+  hanoi(n - 1, via, to, from);
+}
+
+void main() {
+  int i;
+  moves = 0;
+  top[0] = 0;
+  top[1] = 0;
+  top[2] = 0;
+  for (i = 18; i >= 1; i = i - 1) {
+    push(0, i);
+  }
+  hanoi(18, 0, 2, 1);
+  print(moves);
+  print(top[2]);
+  print(top[0] + top[1]);
+}
+)mc";
+
+// Quick: recursive quicksort over 1000 LCG-random elements (Stanford
+// suite). Heavy recursion + array traffic; prints an is-sorted flag and
+// a checksum.
+const char *QuickSource = R"mc(
+int a[1000];
+int n;
+
+void init() {
+  int i;
+  int seed = 74755;
+  for (i = 0; i < n; i = i + 1) {
+    seed = (seed * 1309 + 13849) % 65536;
+    a[i] = seed;
+  }
+}
+
+void quicksort(int lo, int hi) {
+  int i;
+  int j;
+  int pivot;
+  int t;
+  i = lo;
+  j = hi;
+  pivot = a[(lo + hi) / 2];
+  while (i <= j) {
+    while (a[i] < pivot) { i = i + 1; }
+    while (pivot < a[j]) { j = j - 1; }
+    if (i <= j) {
+      t = a[i];
+      a[i] = a[j];
+      a[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  if (lo < j) { quicksort(lo, j); }
+  if (i < hi) { quicksort(i, hi); }
+}
+
+int sorted() {
+  int i;
+  for (i = 0; i < n - 1; i = i + 1) {
+    if (a[i] > a[i + 1]) { return 0; }
+  }
+  return 1;
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < n; i = i + 1) {
+    sum = sum + a[i] * (i % 7 + 1);
+  }
+  return sum;
+}
+
+void main() {
+  n = 1000;
+  init();
+  quicksort(0, n - 1);
+  print(sorted());
+  print(a[0]);
+  print(a[n - 1]);
+  print(checksum());
+}
+)mc";
+
+// Perm: the Stanford permutation benchmark — repeatedly generates all
+// permutations of 7 elements by recursive swapping, counting calls.
+const char *PermSource = R"mc(
+int permarray[8];
+int pctr;
+
+void swapelements(int i, int j) {
+  int t;
+  t = permarray[i];
+  permarray[i] = permarray[j];
+  permarray[j] = t;
+}
+
+void permute(int n) {
+  int k;
+  pctr = pctr + 1;
+  if (n != 1) {
+    permute(n - 1);
+    for (k = n - 1; k >= 1; k = k - 1) {
+      swapelements(n - 1, k - 1);
+      permute(n - 1);
+      swapelements(n - 1, k - 1);
+    }
+  }
+}
+
+void main() {
+  int i;
+  int trial;
+  pctr = 0;
+  for (trial = 0; trial < 5; trial = trial + 1) {
+    for (i = 0; i < 8; i = i + 1) {
+      permarray[i] = i;
+    }
+    permute(7);
+  }
+  print(pctr);
+  print(permarray[0] + permarray[7]);
+}
+)mc";
+
+} // namespace
+
+const std::vector<Workload> &urcm::extendedWorkloads() {
+  static const std::vector<Workload> Workloads = [] {
+    std::vector<Workload> W;
+    W.push_back({"Quick", "recursive quicksort of 1000 elements",
+                 QuickSource,
+                 {1}});
+    // Call count: p(1)=1, p(n)=1+n*p(n-1) -> p(7)=8660; five trials =
+    // 43300. The swap/permute/swap structure restores the array, so the
+    // final check prints 0+7.
+    W.push_back({"Perm", "Stanford permutation benchmark", PermSource,
+                 {43300, 7}});
+    return W;
+  }();
+  return Workloads;
+}
+
+const std::vector<Workload> &urcm::paperWorkloads() {
+  static const std::vector<Workload> Workloads = [] {
+    std::vector<Workload> W;
+    W.push_back({"Bubble", "bubble sort of 500 random elements",
+                 BubbleSource,
+                 {1}}); // First value: is-sorted flag.
+    W.push_back({"Intmm", "40x40 integer matrix multiplication",
+                 IntmmSource,
+                 {}});
+    W.push_back({"Puzzle", "Baskett 3-D puzzle, size 511", PuzzleSource,
+                 {}});
+    W.push_back({"Queen", "8-queens, all solutions", QueenSource, {92}});
+    // Sieve's expected output is computed by the test suite's own C++
+    // sieve rather than hard-coded.
+    W.push_back({"Sieve", "primes in [0, 8190]", SieveSource, {}});
+    W.push_back({"Towers", "towers of Hanoi, 18 disks", TowersSource,
+                 {262143, 18, 0}});
+    return W;
+  }();
+  return Workloads;
+}
+
+const Workload *urcm::findWorkload(const std::string &Name) {
+  for (const Workload &W : paperWorkloads())
+    if (W.Name == Name)
+      return &W;
+  for (const Workload &W : extendedWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

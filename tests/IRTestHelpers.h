@@ -1,0 +1,83 @@
+//===- IRTestHelpers.h - Synthetic IR construction for tests ----*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fluent builder for hand-written IR in unit tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_TESTS_IRTESTHELPERS_H
+#define URCM_TESTS_IRTESTHELPERS_H
+
+#include "urcm/ir/IR.h"
+
+namespace urcm {
+namespace testing {
+
+/// Convenience wrapper around an IRFunction under construction.
+class FuncBuilder {
+public:
+  FuncBuilder(IRModule &M, const std::string &Name, bool ReturnsValue = false,
+              uint32_t NumParams = 0)
+      : M(M), F(M.addFunction(Name, ReturnsValue, NumParams)) {
+    for (uint32_t P = 0; P != NumParams; ++P)
+      F->newReg();
+  }
+
+  IRFunction *function() { return F; }
+
+  BasicBlock *block(const std::string &Name) { return F->addBlock(Name); }
+
+  Reg reg() { return F->newReg(); }
+
+  FuncBuilder &at(BasicBlock *B) {
+    Cur = B;
+    return *this;
+  }
+
+  FuncBuilder &inst(Opcode Op, Reg Dst, std::vector<Operand> Ops) {
+    Cur->insts().push_back(Instruction(Op, Dst, std::move(Ops)));
+    return *this;
+  }
+
+  FuncBuilder &mov(Reg Dst, int64_t Imm) {
+    return inst(Opcode::Mov, Dst, {Operand::imm(Imm)});
+  }
+  FuncBuilder &movr(Reg Dst, Reg Src) {
+    return inst(Opcode::Mov, Dst, {Operand::reg(Src)});
+  }
+  FuncBuilder &add(Reg Dst, Reg A, Reg B) {
+    return inst(Opcode::Add, Dst, {Operand::reg(A), Operand::reg(B)});
+  }
+  FuncBuilder &load(Reg Dst, Operand Addr) {
+    return inst(Opcode::Load, Dst, {Addr});
+  }
+  FuncBuilder &store(Reg Src, Operand Addr) {
+    return inst(Opcode::Store, NoReg, {Operand::reg(Src), Addr});
+  }
+  FuncBuilder &br(BasicBlock *Target) {
+    return inst(Opcode::Br, NoReg, {Operand::block(Target->id())});
+  }
+  FuncBuilder &condbr(Reg Cond, BasicBlock *TrueB, BasicBlock *FalseB) {
+    return inst(Opcode::CondBr, NoReg,
+                {Operand::reg(Cond), Operand::block(TrueB->id()),
+                 Operand::block(FalseB->id())});
+  }
+  FuncBuilder &ret() { return inst(Opcode::Ret, NoReg, {}); }
+  FuncBuilder &ret(Reg Value) {
+    return inst(Opcode::Ret, NoReg, {Operand::reg(Value)});
+  }
+
+private:
+  [[maybe_unused]] IRModule &M;
+  IRFunction *F;
+  BasicBlock *Cur = nullptr;
+};
+
+} // namespace testing
+} // namespace urcm
+
+#endif // URCM_TESTS_IRTESTHELPERS_H

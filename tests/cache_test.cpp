@@ -1,0 +1,304 @@
+//===- cache_test.cpp - Data cache model tests ---------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/Cache.h"
+
+#include "urcm/sim/TraceSim.h"
+#include "urcm/support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+MemRefInfo plain() { return MemRefInfo(); }
+
+MemRefInfo bypass() {
+  MemRefInfo Info;
+  Info.Bypass = true;
+  return Info;
+}
+
+MemRefInfo lastRef() {
+  MemRefInfo Info;
+  Info.LastRef = true;
+  return Info;
+}
+
+CacheConfig smallCache(uint32_t Lines = 4, uint32_t Assoc = 2,
+                       uint32_t LineWords = 1) {
+  CacheConfig C;
+  C.NumLines = Lines;
+  C.Assoc = Assoc;
+  C.LineWords = LineWords;
+  return C;
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit) {
+  MainMemory Mem(1024);
+  Mem.write(100, 7);
+  DataCache C(smallCache(), Mem);
+  EXPECT_EQ(C.read(100, plain()), 7);
+  EXPECT_EQ(C.stats().ReadHits, 0u);
+  EXPECT_EQ(C.stats().Fills, 1u);
+  EXPECT_EQ(C.read(100, plain()), 7);
+  EXPECT_EQ(C.stats().ReadHits, 1u);
+  EXPECT_EQ(C.stats().Fills, 1u);
+}
+
+TEST(Cache, WriteBackOnEviction) {
+  MainMemory Mem(1024);
+  // Direct-mapped single line: every distinct address evicts.
+  DataCache C(smallCache(1, 1), Mem);
+  C.write(5, 55, plain());
+  EXPECT_EQ(Mem.read(5), 0) << "write-back: memory not yet updated";
+  C.read(9, plain()); // Evicts dirty line 5.
+  EXPECT_EQ(Mem.read(5), 55);
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+}
+
+TEST(Cache, OneWordWriteAllocateSkipsFetch) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(7, 1, plain());
+  EXPECT_EQ(C.stats().Fills, 1u);
+  EXPECT_EQ(C.stats().FillWords, 0u) << "no fetch for 1-word allocate";
+}
+
+TEST(Cache, MultiWordWriteAllocateFetches) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(4, 2, 4), Mem);
+  C.write(7, 1, plain());
+  EXPECT_EQ(C.stats().FillWords, 4u);
+}
+
+TEST(Cache, LRUVictimSelection) {
+  MainMemory Mem(1024);
+  Mem.write(0, 10);
+  Mem.write(4, 40);
+  Mem.write(8, 80);
+  // One set, two ways (fully associative with 2 lines; addresses map to
+  // set addr % 1 == 0... use NumLines=2, Assoc=2 -> 1 set).
+  DataCache C(smallCache(2, 2), Mem);
+  C.read(0, plain());
+  C.read(4, plain());
+  C.read(0, plain()); // 0 is now most recent.
+  C.read(8, plain()); // Must evict 4 (LRU), keep 0.
+  EXPECT_TRUE(C.probe(0));
+  EXPECT_FALSE(C.probe(4));
+  EXPECT_TRUE(C.probe(8));
+}
+
+TEST(Cache, FIFOVictimSelection) {
+  MainMemory Mem(1024);
+  CacheConfig Cfg = smallCache(2, 2);
+  Cfg.Policy = ReplacementPolicy::FIFO;
+  DataCache C(Cfg, Mem);
+  C.read(0, plain());
+  C.read(4, plain());
+  C.read(0, plain()); // Re-reference does not help under FIFO.
+  C.read(8, plain()); // Evicts 0 (first in).
+  EXPECT_FALSE(C.probe(0));
+  EXPECT_TRUE(C.probe(4));
+  EXPECT_TRUE(C.probe(8));
+}
+
+TEST(Cache, RandomPolicyIsDeterministicPerSeed) {
+  auto Run = [](uint64_t Seed) {
+    MainMemory Mem(4096);
+    CacheConfig Cfg = smallCache(4, 4);
+    Cfg.Policy = ReplacementPolicy::Random;
+    Cfg.Seed = Seed;
+    DataCache C(Cfg, Mem);
+    for (uint64_t A = 0; A != 64; ++A)
+      C.read(A * 37 % 512, plain());
+    return C.stats().misses();
+  };
+  EXPECT_EQ(Run(1), Run(1));
+  // Different seeds usually differ but must not crash; just run it.
+  (void)Run(2);
+}
+
+TEST(Cache, LastRefFreesLineAndAvoidsWriteBack) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(3, 33, plain()); // Dirty line.
+  C.read(3, lastRef());    // Final use: line freed, write-back dropped.
+  EXPECT_FALSE(C.probe(3));
+  EXPECT_EQ(C.stats().DeadFrees, 1u);
+  EXPECT_EQ(C.stats().DeadWriteBacksAvoided, 1u);
+  EXPECT_EQ(C.stats().WriteBacks, 0u);
+  // The dead value never reaches memory.
+  EXPECT_EQ(Mem.read(3), 0);
+}
+
+TEST(Cache, DeadStoreReclaimedWithoutWriteBack) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(3, 33, lastRef()); // Store of a never-read value.
+  EXPECT_FALSE(C.probe(3));
+  EXPECT_EQ(C.stats().DeadWriteBacksAvoided, 1u);
+}
+
+TEST(Cache, MultiWordLastRefOnlyDemotes) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(2, 2, 4), Mem);
+  C.write(8, 1, plain());
+  C.read(8, lastRef());
+  // Line must survive (other words may be live) but becomes the next
+  // victim.
+  EXPECT_TRUE(C.probe(8));
+  C.read(16, plain());
+  C.read(24, plain());
+  EXPECT_FALSE(C.probe(8));
+  // Its dirty data was written back on eviction, not dropped.
+  EXPECT_EQ(Mem.read(8), 1);
+}
+
+TEST(Cache, BypassReadMissGoesToMemory) {
+  MainMemory Mem(1024);
+  Mem.write(50, 5);
+  DataCache C(smallCache(), Mem);
+  EXPECT_EQ(C.read(50, bypass()), 5);
+  EXPECT_FALSE(C.probe(50)) << "bypass must not allocate";
+  EXPECT_EQ(C.stats().BypassReads, 1u);
+  EXPECT_EQ(C.stats().Reads, 0u);
+}
+
+TEST(Cache, BypassReadHitMigratesAndFrees) {
+  // UmAm_LOAD semantics: a cached copy is delivered and the line freed.
+  // A dirty copy is written back on migration so a later bypass read
+  // that misses cannot observe stale memory (mixed bypass/cached
+  // policies need this; the paper's drop-without-write-back assumes the
+  // full register contract).
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(60, 66, plain()); // Dirty cached copy; memory still 0.
+  EXPECT_EQ(C.read(60, bypass()), 66) << "must deliver the fresh copy";
+  EXPECT_FALSE(C.probe(60));
+  EXPECT_EQ(C.stats().BypassHitMigrations, 1u);
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+  EXPECT_EQ(Mem.read(60), 66) << "dirty migration synchronizes memory";
+  // A clean migration needs no write-back.
+  C.read(61, plain());
+  C.read(61, bypass());
+  EXPECT_EQ(C.stats().WriteBacks, 1u);
+}
+
+TEST(Cache, BypassWriteGoesToMemory) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(70, 7, bypass());
+  EXPECT_EQ(Mem.read(70), 7);
+  EXPECT_FALSE(C.probe(70));
+  EXPECT_EQ(C.stats().BypassWrites, 1u);
+}
+
+TEST(Cache, BypassWriteUpdatesStaleCachedCopy) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(80, 1, plain());  // Cached dirty copy = 1.
+  C.write(80, 2, bypass()); // Direct write must keep the copy coherent.
+  EXPECT_EQ(C.read(80, plain()), 2);
+}
+
+TEST(Cache, FlushWritesDirtyLinesSeparately) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(), Mem);
+  C.write(1, 11, plain());
+  C.write(2, 22, plain());
+  C.flush();
+  EXPECT_EQ(Mem.read(1), 11);
+  EXPECT_EQ(Mem.read(2), 22);
+  EXPECT_EQ(C.stats().FlushWriteBackWords, 2u);
+  EXPECT_EQ(C.stats().WriteBacks, 0u) << "flush is counted separately";
+}
+
+TEST(Cache, TrafficAccounting) {
+  MainMemory Mem(1024);
+  DataCache C(smallCache(1, 1), Mem);
+  C.read(0, plain());  // Miss: 1 ref + 1 fill word.
+  C.read(0, plain());  // Hit: 1 ref.
+  C.write(0, 1, plain()); // Hit: 1 ref.
+  C.read(64, plain()); // Miss, evicts dirty: 1 ref + fill + writeback.
+  const CacheStats &S = C.stats();
+  EXPECT_EQ(S.cacheTraffic(), 4u /*refs*/ + 2u /*fills*/ + 1u /*wb*/);
+  EXPECT_EQ(S.busTraffic(), 2u /*fills*/ + 1u /*wb*/);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST(Cache, SetIndexingSeparatesConflicts) {
+  MainMemory Mem(4096);
+  // 4 sets x 1 way.
+  DataCache C(smallCache(4, 1), Mem);
+  C.read(0, plain());
+  C.read(1, plain());
+  C.read(2, plain());
+  C.read(3, plain());
+  EXPECT_EQ(C.stats().misses(), 4u);
+  C.read(0, plain());
+  C.read(1, plain());
+  EXPECT_EQ(C.stats().ReadHits, 2u);
+  // Address 4 conflicts with 0.
+  C.read(4, plain());
+  EXPECT_FALSE(C.probe(0));
+}
+
+TEST(Cache, WriteThroughKeepsMemoryFresh) {
+  MainMemory Mem(1024);
+  CacheConfig Cfg = smallCache();
+  Cfg.Write = WritePolicy::WriteThrough;
+  DataCache C(Cfg, Mem);
+  C.write(9, 99, plain()); // Miss: memory only, no allocation.
+  EXPECT_EQ(Mem.read(9), 99);
+  EXPECT_FALSE(C.probe(9));
+  EXPECT_EQ(C.stats().WriteThroughWords, 1u);
+  C.read(9, plain()); // Now cached.
+  C.write(9, 100, plain()); // Hit: cache + memory both updated.
+  EXPECT_EQ(Mem.read(9), 100);
+  EXPECT_EQ(C.read(9, plain()), 100);
+  EXPECT_EQ(C.stats().WriteBacks, 0u) << "write-through never dirties";
+  C.flush();
+  EXPECT_EQ(C.stats().FlushWriteBackWords, 0u);
+}
+
+TEST(Cache, WriteThroughDeadTagStillFreesLines) {
+  MainMemory Mem(1024);
+  CacheConfig Cfg = smallCache();
+  Cfg.Write = WritePolicy::WriteThrough;
+  DataCache C(Cfg, Mem);
+  C.read(4, plain());
+  C.write(4, 44, lastRef());
+  EXPECT_FALSE(C.probe(4)) << "dead tag frees even without dirty data";
+  EXPECT_EQ(Mem.read(4), 44);
+}
+
+TEST(Cache, WriteThroughTraceReplayMatchesLiveCache) {
+  MainMemory Mem(4096);
+  CacheConfig Cfg = smallCache(8, 2);
+  Cfg.Write = WritePolicy::WriteThrough;
+  DataCache Live(Cfg, Mem);
+  std::vector<TraceEvent> Trace;
+  SplitMix64 Rng(77);
+  for (int I = 0; I != 2000; ++I) {
+    TraceEvent E;
+    E.Addr = Rng.nextBelow(64);
+    E.IsWrite = Rng.nextBelow(3) == 0;
+    Trace.push_back(E);
+    if (E.IsWrite)
+      Live.write(E.Addr, 1, E.Info);
+    else
+      Live.read(E.Addr, E.Info);
+  }
+  CacheStats Replayed = replayTrace(Trace, Cfg, TracePolicy::LRU);
+  EXPECT_EQ(Live.stats().ReadHits, Replayed.ReadHits);
+  EXPECT_EQ(Live.stats().WriteHits, Replayed.WriteHits);
+  EXPECT_EQ(Live.stats().Fills, Replayed.Fills);
+  EXPECT_EQ(Live.stats().WriteThroughWords, Replayed.WriteThroughWords);
+}

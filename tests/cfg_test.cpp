@@ -1,0 +1,173 @@
+//===- cfg_test.cpp - CFG, dominators and loop tests ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/CFG.h"
+#include "urcm/analysis/Dominators.h"
+#include "urcm/analysis/Loops.h"
+
+#include "IRTestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+using urcm::testing::FuncBuilder;
+
+namespace {
+
+/// Builds a diamond: entry -> (then | else) -> join.
+struct Diamond {
+  IRModule M;
+  IRFunction *F;
+  uint32_t Entry, Then, Else, Join;
+
+  Diamond() {
+    FuncBuilder B(M, "f", false, 1);
+    auto *E = B.block("entry");
+    auto *T = B.block("then");
+    auto *EL = B.block("else");
+    auto *J = B.block("join");
+    B.at(E).condbr(0, T, EL);
+    B.at(T).br(J);
+    B.at(EL).br(J);
+    B.at(J).ret();
+    F = B.function();
+    Entry = E->id();
+    Then = T->id();
+    Else = EL->id();
+    Join = J->id();
+  }
+};
+
+} // namespace
+
+TEST(CFG, DiamondEdges) {
+  Diamond D;
+  CFGInfo CFG(*D.F);
+  EXPECT_EQ(CFG.succs(D.Entry).size(), 2u);
+  EXPECT_EQ(CFG.preds(D.Join).size(), 2u);
+  EXPECT_EQ(CFG.preds(D.Entry).size(), 0u);
+  EXPECT_EQ(CFG.succs(D.Join).size(), 0u);
+}
+
+TEST(CFG, RPOStartsAtEntryEndsAtExit) {
+  Diamond D;
+  CFGInfo CFG(*D.F);
+  ASSERT_EQ(CFG.rpo().size(), 4u);
+  EXPECT_EQ(CFG.rpo().front(), D.Entry);
+  EXPECT_EQ(CFG.rpo().back(), D.Join);
+  // Then/Else appear between entry and join.
+  EXPECT_LT(CFG.rpoIndex(D.Entry), CFG.rpoIndex(D.Then));
+  EXPECT_LT(CFG.rpoIndex(D.Then), CFG.rpoIndex(D.Join));
+}
+
+TEST(CFG, UnreachableBlockExcluded) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  auto *Dead = B.block("dead");
+  B.at(Entry).ret();
+  B.at(Dead).ret();
+  CFGInfo CFG(*B.function());
+  EXPECT_TRUE(CFG.isReachable(Entry->id()));
+  EXPECT_FALSE(CFG.isReachable(Dead->id()));
+  EXPECT_EQ(CFG.rpo().size(), 1u);
+}
+
+TEST(CFG, CondBrWithIdenticalArmsHasOneSuccessor) {
+  IRModule M;
+  FuncBuilder B(M, "f", false, 1);
+  auto *Entry = B.block("entry");
+  auto *Next = B.block("next");
+  B.at(Entry).condbr(0, Next, Next);
+  B.at(Next).ret();
+  CFGInfo CFG(*B.function());
+  EXPECT_EQ(CFG.succs(Entry->id()).size(), 1u);
+  EXPECT_EQ(CFG.preds(Next->id()).size(), 1u);
+}
+
+TEST(Dominators, DiamondStructure) {
+  Diamond D;
+  CFGInfo CFG(*D.F);
+  DominatorTree DT(*D.F, CFG);
+  EXPECT_TRUE(DT.dominates(D.Entry, D.Then));
+  EXPECT_TRUE(DT.dominates(D.Entry, D.Join));
+  EXPECT_FALSE(DT.dominates(D.Then, D.Join));
+  EXPECT_FALSE(DT.dominates(D.Else, D.Join));
+  EXPECT_TRUE(DT.dominates(D.Join, D.Join));
+  EXPECT_EQ(DT.idom(D.Join), D.Entry);
+  EXPECT_EQ(DT.idom(D.Then), D.Entry);
+}
+
+TEST(Loops, SimpleLoopDepth) {
+  // entry -> header <-> body; header -> exit.
+  IRModule M;
+  FuncBuilder B(M, "f", false, 1);
+  auto *Entry = B.block("entry");
+  auto *Header = B.block("header");
+  auto *Body = B.block("body");
+  auto *Exit = B.block("exit");
+  B.at(Entry).br(Header);
+  B.at(Header).condbr(0, Body, Exit);
+  B.at(Body).br(Header);
+  B.at(Exit).ret();
+
+  CFGInfo CFG(*B.function());
+  DominatorTree DT(*B.function(), CFG);
+  LoopInfo LI(*B.function(), CFG, DT);
+  EXPECT_EQ(LI.depth(Entry->id()), 0u);
+  EXPECT_EQ(LI.depth(Header->id()), 1u);
+  EXPECT_EQ(LI.depth(Body->id()), 1u);
+  EXPECT_EQ(LI.depth(Exit->id()), 0u);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_EQ(LI.loops()[0].Header, Header->id());
+  EXPECT_DOUBLE_EQ(LI.refWeight(Body->id()), 10.0);
+  EXPECT_DOUBLE_EQ(LI.refWeight(Exit->id()), 1.0);
+}
+
+TEST(Loops, NestedLoopDepth) {
+  // entry -> h1; h1 -> h2 | exit; h2 -> b2 | l1latch; b2 -> h2;
+  // l1latch -> h1.
+  IRModule M;
+  FuncBuilder B(M, "f", false, 1);
+  auto *Entry = B.block("entry");
+  auto *H1 = B.block("h1");
+  auto *H2 = B.block("h2");
+  auto *B2 = B.block("b2");
+  auto *Latch1 = B.block("latch1");
+  auto *Exit = B.block("exit");
+  B.at(Entry).br(H1);
+  B.at(H1).condbr(0, H2, Exit);
+  B.at(H2).condbr(0, B2, Latch1);
+  B.at(B2).br(H2);
+  B.at(Latch1).br(H1);
+  B.at(Exit).ret();
+
+  CFGInfo CFG(*B.function());
+  DominatorTree DT(*B.function(), CFG);
+  LoopInfo LI(*B.function(), CFG, DT);
+  EXPECT_EQ(LI.depth(H1->id()), 1u);
+  EXPECT_EQ(LI.depth(H2->id()), 2u);
+  EXPECT_EQ(LI.depth(B2->id()), 2u);
+  EXPECT_EQ(LI.depth(Latch1->id()), 1u);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  EXPECT_DOUBLE_EQ(LI.refWeight(B2->id()), 100.0);
+}
+
+TEST(Loops, SelfLoop) {
+  IRModule M;
+  FuncBuilder B(M, "f", false, 1);
+  auto *Entry = B.block("entry");
+  auto *Self = B.block("self");
+  auto *Exit = B.block("exit");
+  B.at(Entry).br(Self);
+  B.at(Self).condbr(0, Self, Exit);
+  B.at(Exit).ret();
+
+  CFGInfo CFG(*B.function());
+  DominatorTree DT(*B.function(), CFG);
+  LoopInfo LI(*B.function(), CFG, DT);
+  EXPECT_EQ(LI.depth(Self->id()), 1u);
+}

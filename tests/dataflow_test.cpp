@@ -1,0 +1,205 @@
+//===- dataflow_test.cpp - Liveness, reaching defs and web tests ---------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/Liveness.h"
+#include "urcm/analysis/ReachingDefs.h"
+#include "urcm/analysis/Webs.h"
+
+#include "IRTestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+using urcm::testing::FuncBuilder;
+
+TEST(Liveness, StraightLine) {
+  IRModule M;
+  M.addGlobal(IRGlobal{"g", 1, nullptr, 0});
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  Reg A = B.reg();
+  Reg C = B.reg();
+  B.at(Entry).mov(A, 1);
+  B.inst(Opcode::Add, C, {Operand::reg(A), Operand::imm(2)});
+  B.store(C, Operand::global(0));
+  B.ret();
+
+  CFGInfo CFG(*B.function());
+  Liveness LV(*B.function(), CFG);
+  EXPECT_FALSE(LV.isLiveIn(Entry->id(), A));
+  EXPECT_FALSE(LV.isLiveOut(Entry->id(), A));
+
+  // Per-instruction: A is live after its def (mov) and dead after the
+  // add consumes it.
+  std::vector<std::vector<bool>> LiveAfter(4);
+  LV.scanBlockBackward(*B.function(), Entry->id(),
+                       [&](uint32_t Index, const std::vector<bool> &Live) {
+                         LiveAfter[Index] = Live;
+                       });
+  EXPECT_TRUE(LiveAfter[0][A]);  // After mov A.
+  EXPECT_FALSE(LiveAfter[1][A]); // After add (last use of A).
+  EXPECT_TRUE(LiveAfter[1][C]);
+  EXPECT_FALSE(LiveAfter[2][C]); // After store (last use of C).
+}
+
+TEST(Liveness, LoopCarried) {
+  IRModule M;
+  FuncBuilder B(M, "f", true, 1);
+  auto *Entry = B.block("entry");
+  auto *Loop = B.block("loop");
+  auto *Exit = B.block("exit");
+  Reg X = B.reg();
+  B.at(Entry).mov(X, 0).br(Loop);
+  B.at(Loop).add(X, X, 0).condbr(0, Loop, Exit);
+  B.at(Exit).ret(X);
+
+  CFGInfo CFG(*B.function());
+  Liveness LV(*B.function(), CFG);
+  // X is live around the loop and out of it.
+  EXPECT_TRUE(LV.isLiveIn(Loop->id(), X));
+  EXPECT_TRUE(LV.isLiveOut(Loop->id(), X));
+  EXPECT_TRUE(LV.isLiveIn(Exit->id(), X));
+  // The parameter (r0) is used by the loop condition and add.
+  EXPECT_TRUE(LV.isLiveIn(Loop->id(), 0));
+}
+
+TEST(ReachingDefs, ParamPseudoDefs) {
+  IRModule M;
+  FuncBuilder B(M, "f", true, 2);
+  auto *Entry = B.block("entry");
+  Reg S = B.reg();
+  B.at(Entry).add(S, 0, 1).ret(S);
+
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  // Defs: two params + one add.
+  ASSERT_EQ(RD.defs().size(), 3u);
+  EXPECT_TRUE(RD.defs()[0].isParam());
+  EXPECT_TRUE(RD.defs()[1].isParam());
+  EXPECT_FALSE(RD.defs()[2].isParam());
+
+  auto Reaching = RD.reachingDefsAt(*B.function(), Entry->id(), 0, 0);
+  ASSERT_EQ(Reaching.size(), 1u);
+  EXPECT_TRUE(RD.defs()[Reaching[0]].isParam());
+}
+
+TEST(ReachingDefs, LocalKill) {
+  IRModule M;
+  FuncBuilder B(M, "f", true, 0);
+  auto *Entry = B.block("entry");
+  Reg X = B.reg();
+  B.at(Entry).mov(X, 1).mov(X, 2).ret(X);
+
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  // The use in ret sees only the second def.
+  auto Reaching = RD.reachingDefsAt(*B.function(), Entry->id(), 2, X);
+  ASSERT_EQ(Reaching.size(), 1u);
+  EXPECT_EQ(RD.defs()[Reaching[0]].Index, 1u);
+}
+
+TEST(ReachingDefs, MergeAtJoin) {
+  IRModule M;
+  FuncBuilder B(M, "f", true, 1);
+  auto *Entry = B.block("entry");
+  auto *Then = B.block("then");
+  auto *Else = B.block("else");
+  auto *Join = B.block("join");
+  Reg X = B.reg();
+  B.at(Entry).condbr(0, Then, Else);
+  B.at(Then).mov(X, 1).br(Join);
+  B.at(Else).mov(X, 2).br(Join);
+  B.at(Join).ret(X);
+
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  auto Reaching = RD.reachingDefsAt(*B.function(), Join->id(), 0, X);
+  EXPECT_EQ(Reaching.size(), 2u);
+}
+
+TEST(Webs, DisjointLifetimesSplit) {
+  // The same register holds two unrelated values; Definition 2 splits
+  // them into separate webs.
+  IRModule M;
+  M.addGlobal(IRGlobal{"g", 1, nullptr, 0});
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  Reg X = B.reg();
+  B.at(Entry).mov(X, 1);
+  B.store(X, Operand::global(0)); // Last use of value 1.
+  B.mov(X, 2);                    // Fresh value, same register.
+  B.store(X, Operand::global(0));
+  B.ret();
+
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  WebAnalysis WA(*B.function(), CFG, RD);
+  EXPECT_EQ(WA.webs().size(), 2u);
+}
+
+TEST(Webs, JoinMergesDefs) {
+  // Defs on both branch arms reach one use: a single web.
+  IRModule M;
+  FuncBuilder B(M, "f", true, 1);
+  auto *Entry = B.block("entry");
+  auto *Then = B.block("then");
+  auto *Else = B.block("else");
+  auto *Join = B.block("join");
+  Reg X = B.reg();
+  B.at(Entry).condbr(0, Then, Else);
+  B.at(Then).mov(X, 1).br(Join);
+  B.at(Else).mov(X, 2).br(Join);
+  B.at(Join).ret(X);
+
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  WebAnalysis WA(*B.function(), CFG, RD);
+  // Webs: the param web (r0) and the merged X web.
+  uint32_t XWebs = 0;
+  for (const Web &W : WA.webs())
+    if (W.Register == X)
+      ++XWebs;
+  EXPECT_EQ(XWebs, 1u);
+  for (const Web &W : WA.webs())
+    if (W.Register == X) {
+      EXPECT_EQ(W.DefIds.size(), 2u);
+      EXPECT_EQ(W.Uses.size(), 1u);
+    }
+}
+
+TEST(Webs, LoopValueSingleWeb) {
+  IRModule M;
+  FuncBuilder B(M, "f", true, 1);
+  auto *Entry = B.block("entry");
+  auto *Loop = B.block("loop");
+  auto *Exit = B.block("exit");
+  Reg X = B.reg();
+  B.at(Entry).mov(X, 0).br(Loop);
+  B.at(Loop).add(X, X, 0).condbr(0, Loop, Exit);
+  B.at(Exit).ret(X);
+
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  WebAnalysis WA(*B.function(), CFG, RD);
+  uint32_t XWebs = 0;
+  for (const Web &W : WA.webs())
+    if (W.Register == X)
+      ++XWebs;
+  // The init def and the loop-carried def share uses: one web.
+  EXPECT_EQ(XWebs, 1u);
+}
+
+TEST(Webs, ParamWebFlagged) {
+  IRModule M;
+  FuncBuilder B(M, "f", true, 1);
+  auto *Entry = B.block("entry");
+  B.at(Entry).ret(0);
+  CFGInfo CFG(*B.function());
+  ReachingDefs RD(*B.function(), CFG);
+  WebAnalysis WA(*B.function(), CFG, RD);
+  ASSERT_EQ(WA.webs().size(), 1u);
+  EXPECT_TRUE(WA.webs()[0].IncludesParam);
+}

@@ -1,0 +1,122 @@
+//===- icache_test.cpp - Instruction cache and code-dead hint tests ------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/driver/Driver.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+SimResult runWith(const std::string &Source, const CompileOptions &Options,
+                  SimConfig Sim) {
+  DiagnosticEngine Diags;
+  SimResult R = compileAndRun(Source, Options, Sim, Diags);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return R;
+}
+
+const char *OncePhaseProgram = R"mc(
+int a[64];
+int total;
+
+void init() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+}
+
+int sumloop() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+  return s;
+}
+
+void main() {
+  int round;
+  init();
+  total = 0;
+  for (round = 0; round < 50; round = round + 1) {
+    total = total + sumloop();
+  }
+  print(total);
+}
+)mc";
+
+} // namespace
+
+TEST(ICache, DisabledByDefault) {
+  SimConfig Sim;
+  SimResult R = runWith(OncePhaseProgram, {}, Sim);
+  EXPECT_EQ(R.InstructionFetches, 0u);
+  EXPECT_EQ(R.ICache.Reads, 0u);
+}
+
+TEST(ICache, CountsEveryFetch) {
+  SimConfig Sim;
+  Sim.ModelICache = true;
+  SimResult R = runWith(OncePhaseProgram, {}, Sim);
+  EXPECT_EQ(R.InstructionFetches, R.Steps);
+  EXPECT_EQ(R.ICache.Reads, R.Steps);
+  EXPECT_GT(R.ICache.hitRate(), 0.5);
+}
+
+TEST(ICache, CodeDeadHintEmittedForOnceFunctions) {
+  CompileOptions Options; // Unified scheme: dead tags on.
+  DiagnosticEngine Diags;
+  CompileResult R = compileProgram(OncePhaseProgram, Options, Diags);
+  ASSERT_TRUE(R.Ok);
+  unsigned Tagged = 0;
+  for (const MInst &I : R.Program.Code)
+    if (I.Op == MOpcode::Ret && I.CodeDeadHint)
+      ++Tagged;
+  // init and main execute once; sumloop runs 50 times.
+  EXPECT_EQ(Tagged, 2u);
+
+  CompileOptions Conventional;
+  Conventional.Scheme = UnifiedOptions::conventional();
+  DiagnosticEngine D2;
+  CompileResult R2 =
+      compileProgram(OncePhaseProgram, Conventional, D2);
+  for (const MInst &I : R2.Program.Code)
+    EXPECT_FALSE(I.CodeDeadHint);
+}
+
+TEST(ICache, CodeDeadHintFreesLines) {
+  SimConfig Sim;
+  Sim.ModelICache = true;
+  Sim.ICache.NumLines = 8;
+  Sim.ICache.Assoc = 2;
+  Sim.ICache.LineWords = 4;
+
+  CompileOptions Unified;
+  SimResult WithHints = runWith(OncePhaseProgram, Unified, Sim);
+
+  CompileOptions Conventional;
+  Conventional.Scheme = UnifiedOptions::conventional();
+  SimResult Without = runWith(OncePhaseProgram, Conventional, Sim);
+
+  EXPECT_EQ(WithHints.Output, Without.Output);
+  EXPECT_GT(WithHints.ICache.DeadFrees, 0u);
+  EXPECT_EQ(Without.ICache.DeadFrees, 0u);
+  // Identical fetch streams.
+  EXPECT_EQ(WithHints.InstructionFetches, Without.InstructionFetches);
+}
+
+TEST(ICache, WorkloadsRunCleanWithICache) {
+  SimConfig Sim;
+  Sim.ModelICache = true;
+  for (const Workload &W : paperWorkloads()) {
+    if (W.Name == "Puzzle" || W.Name == "Towers")
+      continue; // Keep the suite fast; covered elsewhere.
+    DiagnosticEngine Diags;
+    SimResult R = compileAndRun(W.Source, {}, Sim, Diags);
+    ASSERT_TRUE(R.ok()) << W.Name << ": " << R.Error;
+    EXPECT_EQ(R.InstructionFetches, R.Steps) << W.Name;
+  }
+}

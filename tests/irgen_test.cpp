@@ -1,0 +1,187 @@
+//===- irgen_test.cpp - AST-to-IR lowering tests -------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/irgen/IRGen.h"
+
+#include "urcm/ir/Verifier.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+CompiledModule lower(const std::string &Source,
+                     const IRGenOptions &Options = {}) {
+  DiagnosticEngine Diags;
+  CompiledModule Result = compileToIR(Source, Diags, Options);
+  EXPECT_TRUE(static_cast<bool>(Result)) << Diags.str();
+  if (Result) {
+    DiagnosticEngine VerifyDiags;
+    EXPECT_TRUE(verifyModule(*Result.IR, VerifyDiags))
+        << VerifyDiags.str() << printIR(*Result.IR);
+  }
+  return Result;
+}
+
+/// Counts instructions of \p Op in the function.
+unsigned countOps(const IRFunction &F, Opcode Op) {
+  unsigned Count = 0;
+  for (const auto &B : F.blocks())
+    for (const Instruction &I : B->insts())
+      if (I.Op == Op)
+        ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST(IRGen, ScalarLocalsLiveInRegisters) {
+  auto R = lower("void main() { int x; int y; x = 1; y = x + 2; "
+                 "print(y); }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  // No memory traffic at all: x and y are register resident.
+  EXPECT_EQ(countOps(*Main, Opcode::Load), 0u);
+  EXPECT_EQ(countOps(*Main, Opcode::Store), 0u);
+  EXPECT_TRUE(Main->frameSlots().empty());
+}
+
+TEST(IRGen, EraModePutsScalarsInMemory) {
+  IRGenOptions Options;
+  Options.ScalarLocalsInMemory = true;
+  auto R = lower("void main() { int x; int y; x = 1; y = x + 2; "
+                 "print(y); }",
+                 Options);
+  const IRFunction *Main = R.IR->findFunction("main");
+  EXPECT_GE(Main->frameSlots().size(), 2u);
+  EXPECT_GE(countOps(*Main, Opcode::Store), 2u);
+  EXPECT_GE(countOps(*Main, Opcode::Load), 1u);
+}
+
+TEST(IRGen, AddressTakenScalarGetsFrameSlot) {
+  auto R = lower("void main() { int x; int *p; p = &x; *p = 3; "
+                 "print(x); }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  ASSERT_EQ(Main->frameSlots().size(), 1u);
+  EXPECT_EQ(Main->frameSlots()[0].Name, "x");
+  EXPECT_EQ(Main->frameSlots()[0].Kind, FrameSlotKind::LocalVar);
+}
+
+TEST(IRGen, LocalArrayGetsFrameSlot) {
+  auto R = lower("void main() { int a[5]; a[0] = 1; print(a[0]); }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  ASSERT_EQ(Main->frameSlots().size(), 1u);
+  EXPECT_EQ(Main->frameSlots()[0].SizeWords, 5u);
+}
+
+TEST(IRGen, GlobalsInModule) {
+  auto R = lower("int g; int a[3]; void main() { g = 1; a[2] = g; "
+                 "print(a[2]); }");
+  ASSERT_EQ(R.IR->globals().size(), 2u);
+  EXPECT_EQ(R.IR->globals()[0].Name, "g");
+  EXPECT_EQ(R.IR->globals()[0].SizeWords, 1u);
+  EXPECT_EQ(R.IR->globals()[1].SizeWords, 3u);
+}
+
+TEST(IRGen, ConstantIndexFoldsIntoOffset) {
+  auto R = lower("int a[8]; void main() { a[3] = 7; print(a[3]); }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  bool FoundOffsetStore = false;
+  for (const auto &B : Main->blocks())
+    for (const Instruction &I : B->insts())
+      if (I.isStore() && I.addressOperand().isGlobal() &&
+          I.addressOperand().getOffset() == 3)
+        FoundOffsetStore = true;
+  EXPECT_TRUE(FoundOffsetStore) << printIR(*R.IR);
+}
+
+TEST(IRGen, ConstantFolding) {
+  auto R = lower("void main() { int x; x = 2 + 3 * 4; print(x); }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  // 2+3*4 folds to 14: no Mul/Add instructions needed.
+  EXPECT_EQ(countOps(*Main, Opcode::Mul), 0u);
+  EXPECT_EQ(countOps(*Main, Opcode::Add), 0u);
+}
+
+TEST(IRGen, ShortCircuitBuildsControlFlow) {
+  auto R = lower("void main() { int x; int y; x = 1; "
+                 "y = x > 0 && x < 10; print(y); }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  // Short-circuit needs several blocks, not a single straight line.
+  EXPECT_GE(Main->numBlocks(), 4u);
+}
+
+TEST(IRGen, ConditionContextAvoidsMaterialization) {
+  auto R = lower("void main() { int x; x = 3; "
+                 "if (x > 1 && x < 5) { print(x); } }");
+  const IRFunction *Main = R.IR->findFunction("main");
+  // The && in condition context lowers to branches; no 0/1 Mov pair.
+  EXPECT_EQ(countOps(*Main, Opcode::And), 0u);
+}
+
+TEST(IRGen, DeadCodeAfterReturnDropped) {
+  auto R = lower("int f() { return 1; print(9); return 2; }\n"
+                 "void main() { print(f()); }");
+  const IRFunction *F = R.IR->findFunction("f");
+  EXPECT_EQ(countOps(*F, Opcode::Print), 0u);
+}
+
+TEST(IRGen, MissingReturnValueSynthesized) {
+  auto R = lower("int f(int x) { if (x) { return 1; } }\n"
+                 "void main() { print(f(0)); }");
+  // The fall-through path must still terminate with ret 0.
+  const IRFunction *F = R.IR->findFunction("f");
+  for (const auto &B : F->blocks())
+    EXPECT_TRUE(B->isTerminated());
+}
+
+TEST(IRGen, ParamAddressTakenSpillsAtEntry) {
+  auto R = lower("int f(int x) { int *p; p = &x; return *p; }\n"
+                 "void main() { print(f(42)); }");
+  const IRFunction *F = R.IR->findFunction("f");
+  ASSERT_EQ(F->frameSlots().size(), 1u);
+  // Entry block begins with the store of the incoming parameter.
+  const Instruction &First = F->entry()->insts().front();
+  EXPECT_TRUE(First.isStore());
+}
+
+TEST(IRGen, BreakContinueTargets) {
+  auto R = lower("void main() {\n"
+                 "  int i;\n"
+                 "  for (i = 0; i < 10; i = i + 1) {\n"
+                 "    if (i == 2) { continue; }\n"
+                 "    if (i == 5) { break; }\n"
+                 "    print(i);\n"
+                 "  }\n"
+                 "}\n");
+  EXPECT_TRUE(static_cast<bool>(R));
+}
+
+TEST(IRGen, AllWorkloadsLowerAndVerify) {
+  for (const Workload &W : paperWorkloads()) {
+    DiagnosticEngine Diags;
+    CompiledModule R = compileToIR(W.Source, Diags);
+    ASSERT_TRUE(static_cast<bool>(R)) << W.Name << ": " << Diags.str();
+    DiagnosticEngine VerifyDiags;
+    EXPECT_TRUE(verifyModule(*R.IR, VerifyDiags))
+        << W.Name << ": " << VerifyDiags.str();
+  }
+}
+
+TEST(IRGen, AllWorkloadsLowerInEraMode) {
+  IRGenOptions Options;
+  Options.ScalarLocalsInMemory = true;
+  for (const Workload &W : paperWorkloads()) {
+    DiagnosticEngine Diags;
+    CompiledModule R = compileToIR(W.Source, Diags, Options);
+    ASSERT_TRUE(static_cast<bool>(R)) << W.Name << ": " << Diags.str();
+    DiagnosticEngine VerifyDiags;
+    EXPECT_TRUE(verifyModule(*R.IR, VerifyDiags))
+        << W.Name << ": " << VerifyDiags.str();
+  }
+}

@@ -1,0 +1,112 @@
+//===- lexer_test.cpp - MC lexer unit tests -----------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lexAll(Source, Diags))
+    Kinds.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Kinds;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(kindsOf(""), std::vector<TokenKind>{TokenKind::Eof});
+  EXPECT_EQ(kindsOf("   \n\t "), std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(Lexer, Keywords) {
+  auto Kinds =
+      kindsOf("int void if else while for return break continue do");
+  ASSERT_EQ(Kinds.size(), 11u);
+  EXPECT_EQ(Kinds[0], TokenKind::KwInt);
+  EXPECT_EQ(Kinds[1], TokenKind::KwVoid);
+  EXPECT_EQ(Kinds[2], TokenKind::KwIf);
+  EXPECT_EQ(Kinds[3], TokenKind::KwElse);
+  EXPECT_EQ(Kinds[4], TokenKind::KwWhile);
+  EXPECT_EQ(Kinds[5], TokenKind::KwFor);
+  EXPECT_EQ(Kinds[6], TokenKind::KwReturn);
+  EXPECT_EQ(Kinds[7], TokenKind::KwBreak);
+  EXPECT_EQ(Kinds[8], TokenKind::KwContinue);
+  EXPECT_EQ(Kinds[9], TokenKind::KwDo);
+  EXPECT_EQ(Kinds[10], TokenKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAndLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("foo _bar x9 42 0x1F 0", Diags);
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x9");
+  EXPECT_EQ(Tokens[3].IntValue, 42);
+  EXPECT_EQ(Tokens[4].IntValue, 31);
+  EXPECT_EQ(Tokens[5].IntValue, 0);
+}
+
+TEST(Lexer, Operators) {
+  auto Kinds = kindsOf("+ - * / % & | ^ ~ ! = < <= > >= == != && || << >>");
+  ASSERT_EQ(Kinds.size(), 22u);
+  EXPECT_EQ(Kinds[0], TokenKind::Plus);
+  EXPECT_EQ(Kinds[9], TokenKind::Bang);
+  EXPECT_EQ(Kinds[10], TokenKind::Assign);
+  EXPECT_EQ(Kinds[11], TokenKind::Less);
+  EXPECT_EQ(Kinds[12], TokenKind::LessEqual);
+  EXPECT_EQ(Kinds[15], TokenKind::EqualEqual);
+  EXPECT_EQ(Kinds[16], TokenKind::BangEqual);
+  EXPECT_EQ(Kinds[17], TokenKind::AmpAmp);
+  EXPECT_EQ(Kinds[18], TokenKind::PipePipe);
+  EXPECT_EQ(Kinds[19], TokenKind::LessLess);
+  EXPECT_EQ(Kinds[20], TokenKind::GreaterGreater);
+}
+
+TEST(Lexer, Comments) {
+  auto Kinds = kindsOf("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[0], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[1], TokenKind::Identifier);
+  EXPECT_EQ(Kinds[2], TokenKind::Identifier);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lexAll("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacter) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The bad character is skipped; lexing continues.
+  ASSERT_EQ(Tokens.size(), 3u);
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("a\n  b", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, HexWithoutDigits) {
+  DiagnosticEngine Diags;
+  lexAll("0x", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,145 @@
+//===- memliveness_test.cpp - Memory-location liveness tests -------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/analysis/MemoryLiveness.h"
+
+#include "urcm/irgen/IRGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+struct Context {
+  CompiledModule Module;
+  const IRFunction *F = nullptr;
+
+  Context(const std::string &Source, const std::string &FuncName,
+          bool EraMode) {
+    DiagnosticEngine Diags;
+    IRGenOptions Options;
+    Options.ScalarLocalsInMemory = EraMode;
+    Module = compileToIR(Source, Diags, Options);
+    EXPECT_TRUE(static_cast<bool>(Module)) << Diags.str();
+    if (Module)
+      F = Module.IR->findFunction(FuncName);
+  }
+};
+
+/// Collects (instruction, flags) for every memory access in order.
+std::vector<std::pair<const Instruction *, MemoryLiveness::RefFlags>>
+collectFlags(const IRModule &M, const IRFunction &F) {
+  ModuleEscapeInfo ME(M);
+  CFGInfo CFG(F);
+  AliasInfo AA(M, F, ME);
+  MemoryLiveness ML(M, F, CFG, AA);
+  std::vector<std::pair<const Instruction *, MemoryLiveness::RefFlags>>
+      Result;
+  for (const auto &B : F.blocks())
+    for (uint32_t I = 0; I != B->insts().size(); ++I)
+      if (B->insts()[I].isMemAccess())
+        Result.push_back({&B->insts()[I], ML.flags(B->id(), I)});
+  return Result;
+}
+
+} // namespace
+
+TEST(MemoryLiveness, FinalLoadIsLastRef) {
+  // Era mode: x lives in memory. The load feeding print is x's final
+  // use, so it must carry the last-reference flag.
+  Context C("void main() { int x; x = 4; print(x); }", "main",
+            /*EraMode=*/true);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  // Store x, then load x.
+  ASSERT_EQ(Flags.size(), 2u);
+  EXPECT_TRUE(Flags[0].first->isStore());
+  EXPECT_TRUE(Flags[0].second.Tracked);
+  EXPECT_FALSE(Flags[0].second.DeadStore);
+  EXPECT_TRUE(Flags[1].first->isLoad());
+  EXPECT_TRUE(Flags[1].second.LastRef);
+}
+
+TEST(MemoryLiveness, IntermediateLoadNotLastRef) {
+  Context C("void main() { int x; x = 4; print(x); print(x); }", "main",
+            /*EraMode=*/true);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  ASSERT_EQ(Flags.size(), 3u);
+  EXPECT_FALSE(Flags[1].second.LastRef); // First print load.
+  EXPECT_TRUE(Flags[2].second.LastRef);  // Second print load.
+}
+
+TEST(MemoryLiveness, DeadStoreDetected) {
+  // The second store to x is never read: dead.
+  Context C("void main() { int x; x = 1; print(x); x = 2; }", "main",
+            /*EraMode=*/true);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  ASSERT_EQ(Flags.size(), 3u);
+  EXPECT_TRUE(Flags[2].first->isStore());
+  EXPECT_TRUE(Flags[2].second.DeadStore);
+}
+
+TEST(MemoryLiveness, GlobalLiveAtExit) {
+  // Globals outlive the function: the final store is NOT dead.
+  Context C("int g; void main() { g = 1; }", "main", /*EraMode=*/false);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  ASSERT_EQ(Flags.size(), 1u);
+  EXPECT_TRUE(Flags[0].second.Tracked);
+  EXPECT_FALSE(Flags[0].second.DeadStore);
+}
+
+TEST(MemoryLiveness, CallKeepsGlobalLive) {
+  // A load of g before a call is not g's last use: the callee reads it.
+  Context C("int g;\n"
+            "void f() { print(g); }\n"
+            "void main() { int t; t = g; f(); print(t); }",
+            "main", /*EraMode=*/false);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  ASSERT_GE(Flags.size(), 1u);
+  EXPECT_TRUE(Flags[0].first->isLoad());
+  EXPECT_FALSE(Flags[0].second.LastRef);
+}
+
+TEST(MemoryLiveness, EscapedLocationUntracked) {
+  Context C("void main() { int x; int *p; p = &x; *p = 1; print(x); }",
+            "main", /*EraMode=*/false);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  for (const auto &[Inst, RF] : Flags)
+    EXPECT_FALSE(RF.Tracked);
+}
+
+TEST(MemoryLiveness, ArrayUntracked) {
+  Context C("int a[4]; void main() { a[0] = 1; print(a[0]); }", "main",
+            /*EraMode=*/false);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  for (const auto &[Inst, RF] : Flags)
+    EXPECT_FALSE(RF.Tracked);
+}
+
+TEST(MemoryLiveness, LoopKeepsLocationLive) {
+  // Loads of i inside the loop are not last refs (the loop repeats);
+  // only the analysis-visible final read may be tagged.
+  Context C("void main() {\n"
+            "  int i;\n"
+            "  int s;\n"
+            "  s = 0;\n"
+            "  for (i = 0; i < 4; i = i + 1) { s = s + i; }\n"
+            "  print(s);\n"
+            "}\n",
+            "main", /*EraMode=*/true);
+  auto Flags = collectFlags(*C.Module.IR, *C.F);
+  // Every load inside the loop body/condition must not be LastRef except
+  // possibly the loads whose location dies after the loop. Find loads of
+  // s: the one feeding print must be last.
+  int LastRefLoads = 0;
+  for (const auto &[Inst, RF] : Flags)
+    if (Inst->isLoad() && RF.LastRef)
+      ++LastRefLoads;
+  // Exactly two locations die: s (feeding print) and i (final cond
+  // evaluation happens-before exit... i's last ref is in the loop exit
+  // condition path).
+  EXPECT_GE(LastRefLoads, 1);
+}

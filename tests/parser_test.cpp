@@ -1,0 +1,149 @@
+//===- parser_test.cpp - MC parser unit tests ---------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+std::unique_ptr<TranslationUnit> parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto TU = parseMC(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return TU;
+}
+
+bool parseFails(const std::string &Source) {
+  DiagnosticEngine Diags;
+  parseMC(Source, Diags);
+  return Diags.hasErrors();
+}
+
+} // namespace
+
+TEST(Parser, GlobalsAndFunctions) {
+  auto TU = parseOk("int g; int a[10]; int *p;\n"
+                    "int f(int x, int *q) { return x; }\n"
+                    "void main() { }\n");
+  ASSERT_EQ(TU->globals().size(), 3u);
+  EXPECT_EQ(TU->globals()[0]->name(), "g");
+  EXPECT_TRUE(TU->globals()[0]->type().isInt());
+  EXPECT_TRUE(TU->globals()[1]->type().isArray());
+  EXPECT_EQ(TU->globals()[1]->type().arraySize(), 10u);
+  EXPECT_TRUE(TU->globals()[2]->type().isPointer());
+  ASSERT_EQ(TU->functions().size(), 2u);
+  EXPECT_EQ(TU->functions()[0]->name(), "f");
+  EXPECT_EQ(TU->functions()[0]->params().size(), 2u);
+  EXPECT_TRUE(TU->functions()[0]->params()[1]->type().isPointer());
+  EXPECT_NE(TU->findFunction("main"), nullptr);
+  EXPECT_EQ(TU->findFunction("nope"), nullptr);
+}
+
+TEST(Parser, PrecedenceInPrintedTree) {
+  auto TU = parseOk("void main() { int x; x = 1 + 2 * 3; }");
+  std::string Printed = printAST(*TU);
+  EXPECT_NE(Printed.find("(1 + (2 * 3))"), std::string::npos) << Printed;
+}
+
+TEST(Parser, AssociativityAndComparison) {
+  auto TU = parseOk("void main() { int x; x = 1 - 2 - 3; "
+                    "x = 1 < 2 == 3 > 4; }");
+  std::string Printed = printAST(*TU);
+  EXPECT_NE(Printed.find("((1 - 2) - 3)"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("((1 < 2) == (3 > 4))"), std::string::npos)
+      << Printed;
+}
+
+TEST(Parser, UnaryAndIndexChain) {
+  auto TU = parseOk("int a[4];\n"
+                    "void main() { int x; int *p; p = &a[2]; "
+                    "x = -a[1] + *p; }");
+  std::string Printed = printAST(*TU);
+  EXPECT_NE(Printed.find("(&a[2])"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("((-a[1]) + (*p))"), std::string::npos) << Printed;
+}
+
+TEST(Parser, ControlFlowForms) {
+  auto TU = parseOk("void main() {\n"
+                    "  int i;\n"
+                    "  for (i = 0; i < 4; i = i + 1) { }\n"
+                    "  while (i > 0) { i = i - 1; }\n"
+                    "  do { i = i + 1; } while (i < 2);\n"
+                    "  if (i) { } else { }\n"
+                    "  while (1) { break; }\n"
+                    "  while (0) { continue; }\n"
+                    "}\n");
+  std::string Printed = printAST(*TU);
+  EXPECT_NE(Printed.find("for"), std::string::npos);
+  EXPECT_NE(Printed.find("while"), std::string::npos);
+  EXPECT_NE(Printed.find("do"), std::string::npos);
+  EXPECT_NE(Printed.find("break"), std::string::npos);
+  EXPECT_NE(Printed.find("continue"), std::string::npos);
+}
+
+TEST(Parser, ShortCircuitOperators) {
+  auto TU = parseOk("void main() { int x; x = 1 && 2 || 3; }");
+  std::string Printed = printAST(*TU);
+  EXPECT_NE(Printed.find("((1 && 2) || 3)"), std::string::npos) << Printed;
+}
+
+TEST(Parser, CallsAndRecursion) {
+  auto TU = parseOk("int fib(int n) {\n"
+                    "  if (n < 2) { return n; }\n"
+                    "  return fib(n - 1) + fib(n - 2);\n"
+                    "}\n"
+                    "void main() { print(fib(10)); }\n");
+  std::string Printed = printAST(*TU);
+  EXPECT_NE(Printed.find("fib((n - 1))"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("print(fib(10))"), std::string::npos) << Printed;
+}
+
+TEST(Parser, ScopesShadowing) {
+  // Inner declarations shadow outer ones and vanish at block end.
+  auto TU = parseOk("void main() {\n"
+                    "  int x;\n"
+                    "  { int x; x = 1; }\n"
+                    "  x = 2;\n"
+                    "}\n");
+  EXPECT_NE(TU, nullptr);
+}
+
+TEST(Parser, ErrorUndeclaredVariable) {
+  EXPECT_TRUE(parseFails("void main() { x = 1; }"));
+}
+
+TEST(Parser, ErrorUndeclaredFunction) {
+  EXPECT_TRUE(parseFails("void main() { f(); }"));
+}
+
+TEST(Parser, ErrorRedeclaration) {
+  EXPECT_TRUE(parseFails("void main() { int x; int x; }"));
+  EXPECT_TRUE(parseFails("int g; int g; void main() { }"));
+}
+
+TEST(Parser, ErrorRedefinedFunction) {
+  EXPECT_TRUE(parseFails("void f() { } void f() { } void main() { }"));
+}
+
+TEST(Parser, ErrorBadArraySize) {
+  EXPECT_TRUE(parseFails("int a[0]; void main() { }"));
+  EXPECT_TRUE(parseFails("int a[x]; void main() { }"));
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  EXPECT_TRUE(parseFails("void main() { int x x = 1; }"));
+}
+
+TEST(Parser, ErrorPointerArray) {
+  EXPECT_TRUE(parseFails("int *a[4]; void main() { }"));
+}
+
+TEST(Parser, UseBeforeDeclarationFails) {
+  EXPECT_TRUE(parseFails("void main() { y = 1; int y; }"));
+}

@@ -1,0 +1,179 @@
+//===- sema_test.cpp - MC semantic analysis tests ------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace urcm;
+
+namespace {
+
+std::unique_ptr<TranslationUnit> analyzeOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto TU = parseAndAnalyze(Source, Diags);
+  EXPECT_NE(TU, nullptr) << Diags.str();
+  return TU;
+}
+
+bool analyzeFails(const std::string &Source) {
+  DiagnosticEngine Diags;
+  return parseAndAnalyze(Source, Diags) == nullptr;
+}
+
+} // namespace
+
+TEST(Sema, AcceptsWellTypedProgram) {
+  analyzeOk("int g;\n"
+            "int a[8];\n"
+            "int sum(int *v, int n) {\n"
+            "  int i;\n"
+            "  int s = 0;\n"
+            "  for (i = 0; i < n; i = i + 1) { s = s + v[i]; }\n"
+            "  return s;\n"
+            "}\n"
+            "void main() { g = sum(&a[0], 8); print(g); }\n");
+}
+
+TEST(Sema, RequiresMain) {
+  EXPECT_TRUE(analyzeFails("int f() { return 1; }"));
+}
+
+TEST(Sema, AddressTakenMarking) {
+  auto TU = analyzeOk("void main() { int x; int y; int *p; p = &x; "
+                      "y = *p; print(y); }");
+  // Find the declarations inside main's body.
+  const VarDecl *X = nullptr, *Y = nullptr;
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &S) {
+    if (const auto *B = dyn_cast<BlockStmt>(&S)) {
+      for (const auto &Child : B->stmts())
+        Walk(*Child);
+      return;
+    }
+    if (const auto *D = dyn_cast<DeclStmt>(&S)) {
+      if (D->decl()->name() == "x")
+        X = D->decl();
+      if (D->decl()->name() == "y")
+        Y = D->decl();
+    }
+  };
+  Walk(*TU->functions()[0]->body());
+  ASSERT_NE(X, nullptr);
+  ASSERT_NE(Y, nullptr);
+  EXPECT_TRUE(X->isAddressTaken());
+  EXPECT_FALSE(Y->isAddressTaken());
+}
+
+TEST(Sema, PointerArithmeticTypes) {
+  analyzeOk("int a[4];\n"
+            "void main() { int *p; int d; p = &a[0]; p = p + 1; "
+            "d = p - &a[0]; print(d); }");
+}
+
+TEST(Sema, RejectsPointerTimesInt) {
+  EXPECT_TRUE(analyzeFails(
+      "int a[4]; void main() { int *p; p = &a[0]; p = p * 2; }"));
+}
+
+TEST(Sema, RejectsIntMinusPointer) {
+  EXPECT_TRUE(analyzeFails(
+      "int a[4]; void main() { int *p; p = &a[0]; p = 1 - p; }"));
+}
+
+TEST(Sema, RejectsAssignIntToPointer) {
+  EXPECT_TRUE(analyzeFails("void main() { int *p; p = 3; }"));
+}
+
+TEST(Sema, RejectsAssignPointerToInt) {
+  EXPECT_TRUE(analyzeFails(
+      "int a[2]; void main() { int x; x = &a[0]; }"));
+}
+
+TEST(Sema, ArrayDecaysToPointer) {
+  analyzeOk("int a[4];\n"
+            "int first(int *p) { return p[0]; }\n"
+            "void main() { print(first(a)); }");
+}
+
+TEST(Sema, RejectsAssignToArray) {
+  EXPECT_TRUE(analyzeFails(
+      "int a[2]; int b[2]; void main() { a = b; }"));
+}
+
+TEST(Sema, RejectsNonLValueAssignment) {
+  EXPECT_TRUE(analyzeFails("void main() { 1 = 2; }"));
+  EXPECT_TRUE(analyzeFails("void main() { int x; (x + 1) = 2; }"));
+}
+
+TEST(Sema, RejectsAddressOfRValue) {
+  EXPECT_TRUE(analyzeFails("void main() { int *p; p = &(1 + 2); }"));
+}
+
+TEST(Sema, RejectsDerefOfInt) {
+  EXPECT_TRUE(analyzeFails("void main() { int x; int y; y = *x; }"));
+}
+
+TEST(Sema, RejectsIndexOfScalar) {
+  EXPECT_TRUE(analyzeFails("void main() { int x; int y; y = x[0]; }"));
+}
+
+TEST(Sema, RejectsNonIntSubscript) {
+  EXPECT_TRUE(analyzeFails(
+      "int a[4]; void main() { int *p; p = &a[0]; print(a[p]); }"));
+}
+
+TEST(Sema, ReturnTypeChecking) {
+  EXPECT_TRUE(analyzeFails("int f() { return; } void main() { f(); }"));
+  EXPECT_TRUE(analyzeFails("void f() { return 1; } void main() { f(); }"));
+  EXPECT_TRUE(analyzeFails(
+      "int a[2]; int *f() { return 1; } void main() { f(); }"));
+  analyzeOk("int a[2]; int *f() { return &a[0]; } void main() { f(); }");
+}
+
+TEST(Sema, CallArgumentChecking) {
+  EXPECT_TRUE(analyzeFails(
+      "int f(int x) { return x; } void main() { f(); }"));
+  EXPECT_TRUE(analyzeFails(
+      "int f(int x) { return x; } void main() { f(1, 2); }"));
+  EXPECT_TRUE(analyzeFails(
+      "int a[2]; int f(int x) { return x; } void main() { f(&a[0]); }"));
+  analyzeOk("int f(int x) { return x; } void main() { print(f(3)); }");
+}
+
+TEST(Sema, VoidValueMisuse) {
+  EXPECT_TRUE(analyzeFails(
+      "void f() { } void main() { int x; x = f(); }"));
+  EXPECT_TRUE(analyzeFails("void f() { } void main() { print(f() + 1); }"));
+}
+
+TEST(Sema, PrintChecking) {
+  EXPECT_TRUE(analyzeFails("void main() { print(); }"));
+  EXPECT_TRUE(analyzeFails("void main() { print(1, 2); }"));
+  EXPECT_TRUE(analyzeFails(
+      "int a[2]; void main() { print(&a[0]); }"));
+}
+
+TEST(Sema, BreakOutsideLoopCaughtByParserOrSema) {
+  DiagnosticEngine Diags;
+  parseAndAnalyze("void main() { break; }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Sema, InitializerTypeChecking) {
+  EXPECT_TRUE(analyzeFails(
+      "int a[2]; void main() { int x = &a[0]; }"));
+  analyzeOk("int a[2]; void main() { int *p = &a[0]; print(*p); }");
+}
+
+TEST(Sema, ConditionMustBeScalar) {
+  analyzeOk("int a[2]; void main() { int *p = &a[0]; if (p) { } }");
+}
+
+TEST(Sema, MainMustTakeNoParameters) {
+  EXPECT_TRUE(analyzeFails("void main(int argc) { print(argc); }"));
+}

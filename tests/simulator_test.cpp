@@ -1,0 +1,233 @@
+//===- simulator_test.cpp - URCM-RISC simulator tests --------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/Simulator.h"
+
+#include "urcm/driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+SimResult runSource(const std::string &Source,
+                    const CompileOptions &Options = {},
+                    SimConfig Sim = {}) {
+  DiagnosticEngine Diags;
+  return compileAndRun(Source, Options, Sim, Diags);
+}
+
+} // namespace
+
+TEST(Simulator, ArithmeticOperators) {
+  SimResult R = runSource(
+      "void main() {\n"
+      "  int a = 17; int b = 5;\n"
+      "  print(a + b); print(a - b); print(a * b); print(a / b);\n"
+      "  print(a % b); print(a & b); print(a | b); print(a ^ b);\n"
+      "  print(a << 2); print(a >> 1); print(-a); print(~a);\n"
+      "}\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::vector<int64_t> Expected = {22, 12, 85, 3, 2, 17 & 5, 17 | 5,
+                                   17 ^ 5, 68, 8, -17, ~17};
+  EXPECT_EQ(R.Output, Expected);
+}
+
+TEST(Simulator, ComparisonsAndLogic) {
+  SimResult R = runSource(
+      "void main() {\n"
+      "  int a = 3; int b = 7;\n"
+      "  print(a < b); print(a <= b); print(a > b); print(a >= b);\n"
+      "  print(a == b); print(a != b); print(!a); print(!0);\n"
+      "  print(a < b && b < 10); print(a > b || b > 100);\n"
+      "}\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::vector<int64_t> Expected = {1, 1, 0, 0, 0, 1, 0, 1, 1, 0};
+  EXPECT_EQ(R.Output, Expected);
+}
+
+TEST(Simulator, ShortCircuitSkipsSideEffects) {
+  SimResult R = runSource(
+      "int calls;\n"
+      "int bump() { calls = calls + 1; return 1; }\n"
+      "void main() {\n"
+      "  int x;\n"
+      "  calls = 0;\n"
+      "  x = 0 && bump();\n"
+      "  print(calls);\n"
+      "  x = 1 || bump();\n"
+      "  print(calls);\n"
+      "  x = 1 && bump();\n"
+      "  print(calls);\n"
+      "}\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{0, 0, 1}));
+}
+
+TEST(Simulator, LoopsAndControlFlow) {
+  SimResult R = runSource(
+      "void main() {\n"
+      "  int i; int s = 0;\n"
+      "  for (i = 0; i < 10; i = i + 1) {\n"
+      "    if (i == 3) { continue; }\n"
+      "    if (i == 8) { break; }\n"
+      "    s = s + i;\n"
+      "  }\n"
+      "  print(s);\n"
+      "  i = 0;\n"
+      "  do { i = i + 1; } while (i < 5);\n"
+      "  print(i);\n"
+      "  while (i > 0) { i = i - 2; }\n"
+      "  print(i);\n"
+      "}\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // 0+1+2+4+5+6+7 = 25.
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{25, 5, -1}));
+}
+
+TEST(Simulator, RecursionDeep) {
+  SimResult R = runSource(
+      "int fib(int n) {\n"
+      "  if (n < 2) { return n; }\n"
+      "  return fib(n - 1) + fib(n - 2);\n"
+      "}\n"
+      "int depth(int n) {\n"
+      "  if (n == 0) { return 0; }\n"
+      "  return 1 + depth(n - 1);\n"
+      "}\n"
+      "void main() { print(fib(15)); print(depth(500)); }\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{610, 500}));
+}
+
+TEST(Simulator, PointersAndArrays) {
+  SimResult R = runSource(
+      "int a[10];\n"
+      "void fill(int *p, int n, int v) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) { p[i] = v + i; }\n"
+      "}\n"
+      "void main() {\n"
+      "  int x;\n"
+      "  int *q;\n"
+      "  fill(&a[0], 10, 100);\n"
+      "  q = &a[5];\n"
+      "  *q = 1;\n"
+      "  q = q + 2;\n"
+      "  x = *q;\n"
+      "  print(a[5]); print(x); print(a[9]);\n"
+      "  print(q - &a[0]);\n"
+      "}\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{1, 107, 109, 7}));
+}
+
+TEST(Simulator, AmbiguousAliasStoreVisible) {
+  // The paper's core hazard: a store through a pointer must be seen by a
+  // subsequent direct reference (and vice versa) under every scheme.
+  for (bool Era : {false, true}) {
+    CompileOptions Options;
+    Options.IRGen.ScalarLocalsInMemory = Era;
+    SimResult R = runSource(
+        "int g;\n"
+        "void set(int *p, int v) { *p = v; }\n"
+        "void main() {\n"
+        "  g = 1;\n"
+        "  set(&g, 42);\n"
+        "  print(g);\n"
+        "}\n",
+        Options);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(R.Output, (std::vector<int64_t>{42}));
+    EXPECT_EQ(R.CoherenceViolations, 0u);
+  }
+}
+
+TEST(Simulator, GlobalSharedAcrossCalls) {
+  SimResult R = runSource(
+      "int counter;\n"
+      "void tick() { counter = counter + 1; }\n"
+      "void main() {\n"
+      "  int i;\n"
+      "  counter = 0;\n"
+      "  for (i = 0; i < 100; i = i + 1) { tick(); }\n"
+      "  print(counter);\n"
+      "}\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{100}));
+  EXPECT_EQ(R.CoherenceViolations, 0u);
+}
+
+TEST(Simulator, DivisionByZeroReported) {
+  SimResult R = runSource("void main() { int z = 0; print(1 / z); }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Simulator, RemainderByZeroReported) {
+  SimResult R = runSource("void main() { int z = 0; print(1 % z); }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Simulator, StepLimitEnforced) {
+  SimConfig Sim;
+  Sim.MaxSteps = 1000;
+  SimResult R = runSource("void main() { while (1) { } }", {}, Sim);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+  EXPECT_EQ(R.Steps, 1000u);
+}
+
+TEST(Simulator, OutOfRangeAddressReported) {
+  SimResult R = runSource(
+      "int a[2];\n"
+      "void main() { int *p; p = &a[0]; p = p - 100000000; print(*p); }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("out of range"), std::string::npos);
+}
+
+TEST(Simulator, TraceRecording) {
+  SimConfig Sim;
+  Sim.RecordTrace = true;
+  SimResult R = runSource(
+      "int g; void main() { g = 1; print(g); }", {}, Sim);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.Trace.empty());
+  // The trace must contain the store and load of g.
+  unsigned Writes = 0, Reads = 0;
+  for (const TraceEvent &E : R.Trace)
+    (E.IsWrite ? Writes : Reads) += 1;
+  EXPECT_GE(Writes, 1u);
+  EXPECT_GE(Reads, 1u);
+}
+
+TEST(Simulator, ParanoidCleanOnAllSchemes) {
+  const char *Source =
+      "int a[32]; int g;\n"
+      "int sum(int *p, int n) {\n"
+      "  int i; int s = 0;\n"
+      "  for (i = 0; i < n; i = i + 1) { s = s + p[i]; }\n"
+      "  return s;\n"
+      "}\n"
+      "void main() {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 32; i = i + 1) { a[i] = i; }\n"
+      "  g = sum(&a[0], 32);\n"
+      "  print(g);\n"
+      "}\n";
+  for (auto Scheme :
+       {UnifiedOptions::conventional(), UnifiedOptions::bypassOnly(),
+        UnifiedOptions::deadTagOnly(), UnifiedOptions::unified(),
+        UnifiedOptions::reuseAware()}) {
+    CompileOptions Options;
+    Options.Scheme = Scheme;
+    SimResult R = runSource(Source, Options);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(R.Output, (std::vector<int64_t>{496}));
+    EXPECT_EQ(R.CoherenceViolations, 0u);
+  }
+}

@@ -1,0 +1,118 @@
+//===- support_test.cpp - urcm_support unit tests -----------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/support/Casting.h"
+#include "urcm/support/Diagnostics.h"
+#include "urcm/support/RNG.h"
+#include "urcm/support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+TEST(StringUtils, FormatBasic) {
+  EXPECT_EQ(formatString("x=%d", 42), "x=42");
+  EXPECT_EQ(formatString("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StringUtils, FormatLongOutput) {
+  std::string Long(500, 'y');
+  EXPECT_EQ(formatString("%s", Long.c_str()), Long);
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_TRUE(startsWith("hello", ""));
+  EXPECT_FALSE(startsWith("he", "hello"));
+  EXPECT_FALSE(startsWith("hello", "lo"));
+}
+
+TEST(SourceLoc, Render) {
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(3, 7).str(), "3:7");
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(1, 2), "something odd");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(2, 3), "something bad");
+  Diags.note(SourceLoc(), "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RenderStyle) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(4, 9), "unexpected token");
+  EXPECT_EQ(Diags.diagnostics()[0].str(), "4:9: error: unexpected token");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(RNG, Deterministic) {
+  SplitMix64 A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RNG, BoundRespected) {
+  SplitMix64 R(99);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+namespace {
+// Tiny hierarchy to exercise the casting helpers.
+struct Base {
+  enum class Kind { A, B };
+  explicit Base(Kind K) : TheKind(K) {}
+  Kind kind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->kind() == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->kind() == Kind::B; }
+};
+} // namespace
+
+TEST(Casting, IsaAndDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<DerivedA>(Null), nullptr);
+}

@@ -1,0 +1,171 @@
+//===- verifier_test.cpp - IR verifier tests -----------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/ir/Verifier.h"
+
+#include "IRTestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+using urcm::testing::FuncBuilder;
+
+namespace {
+
+bool verifyOne(IRModule &M) {
+  DiagnosticEngine Diags;
+  return verifyModule(M, Diags);
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsMinimalFunction) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  B.at(Entry).ret();
+  EXPECT_TRUE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  Reg R = B.reg();
+  B.at(Entry).mov(R, 1);
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsMidBlockTerminator) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  B.at(Entry).ret().ret();
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  B.at(Entry).inst(Opcode::Mov, 5, {Operand::imm(1)}).ret();
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsBadBlockOperand) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  B.at(Entry).inst(Opcode::Br, NoReg, {Operand::block(7)});
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsStoreWithDestination) {
+  IRModule M;
+  M.addGlobal(IRGlobal{"g", 1, nullptr, 0});
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  Reg R = B.reg();
+  B.at(Entry).mov(R, 1);
+  B.inst(Opcode::Store, R, {Operand::reg(R), Operand::global(0)});
+  B.ret();
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsLoadFromImmediate) {
+  IRModule M;
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  Reg R = B.reg();
+  B.at(Entry).inst(Opcode::Load, R, {Operand::imm(4)}).ret();
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  IRModule M;
+  FuncBuilder Callee(M, "g", /*ReturnsValue=*/false, /*NumParams=*/2);
+  auto *CE = Callee.block("entry");
+  Callee.at(CE).ret();
+
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  B.at(Entry)
+      .inst(Opcode::Call, NoReg, {Operand::func(0), Operand::imm(1)})
+      .ret();
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsValueResultFromVoidCall) {
+  IRModule M;
+  FuncBuilder Callee(M, "g");
+  auto *CE = Callee.block("entry");
+  Callee.at(CE).ret();
+
+  FuncBuilder B(M, "f");
+  auto *Entry = B.block("entry");
+  Reg R = B.reg();
+  B.at(Entry).inst(Opcode::Call, R, {Operand::func(0)}).ret();
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsUseBeforeAssignment) {
+  IRModule M;
+  FuncBuilder B(M, "f", /*ReturnsValue=*/true);
+  auto *Entry = B.block("entry");
+  Reg R = B.reg();
+  B.at(Entry).ret(R); // R never assigned.
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, AcceptsParamUse) {
+  IRModule M;
+  FuncBuilder B(M, "f", /*ReturnsValue=*/true, /*NumParams=*/1);
+  auto *Entry = B.block("entry");
+  B.at(Entry).ret(0); // Parameter register.
+  EXPECT_TRUE(verifyOne(M));
+}
+
+TEST(Verifier, RejectsMaybeUnassignedAcrossBranch) {
+  // if (p) x = 1; use x  -- x unassigned on the else path.
+  IRModule M;
+  FuncBuilder B(M, "f", /*ReturnsValue=*/true, /*NumParams=*/1);
+  auto *Entry = B.block("entry");
+  auto *Then = B.block("then");
+  auto *Join = B.block("join");
+  Reg X = B.reg();
+  B.at(Entry).condbr(0, Then, Join);
+  B.at(Then).mov(X, 1).br(Join);
+  B.at(Join).ret(X);
+  EXPECT_FALSE(verifyOne(M));
+}
+
+TEST(Verifier, AcceptsAssignedOnBothPaths) {
+  IRModule M;
+  FuncBuilder B(M, "f", /*ReturnsValue=*/true, /*NumParams=*/1);
+  auto *Entry = B.block("entry");
+  auto *Then = B.block("then");
+  auto *Else = B.block("else");
+  auto *Join = B.block("join");
+  Reg X = B.reg();
+  B.at(Entry).condbr(0, Then, Else);
+  B.at(Then).mov(X, 1).br(Join);
+  B.at(Else).mov(X, 2).br(Join);
+  B.at(Join).ret(X);
+  EXPECT_TRUE(verifyOne(M));
+}
+
+TEST(Verifier, AcceptsLoopCarriedValue) {
+  IRModule M;
+  FuncBuilder B(M, "f", /*ReturnsValue=*/true, /*NumParams=*/1);
+  auto *Entry = B.block("entry");
+  auto *Loop = B.block("loop");
+  auto *Exit = B.block("exit");
+  Reg X = B.reg();
+  B.at(Entry).mov(X, 0).br(Loop);
+  B.at(Loop).add(X, X, 0).condbr(0, Loop, Exit);
+  B.at(Exit).ret(X);
+  EXPECT_TRUE(verifyOne(M));
+}

@@ -1,0 +1,158 @@
+//===- urcm_report.cpp - One-command reproduction report -----------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Runs the core experiment grid and emits a self-contained markdown
+// report (stdout, or a file given as argv[1]) with the paper-vs-measured
+// tables: Figure 5, the static/dynamic ambiguity bands, the scheme
+// decomposition and the memory-access-time speedups. Useful to verify a
+// build reproduces the paper's shapes in one command:
+//
+//   ./build/tools/urcm_report report.md
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/driver/Driver.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+using namespace urcm;
+
+namespace {
+
+FILE *Out = stdout;
+
+void line(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+void line(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(Out, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', Out);
+}
+
+CacheConfig paperCache() {
+  CacheConfig C;
+  C.NumLines = 128;
+  C.Assoc = 2;
+  C.LineWords = 1;
+  return C;
+}
+
+SchemeComparison fig5(const Workload &W) {
+  CompileOptions Options;
+  Options.IRGen.ScalarLocalsInMemory = true;
+  SchemeComparison C = compareSchemes(W.Source, Options, paperCache());
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), C.Error.c_str());
+    std::exit(1);
+  }
+  return C;
+}
+
+SimResult runSystem(const Workload &W, bool Era, bool Promote,
+                    const UnifiedOptions &Scheme) {
+  CompileOptions Options;
+  Options.IRGen.ScalarLocalsInMemory = Era;
+  Options.PromoteLoopScalars = Promote;
+  Options.Scheme = Scheme;
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  DiagnosticEngine Diags;
+  SimResult R = compileAndRun(W.Source, Options, Sim, Diags);
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc > 1) {
+    Out = std::fopen(argv[1], "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+
+  line("# URCM reproduction report");
+  line("");
+  line("Chi & Dietz, *Unified Management of Registers and Cache Using "
+       "Liveness and Cache Bypass*, PLDI 1989.");
+  line("Configuration: era compiler, 128-line 2-way LRU data cache, "
+       "1-word lines.");
+  line("");
+
+  line("## Figure 5 — data-cache traffic reduction (paper: ~60%% mean)");
+  line("");
+  line("| bench | conventional | unified | reduction | dynamic "
+       "unambiguous |");
+  line("|---|---|---|---|---|");
+  double Sum = 0;
+  for (const Workload &W : paperWorkloads()) {
+    SchemeComparison C = fig5(W);
+    Sum += C.cacheTrafficReductionPercent();
+    line("| %s | %llu | %llu | %.1f%% | %.1f%% |", W.Name.c_str(),
+         static_cast<unsigned long long>(
+             C.Conventional.Cache.cacheTraffic()),
+         static_cast<unsigned long long>(C.Unified.Cache.cacheTraffic()),
+         C.cacheTrafficReductionPercent(),
+         C.dynamicUnambiguousPercent());
+  }
+  line("| **mean** | | | **%.1f%%** | |",
+       Sum / paperWorkloads().size());
+  line("");
+
+  line("## Static classification (paper: 70-80%% unambiguous)");
+  line("");
+  line("| bench | static unambiguous | refs |");
+  line("|---|---|---|");
+  for (const Workload &W : paperWorkloads()) {
+    SchemeComparison C = fig5(W);
+    line("| %s | %.1f%% | %llu |", W.Name.c_str(),
+         C.StaticStats.unambiguousFraction() * 100.0,
+         static_cast<unsigned long long>(C.StaticStats.totalRefs()));
+  }
+  line("");
+
+  line("## Memory-access time (mem word = 10 cycles; paper section 4.4 "
+       "claims \"factors of 2 or more\")");
+  line("");
+  line("| bench | era baseline (cycles) | complete unified (cycles) | "
+       "speedup |");
+  line("|---|---|---|---|");
+  LatencyModel Model;
+  double Product = 1.0;
+  for (const Workload &W : paperWorkloads()) {
+    SimResult Base =
+        runSystem(W, true, false, UnifiedOptions::conventional());
+    SimResult Uni =
+        runSystem(W, false, true, UnifiedOptions::reuseAware());
+    uint64_t BaseCycles = memoryAccessCycles(Base.Cache, Model);
+    uint64_t UniCycles = memoryAccessCycles(Uni.Cache, Model);
+    double Speedup = static_cast<double>(BaseCycles) /
+                     static_cast<double>(UniCycles);
+    Product *= Speedup;
+    line("| %s | %llu | %llu | %.2fx |", W.Name.c_str(),
+         static_cast<unsigned long long>(BaseCycles),
+         static_cast<unsigned long long>(UniCycles), Speedup);
+  }
+  line("| **geomean** | | | **%.2fx** |",
+       std::pow(Product, 1.0 / paperWorkloads().size()));
+  line("");
+
+  line("## Sanity");
+  line("");
+  line("All schemes produced identical program outputs with zero "
+       "coherence violations (checked per run above).");
+  if (Out != stdout)
+    std::fclose(Out);
+  return 0;
+}

@@ -1,0 +1,341 @@
+//===- urcmc.cpp - URCM command-line compiler driver ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Compile, inspect and simulate MC programs from the shell:
+//
+//   urcmc prog.mc                      compile + run (unified scheme)
+//   urcmc --workload=Queen --compare   run a built-in benchmark under
+//                                      both schemes and report traffic
+//   urcmc prog.mc --dump-ir            print the IR after allocation
+//   urcmc prog.mc --dump-asm           print annotated URCM-RISC code
+//   urcmc prog.mc --scheme=deadtag --era --cache-lines=64 --assoc=4
+//
+// Flags:
+//   --era                 scalar locals in memory (Figure-5 codegen)
+//   --cleanup             run copy-prop/LVN/DCE (+ --dse for dead stores)
+//   --promote             loop promotion of unaliased scalars
+//   --O1                  --promote + --cleanup
+//   --scheme=S            conventional | bypass | deadtag | unified |
+//                         reuse   (default unified)
+//   --regs=N              allocatable registers (default 24)
+//   --alloc=P             chaitin | usage  (default chaitin)
+//   --cache-lines=N --assoc=N --line-words=N --policy=lru|fifo|random
+//   --icache              model the instruction cache too
+//   --dump-ast --dump-ir --dump-asm --stats --compare
+//   --workload=NAME       use a built-in benchmark instead of a file
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/driver/Driver.h"
+#include "urcm/ir/IRParser.h"
+#include "urcm/ir/Interpreter.h"
+#include "urcm/ir/Verifier.h"
+#include "urcm/lang/Sema.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace urcm;
+
+namespace {
+
+struct CliOptions {
+  std::string InputFile;
+  std::string WorkloadName;
+  CompileOptions Compile;
+  SimConfig Sim;
+  bool DumpAST = false;
+  bool DumpIR = false;
+  bool DumpAsm = false;
+  bool Stats = false;
+  bool Compare = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: urcmc <file.mc> [flags] | urcmc --workload=NAME "
+               "[flags]\nsee the header of tools/urcmc.cpp for the flag "
+               "list\n");
+}
+
+bool parseFlag(CliOptions &Cli, const std::string &Arg) {
+  auto Value = [&](const char *Prefix) -> const char * {
+    size_t Len = std::strlen(Prefix);
+    if (Arg.compare(0, Len, Prefix) == 0)
+      return Arg.c_str() + Len;
+    return nullptr;
+  };
+
+  if (Arg == "--era") {
+    Cli.Compile.IRGen.ScalarLocalsInMemory = true;
+    return true;
+  }
+  if (Arg == "--cleanup") {
+    Cli.Compile.RunCleanup = true;
+    return true;
+  }
+  if (Arg == "--dse") {
+    Cli.Compile.RunCleanup = true;
+    Cli.Compile.Transforms.DeadStoreElimination = true;
+    return true;
+  }
+  if (Arg == "--promote") {
+    Cli.Compile.PromoteLoopScalars = true;
+    return true;
+  }
+  if (Arg == "--O1") {
+    // The full optimizing pipeline: promotion + copy-prop + LVN + DCE.
+    Cli.Compile.PromoteLoopScalars = true;
+    Cli.Compile.RunCleanup = true;
+    return true;
+  }
+  if (Arg == "--dump-ast") {
+    Cli.DumpAST = true;
+    return true;
+  }
+  if (Arg == "--dump-ir") {
+    Cli.DumpIR = true;
+    return true;
+  }
+  if (Arg == "--dump-asm") {
+    Cli.DumpAsm = true;
+    return true;
+  }
+  if (Arg == "--stats") {
+    Cli.Stats = true;
+    return true;
+  }
+  if (Arg == "--compare") {
+    Cli.Compare = true;
+    return true;
+  }
+  if (Arg == "--icache") {
+    Cli.Sim.ModelICache = true;
+    return true;
+  }
+  if (const char *V = Value("--scheme=")) {
+    std::string S = V;
+    if (S == "conventional")
+      Cli.Compile.Scheme = UnifiedOptions::conventional();
+    else if (S == "bypass")
+      Cli.Compile.Scheme = UnifiedOptions::bypassOnly();
+    else if (S == "deadtag")
+      Cli.Compile.Scheme = UnifiedOptions::deadTagOnly();
+    else if (S == "unified")
+      Cli.Compile.Scheme = UnifiedOptions::unified();
+    else if (S == "reuse")
+      Cli.Compile.Scheme = UnifiedOptions::reuseAware();
+    else
+      return false;
+    return true;
+  }
+  if (const char *V = Value("--regs=")) {
+    Cli.Compile.RegAlloc.NumColors = std::atoi(V);
+    return Cli.Compile.RegAlloc.NumColors >= 8;
+  }
+  if (const char *V = Value("--alloc=")) {
+    std::string S = V;
+    if (S == "chaitin")
+      Cli.Compile.RegAlloc.Policy = RegAllocPolicy::ChaitinBriggs;
+    else if (S == "usage")
+      Cli.Compile.RegAlloc.Policy = RegAllocPolicy::UsageCount;
+    else
+      return false;
+    return true;
+  }
+  if (const char *V = Value("--cache-lines=")) {
+    Cli.Sim.Cache.NumLines = std::atoi(V);
+    return Cli.Sim.Cache.NumLines > 0;
+  }
+  if (const char *V = Value("--assoc=")) {
+    Cli.Sim.Cache.Assoc = std::atoi(V);
+    return Cli.Sim.Cache.Assoc > 0;
+  }
+  if (const char *V = Value("--line-words=")) {
+    Cli.Sim.Cache.LineWords = std::atoi(V);
+    return Cli.Sim.Cache.LineWords > 0;
+  }
+  if (const char *V = Value("--policy=")) {
+    std::string S = V;
+    if (S == "lru")
+      Cli.Sim.Cache.Policy = ReplacementPolicy::LRU;
+    else if (S == "fifo")
+      Cli.Sim.Cache.Policy = ReplacementPolicy::FIFO;
+    else if (S == "random")
+      Cli.Sim.Cache.Policy = ReplacementPolicy::Random;
+    else
+      return false;
+    return true;
+  }
+  if (const char *V = Value("--workload=")) {
+    Cli.WorkloadName = V;
+    return true;
+  }
+  return false;
+}
+
+void printRunReport(const SimResult &R, bool Stats) {
+  std::printf("output:");
+  for (int64_t V : R.Output)
+    std::printf(" %lld", static_cast<long long>(V));
+  std::printf("\n");
+  if (!Stats)
+    return;
+  std::printf("steps: %llu\n",
+              static_cast<unsigned long long>(R.Steps));
+  std::printf("data refs: %llu (unambiguous %.1f%%, bypassed %llu, "
+              "dead-tagged %llu)\n",
+              static_cast<unsigned long long>(R.Refs.total()),
+              R.Refs.unambiguousFraction() * 100.0,
+              static_cast<unsigned long long>(R.Refs.Bypassed),
+              static_cast<unsigned long long>(R.Refs.LastRefTagged));
+  std::printf("cache: %s\n", R.Cache.str().c_str());
+  if (R.InstructionFetches != 0)
+    std::printf("icache: fetches=%llu hit=%.2f%%\n",
+                static_cast<unsigned long long>(R.InstructionFetches),
+                R.ICache.hitRate() * 100.0);
+  if (R.CoherenceViolations != 0)
+    std::printf("WARNING: %llu coherence violations (unsound hints)\n",
+                static_cast<unsigned long long>(R.CoherenceViolations));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Cli;
+  for (int A = 1; A != argc; ++A) {
+    std::string Arg = argv[A];
+    if (Arg.rfind("--", 0) == 0) {
+      if (!parseFlag(Cli, Arg)) {
+        std::fprintf(stderr, "error: unknown or invalid flag '%s'\n",
+                     Arg.c_str());
+        usage();
+        return 2;
+      }
+    } else if (Cli.InputFile.empty()) {
+      Cli.InputFile = Arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  std::string Source;
+  if (!Cli.WorkloadName.empty()) {
+    const Workload *W = findWorkload(Cli.WorkloadName);
+    if (!W) {
+      std::fprintf(stderr, "error: unknown workload '%s' (try: ",
+                   Cli.WorkloadName.c_str());
+      for (const Workload &Known : paperWorkloads())
+        std::fprintf(stderr, "%s ", Known.Name.c_str());
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    Source = W->Source;
+  } else if (!Cli.InputFile.empty()) {
+    std::ifstream In(Cli.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Cli.InputFile.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  } else {
+    usage();
+    return 2;
+  }
+
+  // Textual IR input: parse, verify, interpret.
+  if (Cli.InputFile.size() > 3 &&
+      Cli.InputFile.compare(Cli.InputFile.size() - 3, 3, ".ir") == 0) {
+    DiagnosticEngine Diags;
+    auto M = parseIR(Source, Diags);
+    if (!M || !verifyModule(*M, Diags)) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    if (Cli.DumpIR) {
+      std::printf("%s", printIR(*M).c_str());
+      return 0;
+    }
+    InterpResult R = interpretModule(*M);
+    if (!R.ok()) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("output:");
+    for (int64_t V : R.Output)
+      std::printf(" %lld", static_cast<long long>(V));
+    std::printf("\n");
+    return 0;
+  }
+
+  if (Cli.Compare) {
+    SchemeComparison C =
+        compareSchemes(Source, Cli.Compile, Cli.Sim.Cache);
+    if (!C.ok()) {
+      std::fprintf(stderr, "error: %s\n", C.Error.c_str());
+      return 1;
+    }
+    std::printf("static: %s\n", C.StaticStats.str().c_str());
+    std::printf("%-14s %14s %14s\n", "", "conventional", "unified");
+    std::printf("%-14s %14llu %14llu\n", "cache traffic",
+                static_cast<unsigned long long>(
+                    C.Conventional.Cache.cacheTraffic()),
+                static_cast<unsigned long long>(
+                    C.Unified.Cache.cacheTraffic()));
+    std::printf("%-14s %14llu %14llu\n", "bus traffic",
+                static_cast<unsigned long long>(
+                    C.Conventional.Cache.busTraffic()),
+                static_cast<unsigned long long>(
+                    C.Unified.Cache.busTraffic()));
+    std::printf("reduction: %.1f%% cache, %.1f%% bus; dynamic "
+                "unambiguous %.1f%%\n",
+                C.cacheTrafficReductionPercent(),
+                C.busTrafficReductionPercent(),
+                C.dynamicUnambiguousPercent());
+    return 0;
+  }
+
+  if (Cli.DumpAST) {
+    DiagnosticEngine Diags;
+    auto TU = parseAndAnalyze(Source, Diags);
+    if (!TU) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::printf("%s", printAST(*TU).c_str());
+    return 0;
+  }
+
+  DiagnosticEngine Diags;
+  CompileResult Compiled = compileProgram(Source, Cli.Compile, Diags);
+  if (!Compiled.Ok) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (Cli.DumpIR) {
+    std::printf("%s", printIR(*Compiled.Module.IR).c_str());
+    return 0;
+  }
+  if (Cli.DumpAsm) {
+    std::printf("%s", Compiled.Program.str().c_str());
+    return 0;
+  }
+
+  Simulator S(Cli.Sim);
+  SimResult R = S.run(Compiled.Program);
+  if (!R.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  printRunReport(R, Cli.Stats);
+  return 0;
+}
