@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_occupancy.dir/cache_occupancy.cpp.o"
+  "CMakeFiles/cache_occupancy.dir/cache_occupancy.cpp.o.d"
+  "cache_occupancy"
+  "cache_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_size_sweep.dir/cache_size_sweep.cpp.o"
+  "CMakeFiles/cache_size_sweep.dir/cache_size_sweep.cpp.o.d"
+  "cache_size_sweep"
+  "cache_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadtag_ablation.dir/deadtag_ablation.cpp.o"
+  "CMakeFiles/deadtag_ablation.dir/deadtag_ablation.cpp.o.d"
+  "deadtag_ablation"
+  "deadtag_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadtag_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

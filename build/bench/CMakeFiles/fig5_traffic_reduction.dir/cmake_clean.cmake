@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_traffic_reduction.dir/fig5_traffic_reduction.cpp.o"
+  "CMakeFiles/fig5_traffic_reduction.dir/fig5_traffic_reduction.cpp.o.d"
+  "fig5_traffic_reduction"
+  "fig5_traffic_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_traffic_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

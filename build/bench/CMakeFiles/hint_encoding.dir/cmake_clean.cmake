@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_encoding.dir/hint_encoding.cpp.o"
+  "CMakeFiles/hint_encoding.dir/hint_encoding.cpp.o.d"
+  "hint_encoding"
+  "hint_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icache_effect.dir/icache_effect.cpp.o"
+  "CMakeFiles/icache_effect.dir/icache_effect.cpp.o.d"
+  "icache_effect"
+  "icache_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icache_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

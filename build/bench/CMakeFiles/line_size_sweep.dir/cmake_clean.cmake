@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_size_sweep.dir/line_size_sweep.cpp.o"
+  "CMakeFiles/line_size_sweep.dir/line_size_sweep.cpp.o.d"
+  "line_size_sweep"
+  "line_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_access_time.dir/memory_access_time.cpp.o"
+  "CMakeFiles/memory_access_time.dir/memory_access_time.cpp.o.d"
+  "memory_access_time"
+  "memory_access_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_access_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miller_ratio.dir/miller_ratio.cpp.o"
+  "CMakeFiles/miller_ratio.dir/miller_ratio.cpp.o.d"
+  "miller_ratio"
+  "miller_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miller_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

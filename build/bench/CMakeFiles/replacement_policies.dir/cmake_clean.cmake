@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_policies.dir/replacement_policies.cpp.o"
+  "CMakeFiles/replacement_policies.dir/replacement_policies.cpp.o.d"
+  "replacement_policies"
+  "replacement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_threshold_sweep.dir/reuse_threshold_sweep.cpp.o"
+  "CMakeFiles/reuse_threshold_sweep.dir/reuse_threshold_sweep.cpp.o.d"
+  "reuse_threshold_sweep"
+  "reuse_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

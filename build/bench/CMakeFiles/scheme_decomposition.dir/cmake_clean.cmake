@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_decomposition.dir/scheme_decomposition.cpp.o"
+  "CMakeFiles/scheme_decomposition.dir/scheme_decomposition.cpp.o.d"
+  "scheme_decomposition"
+  "scheme_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_vs_hardware_dse.dir/software_vs_hardware_dse.cpp.o"
+  "CMakeFiles/software_vs_hardware_dse.dir/software_vs_hardware_dse.cpp.o.d"
+  "software_vs_hardware_dse"
+  "software_vs_hardware_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_vs_hardware_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

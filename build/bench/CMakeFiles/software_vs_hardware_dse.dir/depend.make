@@ -1,0 +1,2 @@
+# Empty dependencies file for software_vs_hardware_dse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_dynamic_ambiguity.dir/static_dynamic_ambiguity.cpp.o"
+  "CMakeFiles/static_dynamic_ambiguity.dir/static_dynamic_ambiguity.cpp.o.d"
+  "static_dynamic_ambiguity"
+  "static_dynamic_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_dynamic_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for static_dynamic_ambiguity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_lab.dir/alias_lab.cpp.o"
+  "CMakeFiles/alias_lab.dir/alias_lab.cpp.o.d"
+  "alias_lab"
+  "alias_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

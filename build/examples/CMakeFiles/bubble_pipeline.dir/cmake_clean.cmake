@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bubble_pipeline.dir/bubble_pipeline.cpp.o"
+  "CMakeFiles/bubble_pipeline.dir/bubble_pipeline.cpp.o.d"
+  "bubble_pipeline"
+  "bubble_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bubble_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;urcm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bubble_pipeline "/root/repo/build/examples/bubble_pipeline")
+set_tests_properties(example_bubble_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;urcm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_explorer "/root/repo/build/examples/cache_explorer")
+set_tests_properties(example_cache_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;urcm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_alias_lab "/root/repo/build/examples/alias_lab")
+set_tests_properties(example_alias_lab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;urcm_add_example;/root/repo/examples/CMakeLists.txt;0;")

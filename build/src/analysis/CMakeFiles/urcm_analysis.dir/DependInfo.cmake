@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AliasAnalysis.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/AliasAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/AliasAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/CallFrequency.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/CallFrequency.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/CallFrequency.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/Loops.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/Loops.cpp.o.d"
+  "/root/repo/src/analysis/MemoryLiveness.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/MemoryLiveness.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/MemoryLiveness.cpp.o.d"
+  "/root/repo/src/analysis/ReachingDefs.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/ReachingDefs.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/ReachingDefs.cpp.o.d"
+  "/root/repo/src/analysis/Webs.cpp" "src/analysis/CMakeFiles/urcm_analysis.dir/Webs.cpp.o" "gcc" "src/analysis/CMakeFiles/urcm_analysis.dir/Webs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/urcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/urcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/urcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

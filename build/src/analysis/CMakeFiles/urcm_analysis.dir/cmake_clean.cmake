@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_analysis.dir/AliasAnalysis.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/AliasAnalysis.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/CallFrequency.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/CallFrequency.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/Loops.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/Loops.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/MemoryLiveness.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/MemoryLiveness.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/ReachingDefs.cpp.o.d"
+  "CMakeFiles/urcm_analysis.dir/Webs.cpp.o"
+  "CMakeFiles/urcm_analysis.dir/Webs.cpp.o.d"
+  "liburcm_analysis.a"
+  "liburcm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CodeGen.cpp" "src/codegen/CMakeFiles/urcm_codegen.dir/CodeGen.cpp.o" "gcc" "src/codegen/CMakeFiles/urcm_codegen.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/codegen/MachinePrinter.cpp" "src/codegen/CMakeFiles/urcm_codegen.dir/MachinePrinter.cpp.o" "gcc" "src/codegen/CMakeFiles/urcm_codegen.dir/MachinePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/urcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/urcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/urcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/urcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/urcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

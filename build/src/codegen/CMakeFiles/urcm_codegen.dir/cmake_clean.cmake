@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_codegen.dir/CodeGen.cpp.o"
+  "CMakeFiles/urcm_codegen.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/urcm_codegen.dir/MachinePrinter.cpp.o"
+  "CMakeFiles/urcm_codegen.dir/MachinePrinter.cpp.o.d"
+  "liburcm_codegen.a"
+  "liburcm_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

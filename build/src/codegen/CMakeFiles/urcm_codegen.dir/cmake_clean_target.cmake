@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liburcm_codegen.a"
+)

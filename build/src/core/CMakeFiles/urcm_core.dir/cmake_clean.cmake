@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_core.dir/UnifiedManagement.cpp.o"
+  "CMakeFiles/urcm_core.dir/UnifiedManagement.cpp.o.d"
+  "liburcm_core.a"
+  "liburcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

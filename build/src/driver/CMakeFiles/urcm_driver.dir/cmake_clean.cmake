@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_driver.dir/Driver.cpp.o"
+  "CMakeFiles/urcm_driver.dir/Driver.cpp.o.d"
+  "liburcm_driver.a"
+  "liburcm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liburcm_driver.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_ir.dir/IR.cpp.o"
+  "CMakeFiles/urcm_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/urcm_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/urcm_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/urcm_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/urcm_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/urcm_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/urcm_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/urcm_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/urcm_ir.dir/Verifier.cpp.o.d"
+  "liburcm_ir.a"
+  "liburcm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irgen/IRGen.cpp" "src/irgen/CMakeFiles/urcm_irgen.dir/IRGen.cpp.o" "gcc" "src/irgen/CMakeFiles/urcm_irgen.dir/IRGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/urcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/urcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/urcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_irgen.dir/IRGen.cpp.o"
+  "CMakeFiles/urcm_irgen.dir/IRGen.cpp.o.d"
+  "liburcm_irgen.a"
+  "liburcm_irgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_irgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for urcm_irgen.
+# This may be replaced when dependencies are built.

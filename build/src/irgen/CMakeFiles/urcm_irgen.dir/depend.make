@@ -1,0 +1,2 @@
+# Empty dependencies file for urcm_irgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_lang.dir/AST.cpp.o"
+  "CMakeFiles/urcm_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/urcm_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/urcm_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/urcm_lang.dir/Parser.cpp.o"
+  "CMakeFiles/urcm_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/urcm_lang.dir/Sema.cpp.o"
+  "CMakeFiles/urcm_lang.dir/Sema.cpp.o.d"
+  "liburcm_lang.a"
+  "liburcm_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

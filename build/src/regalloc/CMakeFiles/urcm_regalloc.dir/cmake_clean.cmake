@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_regalloc.dir/RegAlloc.cpp.o"
+  "CMakeFiles/urcm_regalloc.dir/RegAlloc.cpp.o.d"
+  "liburcm_regalloc.a"
+  "liburcm_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_sim.dir/Cache.cpp.o"
+  "CMakeFiles/urcm_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/urcm_sim.dir/Occupancy.cpp.o"
+  "CMakeFiles/urcm_sim.dir/Occupancy.cpp.o.d"
+  "CMakeFiles/urcm_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/urcm_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/urcm_sim.dir/TraceSim.cpp.o"
+  "CMakeFiles/urcm_sim.dir/TraceSim.cpp.o.d"
+  "liburcm_sim.a"
+  "liburcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/urcm_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/urcm_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/urcm_support.dir/StringUtils.cpp.o.d"
+  "liburcm_support.a"
+  "liburcm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

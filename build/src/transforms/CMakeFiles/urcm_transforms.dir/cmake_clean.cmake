@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_transforms.dir/LoopPromotion.cpp.o"
+  "CMakeFiles/urcm_transforms.dir/LoopPromotion.cpp.o.d"
+  "CMakeFiles/urcm_transforms.dir/Transforms.cpp.o"
+  "CMakeFiles/urcm_transforms.dir/Transforms.cpp.o.d"
+  "CMakeFiles/urcm_transforms.dir/ValueNumbering.cpp.o"
+  "CMakeFiles/urcm_transforms.dir/ValueNumbering.cpp.o.d"
+  "liburcm_transforms.a"
+  "liburcm_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/urcm_workloads.dir/Workloads.cpp.o.d"
+  "liburcm_workloads.a"
+  "liburcm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callfrequency_test.dir/callfrequency_test.cpp.o"
+  "CMakeFiles/callfrequency_test.dir/callfrequency_test.cpp.o.d"
+  "callfrequency_test"
+  "callfrequency_test.pdb"
+  "callfrequency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callfrequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

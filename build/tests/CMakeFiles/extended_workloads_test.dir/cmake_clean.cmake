@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_workloads_test.dir/extended_workloads_test.cpp.o"
+  "CMakeFiles/extended_workloads_test.dir/extended_workloads_test.cpp.o.d"
+  "extended_workloads_test"
+  "extended_workloads_test.pdb"
+  "extended_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

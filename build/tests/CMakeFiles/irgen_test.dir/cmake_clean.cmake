@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irgen_test.dir/irgen_test.cpp.o"
+  "CMakeFiles/irgen_test.dir/irgen_test.cpp.o.d"
+  "irgen_test"
+  "irgen_test.pdb"
+  "irgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

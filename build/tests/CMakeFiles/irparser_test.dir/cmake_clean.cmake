@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irparser_test.dir/irparser_test.cpp.o"
+  "CMakeFiles/irparser_test.dir/irparser_test.cpp.o.d"
+  "irparser_test"
+  "irparser_test.pdb"
+  "irparser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memliveness_test.dir/memliveness_test.cpp.o"
+  "CMakeFiles/memliveness_test.dir/memliveness_test.cpp.o.d"
+  "memliveness_test"
+  "memliveness_test.pdb"
+  "memliveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memliveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion_test.dir/promotion_test.cpp.o"
+  "CMakeFiles/promotion_test.dir/promotion_test.cpp.o.d"
+  "promotion_test"
+  "promotion_test.pdb"
+  "promotion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracesim_test.dir/tracesim_test.cpp.o"
+  "CMakeFiles/tracesim_test.dir/tracesim_test.cpp.o.d"
+  "tracesim_test"
+  "tracesim_test.pdb"
+  "tracesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valuenumbering_test.dir/valuenumbering_test.cpp.o"
+  "CMakeFiles/valuenumbering_test.dir/valuenumbering_test.cpp.o.d"
+  "valuenumbering_test"
+  "valuenumbering_test.pdb"
+  "valuenumbering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valuenumbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

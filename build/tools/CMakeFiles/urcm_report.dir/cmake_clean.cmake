@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcm_report.dir/urcm_report.cpp.o"
+  "CMakeFiles/urcm_report.dir/urcm_report.cpp.o.d"
+  "urcm_report"
+  "urcm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urcmc.dir/urcmc.cpp.o"
+  "CMakeFiles/urcmc.dir/urcmc.cpp.o.d"
+  "urcmc"
+  "urcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
