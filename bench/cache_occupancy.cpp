@@ -31,9 +31,7 @@ const SimResult &tracedRun(const std::string &Name, bool Unified) {
   CompileOptions Options = figure5Compile();
   Options.Scheme = Unified ? UnifiedOptions::unified()
                            : UnifiedOptions::conventional();
-  return singleRun(Name, Options, Sim,
-                   std::string("occup/") + (Unified ? "u/" : "c/") +
-                       Name);
+  return singleRun(Name, Options, Sim);
 }
 
 OccupancyStats occupancy(const std::string &Name, bool Unified) {

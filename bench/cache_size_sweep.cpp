@@ -11,6 +11,10 @@
 // sizes, while register allocation shrinks the pool of bypassable
 // references.
 //
+// Each (benchmark, compilation model) pair is simulated once with
+// tracing; every cache size and both schemes replay from that trace
+// (see BenchCommon.h's pair-sweep helpers).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -25,24 +29,42 @@ const std::vector<uint32_t> &cacheSizes() {
   return Sizes;
 }
 
-const SchemeComparison &measure(const std::string &Name, uint32_t Lines,
-                                bool Era) {
-  CacheConfig Cache = paperCache();
-  Cache.NumLines = Lines;
+CompileOptions optionsFor(bool Era) {
   CompileOptions Options = figure5Compile();
   Options.IRGen.ScalarLocalsInMemory = Era;
-  return comparison(Name, Options, Cache,
-                    "size/" + std::to_string(Lines) +
-                        (Era ? "/era/" : "/alloc/") + Name);
+  return Options;
+}
+
+std::vector<SweepPoint> grid() {
+  std::vector<SweepPoint> G;
+  for (uint32_t Lines : cacheSizes()) {
+    CacheConfig Cache = paperCache();
+    Cache.NumLines = Lines;
+    G.push_back({Cache, TracePolicy::LRU, /*IgnoreHints=*/false});
+  }
+  return G;
+}
+
+size_t sizeIndex(uint32_t Lines) {
+  for (size_t I = 0; I != cacheSizes().size(); ++I)
+    if (cacheSizes()[I] == Lines)
+      return I;
+  return 0;
+}
+
+SchemeComparison measure(const std::string &Name, uint32_t Lines,
+                         bool Era) {
+  return pairComparison(Name, optionsFor(Era), cacheSizes().size(),
+                        sizeIndex(Lines));
 }
 
 void rowFor(benchmark::State &State, const std::string &Name,
             uint32_t Lines, bool Era) {
   for (auto _ : State) {
-    const SchemeComparison &C = measure(Name, Lines, Era);
+    SchemeComparison C = measure(Name, Lines, Era);
     benchmark::DoNotOptimize(&C);
   }
-  const SchemeComparison &C = measure(Name, Lines, Era);
+  SchemeComparison C = measure(Name, Lines, Era);
   State.counters["cache_lines"] = Lines;
   State.counters["reduction_pct"] = C.cacheTrafficReductionPercent();
   State.counters["conv_hit_pct"] = C.Conventional.Cache.hitRate() * 100.0;
@@ -71,6 +93,13 @@ void summary() {
 } // namespace
 
 int main(int argc, char **argv) {
+  // The largest geometry is the cheapest to simulate live, so it hosts
+  // the traced base run; the other sizes are pure replay.
+  for (const std::string &Name : workloadNames())
+    for (bool Era : {true, false})
+      schedulePairSweep(Name, optionsFor(Era), grid(),
+                        /*BaseIndex=*/cacheSizes().size() - 1);
+  engine().run();
   for (const std::string &Name : workloadNames())
     for (uint32_t Lines : cacheSizes())
       for (bool Era : {true, false}) {

@@ -32,8 +32,8 @@ DeadTagPoint measure(const std::string &Name) {
   Dead.Scheme = UnifiedOptions::deadTagOnly();
 
   DeadTagPoint P;
-  P.Conventional = &singleRun(Name, Conv, Sim, "dead/conv/" + Name);
-  P.DeadTag = &singleRun(Name, Dead, Sim, "dead/tag/" + Name);
+  P.Conventional = &singleRun(Name, Conv, Sim);
+  P.DeadTag = &singleRun(Name, Dead, Sim);
   return P;
 }
 

@@ -24,7 +24,7 @@ using namespace urcm::bench;
 namespace {
 
 const SchemeComparison &fig5(const std::string &Name) {
-  return comparison(Name, figure5Compile(), paperCache(), "fig5/" + Name);
+  return comparison(Name, figure5Compile(), paperCache());
 }
 
 void rowFor(benchmark::State &State, const std::string &Name) {

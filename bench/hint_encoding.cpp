@@ -32,7 +32,7 @@ namespace {
 const SimResult &measured(const std::string &Name) {
   SimConfig Sim;
   Sim.Cache = paperCache();
-  return singleRun(Name, figure5Compile(), Sim, "hint/" + Name);
+  return singleRun(Name, figure5Compile(), Sim);
 }
 
 void rowFor(benchmark::State &State, const std::string &Name) {

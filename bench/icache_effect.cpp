@@ -28,8 +28,7 @@ const SimResult &measured(const std::string &Name, uint32_t ILineWords) {
   Sim.ICache.LineWords = ILineWords;
   Sim.ICache.NumLines = std::max(2u, 64u / ILineWords);
   Sim.ICache.Assoc = 2;
-  return singleRun(Name, figure5Compile(), Sim,
-                   "icache/" + std::to_string(ILineWords) + "/" + Name);
+  return singleRun(Name, figure5Compile(), Sim);
 }
 
 void rowFor(benchmark::State &State, const std::string &Name,

@@ -9,6 +9,10 @@
 // word-granular workloads, even though hit *rates* rise with longer
 // lines.
 //
+// Each benchmark is simulated once with tracing; every line geometry
+// replays from that trace (the reference stream does not depend on the
+// cache geometry).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -23,29 +27,48 @@ const std::vector<uint32_t> &lineSizes() {
   return Sizes;
 }
 
-const SimResult &measure(const std::string &Name, uint32_t LineWords) {
-  SimConfig Sim;
-  Sim.Cache = paperCache();
-  Sim.Cache.LineWords = LineWords;
-  // Hold capacity constant in *words*: fewer lines when lines are wider.
-  Sim.Cache.NumLines = std::max(2u, 128u / LineWords);
+CompileOptions conventionalOptions() {
   CompileOptions Options = figure5Compile();
   Options.Scheme = UnifiedOptions::conventional();
-  return singleRun(Name, Options, Sim,
-                   "lines/" + std::to_string(LineWords) + "/" + Name);
+  return Options;
+}
+
+std::vector<SweepPoint> grid() {
+  std::vector<SweepPoint> G;
+  for (uint32_t LineWords : lineSizes()) {
+    CacheConfig Cache = paperCache();
+    Cache.LineWords = LineWords;
+    // Hold capacity constant in *words*: fewer lines when lines are
+    // wider.
+    Cache.NumLines = std::max(2u, 128u / LineWords);
+    G.push_back({Cache, TracePolicy::LRU, /*IgnoreHints=*/false});
+  }
+  return G;
+}
+
+size_t lineIndex(uint32_t LineWords) {
+  for (size_t I = 0; I != lineSizes().size(); ++I)
+    if (lineSizes()[I] == LineWords)
+      return I;
+  return 0;
+}
+
+const CacheStats &measure(const std::string &Name, uint32_t LineWords) {
+  return singleSweepStats(Name, conventionalOptions(),
+                          lineIndex(LineWords));
 }
 
 void rowFor(benchmark::State &State, const std::string &Name,
             uint32_t LineWords) {
   for (auto _ : State) {
-    const SimResult &R = measure(Name, LineWords);
-    benchmark::DoNotOptimize(&R);
+    const CacheStats &S = measure(Name, LineWords);
+    benchmark::DoNotOptimize(&S);
   }
-  const SimResult &R = measure(Name, LineWords);
+  const CacheStats &S = measure(Name, LineWords);
   State.counters["line_words"] = LineWords;
   State.counters["bus_traffic_words"] =
-      static_cast<double>(R.Cache.busTraffic());
-  State.counters["miss_pct"] = 100.0 - R.Cache.hitRate() * 100.0;
+      static_cast<double>(S.busTraffic());
+  State.counters["miss_pct"] = 100.0 - S.hitRate() * 100.0;
 }
 
 void summary() {
@@ -59,7 +82,7 @@ void summary() {
     std::printf("%-8s", Name.c_str());
     for (uint32_t L : lineSizes())
       std::printf(" %12llu", static_cast<unsigned long long>(
-                                 measure(Name, L).Cache.busTraffic()));
+                                 measure(Name, L).busTraffic()));
     std::printf("\n");
   }
   std::printf("(paper section 1: one-word lines preferred for data "
@@ -69,6 +92,10 @@ void summary() {
 } // namespace
 
 int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    scheduleSingleSweep(Name, conventionalOptions(), grid(),
+                        /*BaseIndex=*/0);
+  engine().run();
   for (const std::string &Name : workloadNames())
     for (uint32_t L : lineSizes())
       benchmark::RegisterBenchmark(

@@ -63,9 +63,7 @@ const SimResult &measure(const std::string &Name,
   Options.IRGen.ScalarLocalsInMemory = Point.Era;
   Options.Scheme = Point.Scheme;
   Options.PromoteLoopScalars = Point.Promote;
-  return singleRun(Name, Options, Sim,
-                   std::string("memtime/") + Point.Label + "/" +
-                       std::to_string(Lines) + "/" + Name);
+  return singleRun(Name, Options, Sim);
 }
 
 uint64_t cyclesFor(const std::string &Name, const SystemPoint &Point,

@@ -18,7 +18,7 @@ namespace {
 
 double ratioFor(const std::string &Name) {
   const SchemeComparison &C =
-      comparison(Name, figure5Compile(), paperCache(), "miller/" + Name);
+      comparison(Name, figure5Compile(), paperCache());
   double Unambiguous = static_cast<double>(
       C.StaticStats.UnambiguousRefs + C.StaticStats.SpillRefs);
   double Ambiguous =

@@ -4,9 +4,11 @@
 //
 // Section 3.2 claims the dead-line freeing composes with LRU, FIFO,
 // Random *and Belady's MIN*. We record one data-reference trace per
-// benchmark under each scheme and replay it against all four policies,
-// reporting miss counts. MIN needs future knowledge, hence the
-// trace-driven replay.
+// benchmark and replay it against all four policies for both schemes
+// (the conventional cells replay with the hint bits stripped; the
+// instruction stream is scheme-independent, which the pair sweep
+// verifies), reporting miss counts. MIN needs future knowledge, hence
+// the trace-driven replay.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,30 +28,27 @@ const std::vector<TracePolicy> &policies() {
   return P;
 }
 
-const SimResult &tracedRun(const std::string &Name, bool Unified) {
-  SimConfig Sim;
-  Sim.Cache = paperCache();
-  Sim.RecordTrace = true;
-  CompileOptions Options = figure5Compile();
-  Options.Scheme = Unified ? UnifiedOptions::unified()
-                           : UnifiedOptions::conventional();
-  return singleRun(Name, Options, Sim,
-                   std::string("policies/") +
-                       (Unified ? "uni/" : "conv/") + Name);
+std::vector<SweepPoint> grid() {
+  std::vector<SweepPoint> G;
+  for (TracePolicy P : policies())
+    G.push_back({paperCache(), P, /*IgnoreHints=*/false});
+  return G;
+}
+
+size_t policyIndex(TracePolicy Policy) {
+  for (size_t I = 0; I != policies().size(); ++I)
+    if (policies()[I] == Policy)
+      return I;
+  return 0;
 }
 
 CacheStats replayed(const std::string &Name, bool Unified,
                     TracePolicy Policy) {
-  static std::map<std::string, CacheStats> Cached;
-  std::string Key = Name + (Unified ? "/u/" : "/c/") +
-                    tracePolicyName(Policy);
-  auto It = Cached.find(Key);
-  if (It != Cached.end())
-    return It->second;
-  const SimResult &R = tracedRun(Name, Unified);
-  CacheStats S = replayTrace(R.Trace, paperCache(), Policy);
-  Cached.emplace(Key, S);
-  return S;
+  size_t I = policyIndex(Policy);
+  return Unified
+             ? pairUnifiedStats(Name, figure5Compile(), I)
+             : pairConventionalStats(Name, figure5Compile(),
+                                     policies().size(), I);
 }
 
 void rowFor(benchmark::State &State, const std::string &Name,
@@ -89,6 +88,9 @@ void summary() {
 } // namespace
 
 int main(int argc, char **argv) {
+  for (const std::string &Name : workloadNames())
+    schedulePairSweep(Name, figure5Compile(), grid(), /*BaseIndex=*/0);
+  engine().run();
   for (const std::string &Name : workloadNames())
     for (bool Unified : {false, true})
       for (TracePolicy Policy : policies()) {

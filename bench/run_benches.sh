@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs the paper-exhibit bench binaries and merges their google-benchmark
+# JSON output, plus each binary's end-to-end wall time, into one
+# BENCH_sweep.json so the performance trajectory of the experiment
+# harness can be tracked across PRs. The wall times are the numbers that
+# matter for the sweep engine: each binary precomputes its whole
+# experiment grid (traced base simulations + replays) in main() before
+# the benchmark rows run, so the per-row timings are near zero and the
+# binary's wall time is the true cost of the exhibit.
+#
+# Usage: bench/run_benches.sh [build-dir] [out-json] [bench-name...]
+#   build-dir   CMake build tree containing bench/ binaries (default: build)
+#   out-json    merged output path (default: BENCH_sweep.json)
+#   bench-name  subset to run (default: every exhibit); the CTest smoke
+#               test passes a single fast exhibit here.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_sweep.json}
+if [ "$#" -gt 2 ]; then
+  shift 2
+  BENCHES=("$@")
+else
+  BENCHES=(
+    fig5_traffic_reduction
+    static_dynamic_ambiguity
+    miller_ratio
+    deadtag_ablation
+    scheme_decomposition
+    replacement_policies
+    line_size_sweep
+    cache_size_sweep
+    hint_encoding
+    icache_effect
+    software_vs_hardware_dse
+    cache_occupancy
+    memory_access_time
+    reuse_threshold_sweep
+  )
+fi
+
+JSON_DIR=$(mktemp -d)
+trap 'rm -rf "$JSON_DIR"' EXIT
+
+for B in "${BENCHES[@]}"; do
+  BIN="$BUILD_DIR/bench/$B"
+  if [ ! -x "$BIN" ]; then
+    echo "run_benches: missing bench binary $BIN (build the repo first)" >&2
+    exit 1
+  fi
+  START=$(date +%s.%N)
+  # Rows register with Iterations(1) — results are deterministic tables,
+  # not throughput — so one iteration is always enough. Newer
+  # google-benchmark accepts the explicit "1x"; older versions print a
+  # flag-type warning and ignore it, which is equally fine.
+  "$BIN" --benchmark_min_time=1x \
+         --benchmark_out="$JSON_DIR/$B.json" \
+         --benchmark_out_format=json
+  END=$(date +%s.%N)
+  echo "$B $(echo "$END $START" | awk '{printf "%.3f", $1 - $2}')" \
+    >> "$JSON_DIR/walltimes.txt"
+done
+
+# Merge: google-benchmark JSON shape (context + concatenated benchmark
+# rows; row names are globally unique exhibit labels) plus a wall-time
+# map for the trajectory comparison.
+python3 - "$JSON_DIR" "$OUT" <<'PY'
+import json, pathlib, sys
+
+json_dir, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+walltimes = {}
+for line in (json_dir / "walltimes.txt").read_text().splitlines():
+    name, seconds = line.split()
+    walltimes[name] = float(seconds)
+
+merged = {"context": None, "benchmarks": [], "wall_time_s": walltimes,
+          "total_wall_time_s": round(sum(walltimes.values()), 3)}
+for name in walltimes:
+    data = json.loads((json_dir / f"{name}.json").read_text())
+    if merged["context"] is None:
+        merged["context"] = data.get("context")
+    merged["benchmarks"].extend(data.get("benchmarks", []))
+
+out.write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {out}: {len(merged['benchmarks'])} rows, "
+      f"{merged['total_wall_time_s']}s total")
+PY

@@ -43,8 +43,7 @@ const SimResult &measure(const std::string &Name,
   Sim.Cache = paperCache();
   CompileOptions Options = figure5Compile();
   Options.Scheme = Point.Scheme;
-  return singleRun(Name, Options, Sim,
-                   std::string("decomp/") + Point.Label + "/" + Name);
+  return singleRun(Name, Options, Sim);
 }
 
 void rowFor(benchmark::State &State, const std::string &Name,

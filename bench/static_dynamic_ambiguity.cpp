@@ -19,8 +19,7 @@ using namespace urcm::bench;
 namespace {
 
 const SchemeComparison &measured(const std::string &Name) {
-  return comparison(Name, figure5Compile(), paperCache(),
-                    "ambig/" + Name);
+  return comparison(Name, figure5Compile(), paperCache());
 }
 
 void rowFor(benchmark::State &State, const std::string &Name) {

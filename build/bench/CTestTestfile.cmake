@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh])$")
+  add_test(bench_smoke "/root/repo/bench/run_benches.sh" "/root/repo/build" "/root/repo/build/BENCH_smoke.json" "line_size_sweep")
+  set_tests_properties(bench_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()

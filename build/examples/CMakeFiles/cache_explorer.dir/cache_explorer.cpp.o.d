@@ -212,5 +212,5 @@ examples/CMakeFiles/cache_explorer.dir/cache_explorer.cpp.o: \
  /root/repo/include/urcm/support/RNG.h \
  /root/repo/include/urcm/transforms/LoopPromotion.h \
  /root/repo/include/urcm/transforms/Transforms.h \
- /root/repo/include/urcm/sim/TraceSim.h \
+ /root/repo/include/urcm/sim/TraceSim.h /usr/include/c++/12/limits \
  /root/repo/include/urcm/workloads/Workloads.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/Cache.cpp" "src/sim/CMakeFiles/urcm_sim.dir/Cache.cpp.o" "gcc" "src/sim/CMakeFiles/urcm_sim.dir/Cache.cpp.o.d"
   "/root/repo/src/sim/Occupancy.cpp" "src/sim/CMakeFiles/urcm_sim.dir/Occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/urcm_sim.dir/Occupancy.cpp.o.d"
   "/root/repo/src/sim/Simulator.cpp" "src/sim/CMakeFiles/urcm_sim.dir/Simulator.cpp.o" "gcc" "src/sim/CMakeFiles/urcm_sim.dir/Simulator.cpp.o.d"
+  "/root/repo/src/sim/SweepEngine.cpp" "src/sim/CMakeFiles/urcm_sim.dir/SweepEngine.cpp.o" "gcc" "src/sim/CMakeFiles/urcm_sim.dir/SweepEngine.cpp.o.d"
   "/root/repo/src/sim/TraceSim.cpp" "src/sim/CMakeFiles/urcm_sim.dir/TraceSim.cpp.o" "gcc" "src/sim/CMakeFiles/urcm_sim.dir/TraceSim.cpp.o.d"
   )
 

@@ -203,7 +203,7 @@ src/sim/CMakeFiles/urcm_sim.dir/Occupancy.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/include/urcm/support/RNG.h \
  /root/repo/include/urcm/sim/Simulator.h \
- /root/repo/include/urcm/codegen/MachineIR.h \
+ /root/repo/include/urcm/codegen/MachineIR.h /usr/include/c++/12/limits \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

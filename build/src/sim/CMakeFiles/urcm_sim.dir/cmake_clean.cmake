@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/urcm_sim.dir/Occupancy.cpp.o.d"
   "CMakeFiles/urcm_sim.dir/Simulator.cpp.o"
   "CMakeFiles/urcm_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/urcm_sim.dir/SweepEngine.cpp.o"
+  "CMakeFiles/urcm_sim.dir/SweepEngine.cpp.o.d"
   "CMakeFiles/urcm_sim.dir/TraceSim.cpp.o"
   "CMakeFiles/urcm_sim.dir/TraceSim.cpp.o.d"
   "liburcm_sim.a"

@@ -202,9 +202,8 @@ tests/CMakeFiles/cache_test.dir/cache_test.cpp.o: \
  /root/repo/include/urcm/support/RNG.h \
  /root/repo/include/urcm/sim/TraceSim.h \
  /root/repo/include/urcm/sim/Simulator.h \
- /root/repo/include/urcm/codegen/MachineIR.h \
+ /root/repo/include/urcm/codegen/MachineIR.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -212,10 +212,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/include/urcm/support/RNG.h \
  /root/repo/include/urcm/transforms/LoopPromotion.h \
  /root/repo/include/urcm/transforms/Transforms.h \
- /root/repo/include/urcm/sim/TraceSim.h \
+ /root/repo/include/urcm/sim/TraceSim.h /usr/include/c++/12/limits \
  /root/repo/include/urcm/workloads/Workloads.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -203,7 +203,7 @@ tests/CMakeFiles/occupancy_test.dir/occupancy_test.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/include/urcm/support/RNG.h \
  /root/repo/include/urcm/sim/Simulator.h \
- /root/repo/include/urcm/codegen/MachineIR.h \
+ /root/repo/include/urcm/codegen/MachineIR.h /usr/include/c++/12/limits \
  /root/repo/include/urcm/driver/Driver.h \
  /root/repo/include/urcm/codegen/CodeGen.h \
  /root/repo/include/urcm/core/UnifiedManagement.h \
@@ -215,7 +215,6 @@ tests/CMakeFiles/occupancy_test.dir/occupancy_test.cpp.o: \
  /root/repo/include/urcm/transforms/Transforms.h \
  /root/repo/include/urcm/workloads/Workloads.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sweepengine_test.cpp" "tests/CMakeFiles/sweepengine_test.dir/sweepengine_test.cpp.o" "gcc" "tests/CMakeFiles/sweepengine_test.dir/sweepengine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/urcm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/urcm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/irgen/CMakeFiles/urcm_irgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/urcm_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/urcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/urcm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/urcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/urcm_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/urcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/urcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/urcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/urcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweepengine_test.dir/sweepengine_test.cpp.o"
+  "CMakeFiles/sweepengine_test.dir/sweepengine_test.cpp.o.d"
+  "sweepengine_test"
+  "sweepengine_test.pdb"
+  "sweepengine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweepengine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

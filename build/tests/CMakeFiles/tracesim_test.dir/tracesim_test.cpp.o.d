@@ -202,9 +202,8 @@ tests/CMakeFiles/tracesim_test.dir/tracesim_test.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/include/urcm/support/RNG.h \
  /root/repo/include/urcm/sim/Simulator.h \
- /root/repo/include/urcm/codegen/MachineIR.h \
+ /root/repo/include/urcm/codegen/MachineIR.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -64,6 +64,8 @@ struct CacheConfig {
   WritePolicy Write = WritePolicy::WriteBack;
   /// Seed for the Random policy.
   uint64_t Seed = 0x5eed;
+
+  friend bool operator==(const CacheConfig &, const CacheConfig &) = default;
 };
 
 /// Event counters. "Words" counters measure cache<->memory traffic in
@@ -110,6 +112,47 @@ struct CacheStats {
   }
 
   std::string str() const;
+
+  /// Field-wise equality; the sweep-engine tests assert byte-identical
+  /// counters between the live cache, the replayer and the fast paths.
+  friend bool operator==(const CacheStats &, const CacheStats &) = default;
+};
+
+/// Index arithmetic shared by the live cache and the trace replayers:
+/// precomputes the set count and strength-reduces the per-access modulo
+/// and division to masks/shifts when the geometry is a power of two
+/// (always true for the paper configurations). Pure strength reduction —
+/// results are identical to the naive `%` / `/` forms.
+struct CacheGeometry {
+  uint32_t NumSets = 1;
+  uint32_t LineWords = 1;
+  uint32_t SetMask = 0;   ///< NumSets - 1 when NumSets is a power of two.
+  uint32_t LineShift = 0; ///< log2(LineWords) when a power of two.
+  bool SetsPow2 = false;
+  bool LinePow2 = false;
+
+  CacheGeometry() = default;
+  explicit CacheGeometry(const CacheConfig &Config) {
+    NumSets = Config.NumLines / Config.Assoc;
+    LineWords = Config.LineWords;
+    SetsPow2 = NumSets != 0 && (NumSets & (NumSets - 1)) == 0;
+    if (SetsPow2)
+      SetMask = NumSets - 1;
+    LinePow2 = LineWords != 0 && (LineWords & (LineWords - 1)) == 0;
+    if (LinePow2)
+      while ((1u << LineShift) < LineWords)
+        ++LineShift;
+  }
+
+  uint64_t lineAddr(uint64_t Addr) const {
+    if (LineWords == 1)
+      return Addr;
+    return LinePow2 ? Addr >> LineShift : Addr / LineWords;
+  }
+  uint32_t setOf(uint64_t LineAddress) const {
+    return static_cast<uint32_t>(SetsPow2 ? LineAddress & SetMask
+                                          : LineAddress % NumSets);
+  }
 };
 
 /// A simple memory-access-time model used to reproduce the paper's
@@ -182,10 +225,10 @@ private:
     std::vector<int64_t> Data;
   };
 
-  uint32_t numSets() const { return Config.NumLines / Config.Assoc; }
-  uint64_t lineAddr(uint64_t Addr) const { return Addr / Config.LineWords; }
+  uint32_t numSets() const { return Geometry.NumSets; }
+  uint64_t lineAddr(uint64_t Addr) const { return Geometry.lineAddr(Addr); }
   uint32_t setOf(uint64_t LineAddress) const {
-    return static_cast<uint32_t>(LineAddress % numSets());
+    return Geometry.setOf(LineAddress);
   }
 
   Line *findLine(uint64_t LineAddress);
@@ -200,6 +243,7 @@ private:
   void freeLine(Line &L, bool AvoidWriteBack);
 
   CacheConfig Config;
+  CacheGeometry Geometry;
   MainMemory &Mem;
   CacheStats Stats;
   std::vector<Line> Lines; // Set-major: set s occupies [s*Assoc, ...).

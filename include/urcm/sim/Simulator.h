@@ -26,12 +26,36 @@
 namespace urcm {
 
 /// One recorded data reference (for trace-driven replay, e.g. Belady
-/// MIN).
+/// MIN). Kept to 8 bytes — traces run to tens of millions of events and
+/// the sweep engine streams them repeatedly — so only the fields replay
+/// consumes are recorded: the word address (word addresses are bounded
+/// by the simulated memory size, far below 2^32) and the cache hint
+/// bits.
 struct TraceEvent {
-  uint64_t Addr = 0;
+  /// The subset of MemRefInfo that affects cache behaviour.
+  struct Hints {
+    bool Bypass = false;
+    bool LastRef = false;
+    Hints() = default;
+    Hints(bool Bypass, bool LastRef) : Bypass(Bypass), LastRef(LastRef) {}
+    Hints(const MemRefInfo &Info)
+        : Bypass(Info.Bypass), LastRef(Info.LastRef) {}
+    /// TraceEvent hints feed APIs taking full reference info (e.g. the
+    /// live DataCache in tests).
+    operator MemRefInfo() const {
+      MemRefInfo Info;
+      Info.Bypass = Bypass;
+      Info.LastRef = LastRef;
+      return Info;
+    }
+  };
+
+  uint32_t Addr = 0;
   bool IsWrite = false;
-  MemRefInfo Info;
+  Hints Info;
 };
+static_assert(sizeof(TraceEvent) == 8, "trace events are streamed in "
+                                       "bulk; keep them packed");
 
 /// Simulation knobs.
 struct SimConfig {
@@ -41,6 +65,11 @@ struct SimConfig {
   bool Paranoid = true;
   /// Record the data-reference trace for later replay.
   bool RecordTrace = false;
+  /// Expected trace length (e.g. from a previous run of the same
+  /// workload); when RecordTrace is set the trace vector is reserved to
+  /// this size up front, avoiding reallocation copies of a trace that
+  /// can run to hundreds of MB. Zero reserves nothing.
+  uint64_t TraceSizeHint = 0;
   /// Model an instruction cache as well (paper section 2.2: cache can
   /// hold both data and instructions). Instruction addresses are code
   /// indexes; multi-word lines capture sequential fetch locality.

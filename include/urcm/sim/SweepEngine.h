@@ -1,0 +1,169 @@
+//===- urcm/sim/SweepEngine.h - Compile-once/replay-many sweeps -*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep engine that powers the paper-reproduction experiment grids
+/// (cache-size sweep E10, replacement policies E8, line-size sweep E9,
+/// the urcm_report tool). A sweep evaluates one workload at many cache
+/// geometries/policies; the recorded data-reference trace of a program
+/// is independent of cache geometry (the cache is an observer — control
+/// flow never consults it), so the engine runs the expensive functional
+/// Simulator exactly once per compiled program and serves every sweep
+/// point from cheap stats-only replay. Three layers:
+///
+///  1. compile-once/replay-many: SweepEngine memoizes one traced base
+///     run per experiment key and frees each trace as soon as its sweep
+///     points are served (traces run to hundreds of MB);
+///  2. single-pass multi-configuration replay: replayTraceMulti walks
+///     the trace once and advances every requested configuration in
+///     lock-step; sweepLRUStackDistance is a Mattson-style stack-
+///     distance pass that produces exact LRU counters for *every*
+///     fully-associative size in one walk, extended with hole-based
+///     bookkeeping so the paper's bypass and last-reference (dead-tag)
+///     hints remain exact (a freed line leaves a "hole" at its stack
+///     depth, which encodes precisely the set of capacities that
+///     gained a free slot);
+///  3. a thread pool (urcm/support/ThreadPool.h) runs independent
+///     experiments concurrently.
+///
+/// Replay counters are bit-identical to the live DataCache's (asserted
+/// by tests/sweepengine_test.cpp), so exhibits that moved from
+/// re-simulation to replay print unchanged numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SIM_SWEEPENGINE_H
+#define URCM_SIM_SWEEPENGINE_H
+
+#include "urcm/sim/TraceSim.h"
+#include "urcm/support/ThreadPool.h"
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// One sweep point: a cache geometry plus the replacement policy to
+/// replay it under (TracePolicy adds Belady MIN to the hardware set).
+///
+/// IgnoreHints replays the point with every bypass/last-reference hint
+/// bit cleared — the conventional scheme's view of the same reference
+/// stream. The unified-management pass only flips hint bits on an
+/// otherwise identical instruction stream (see fig5_traffic_reduction),
+/// so a hint-stripped replay of a unified-scheme trace equals a run of
+/// the conventionally-compiled program: one traced simulation serves
+/// both schemes.
+struct SweepPoint {
+  CacheConfig Config;
+  TracePolicy Policy = TracePolicy::LRU;
+  bool IgnoreHints = false;
+};
+
+/// Walks \p Trace once and replays every point in lock-step. Counters
+/// are identical to calling replayTrace per point (each point's state is
+/// independent); the single pass touches the big trace once instead of
+/// Points.size() times. MIN points sharing a line size share one
+/// next-use precomputation.
+std::vector<CacheStats>
+replayTraceMulti(const std::vector<TraceEvent> &Trace,
+                 const std::vector<SweepPoint> &Points);
+
+/// True if \p Point can be served by the stack-distance fast path:
+/// fully-associative LRU, write-back, one-word lines (the paper's
+/// preferred line size).
+bool stackDistanceEligible(const SweepPoint &Point);
+
+/// Exact one-pass Mattson sweep: returns, for each entry of
+/// \p NumLines, the counters of a fully-associative LRU write-back
+/// cache with that many one-word lines — byte-identical to
+/// replayTrace on the same geometry. Bypass and last-reference hints
+/// are honoured exactly via hole-based stack bookkeeping; with
+/// \p IgnoreHints they are stripped instead (every event is a plain
+/// through-cache access).
+std::vector<CacheStats>
+sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
+                      const std::vector<uint32_t> &NumLines,
+                      bool IgnoreHints = false);
+
+/// Replays \p Points from \p Trace, dispatching to the stack-distance
+/// fast path when every point is eligible and to the lock-step
+/// multi-replay otherwise. Results are identical either way.
+std::vector<CacheStats>
+replaySweepPoints(const std::vector<TraceEvent> &Trace,
+                  const std::vector<SweepPoint> &Points);
+
+/// Memoizing, parallel front-end: each *experiment* is one traced
+/// functional run (the producer closure compiles and simulates — the
+/// engine itself is compiler-agnostic) plus the sweep points replayed
+/// from its trace. Experiments are keyed by caller-chosen strings
+/// (callers key on config *contents*); scheduling the same key twice is
+/// idempotent. run() executes pending experiments across the thread
+/// pool and frees each trace once its points are served.
+class SweepEngine {
+public:
+  /// Runs the functional simulator for this experiment's program under
+  /// \p Config (the engine sets RecordTrace and the trace reserve hint
+  /// before calling). Must be thread-safe across distinct experiments.
+  using Producer = std::function<SimResult(const SimConfig &)>;
+
+  /// \p Pool null uses ThreadPool::global().
+  explicit SweepEngine(ThreadPool *Pool = nullptr)
+      : Pool(Pool ? Pool : &ThreadPool::global()) {}
+
+  /// The process-wide engine over the global pool.
+  static SweepEngine &global();
+
+  /// Schedules one experiment. \p HintGroup names a family of runs with
+  /// similar trace lengths (e.g. the workload name): the first run in a
+  /// group sizes later runs' trace reservations. Re-scheduling an
+  /// existing \p Key is a no-op (the points must match).
+  void schedule(const std::string &Key, const std::string &HintGroup,
+                const SimConfig &Base, std::vector<SweepPoint> Points,
+                Producer Run);
+
+  /// Runs every pending experiment (parallel across experiments) and
+  /// returns when all are done. Base runs that fail (as reported by
+  /// SimResult::ok) are kept with their error; point stats for a failed
+  /// base are empty.
+  void run();
+
+  bool done(const std::string &Key) const;
+
+  /// The base functional run (trace dropped). Valid after run().
+  const SimResult &base(const std::string &Key) const;
+
+  /// The replayed counters of point \p Index. When a point's geometry
+  /// and policy equal the base run's cache configuration, the base
+  /// run's own counters are returned (replay is bit-identical, so this
+  /// is pure reuse). Valid after run().
+  const CacheStats &point(const std::string &Key, size_t Index) const;
+
+private:
+  struct Experiment {
+    std::string HintGroup;
+    SimConfig Base;
+    std::vector<SweepPoint> Points;
+    Producer Run;
+    SimResult Result;
+    std::vector<CacheStats> Stats;
+    bool Done = false;
+  };
+
+  const Experiment &finished(const std::string &Key) const;
+
+  ThreadPool *Pool;
+  mutable std::mutex M;
+  std::map<std::string, Experiment> Experiments;
+  /// Largest trace length seen per hint group (reserve hint source).
+  std::map<std::string, uint64_t> Hints;
+};
+
+} // namespace urcm
+
+#endif // URCM_SIM_SWEEPENGINE_H

@@ -12,7 +12,11 @@
 /// be compared on an identical reference stream (experiment E8).
 ///
 /// Hint semantics (bypass, last-reference) match DataCache exactly; the
-/// replayer just never touches data values.
+/// replayer just never touches data values. The replayer is exposed as a
+/// step-driven class (TraceReplayer) so the sweep engine can advance many
+/// configurations in lock-step over a single walk of the trace; step()
+/// is defined inline because the sweep engine executes it hundreds of
+/// millions of times (trace length x configurations).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,10 @@
 #include "urcm/sim/Cache.h"
 #include "urcm/sim/Simulator.h"
 
+#include <cassert>
+#include <limits>
+#include <memory>
+
 namespace urcm {
 
 /// Replacement policies available to the replayer (superset of the live
@@ -29,6 +37,214 @@ namespace urcm {
 enum class TracePolicy { LRU, FIFO, Random, MIN };
 
 const char *tracePolicyName(TracePolicy Policy);
+
+/// The replay policy that models hardware policy \p Policy.
+TracePolicy tracePolicyFor(ReplacementPolicy Policy);
+
+/// For Belady MIN: Next[i] = index of the next through-cache access to
+/// the same cache line after event i (UINT64_MAX if none). Depends only
+/// on the trace and the line size, so MIN replays at different
+/// geometries with the same line size can share one computation.
+std::shared_ptr<const std::vector<uint64_t>>
+computeNextLineUses(const std::vector<TraceEvent> &Trace,
+                    uint32_t LineWords);
+
+/// Stats-only replay of one cache configuration, advanced one trace
+/// event at a time. Semantics (and counters) are identical to running
+/// the events through a live DataCache with the same geometry.
+class TraceReplayer {
+  static constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
+
+  struct ReplayLine {
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t Tag = 0;
+    uint64_t LastUsed = 0;
+    uint64_t InsertedAt = 0;
+    uint64_t NextUse = Never; // For MIN.
+  };
+
+public:
+  /// \p NextUses is required for TracePolicy::MIN (see
+  /// computeNextLineUses; it must have been computed with this config's
+  /// line size) and ignored otherwise.
+  TraceReplayer(const CacheConfig &Config, TracePolicy Policy,
+                std::shared_ptr<const std::vector<uint64_t>> NextUses =
+                    nullptr)
+      : Config(Config), Geometry(Config), Policy(Policy),
+        NextUses(std::move(NextUses)), Rng(Config.Seed),
+        Lines(Config.NumLines) {
+    assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
+           "associativity must divide the line count");
+    assert((Policy != TracePolicy::MIN || this->NextUses) &&
+           "MIN needs the next-use index (computeNextLineUses)");
+  }
+
+  /// Processes trace event \p E, which sits at position \p Index of the
+  /// trace (the index feeds MIN's future-knowledge lookup).
+  void step(const TraceEvent &E, uint64_t Index) {
+    uint64_t LA = Geometry.lineAddr(E.Addr);
+
+    if (E.Info.Bypass) {
+      if (!E.IsWrite) {
+        if (ReplayLine *L = find(LA)) {
+          // Migration: dirty lines are written back first (see
+          // DataCache::read for the soundness argument).
+          ++Stats.BypassHitMigrations;
+          if (Config.LineWords == 1) {
+            ++Stats.DeadFrees;
+            if (L->Dirty)
+              evict(*L);
+            L->Valid = false;
+            L->Dirty = false;
+          } else {
+            evict(*L);
+          }
+        } else {
+          ++Stats.BypassReads;
+        }
+      } else {
+        ++Stats.BypassWrites;
+      }
+      return;
+    }
+
+    if (E.IsWrite)
+      ++Stats.Writes;
+    else
+      ++Stats.Reads;
+
+    if (E.IsWrite && Config.Write == WritePolicy::WriteThrough) {
+      // Write-through / no-write-allocate (see DataCache::write).
+      ++Stats.WriteThroughWords;
+      if (ReplayLine *L = find(LA)) {
+        ++Stats.WriteHits;
+        L->LastUsed = ++Tick;
+        if (Policy == TracePolicy::MIN)
+          L->NextUse = (*NextUses)[Index];
+        if (E.Info.LastRef)
+          freeLine(*L);
+      }
+      return;
+    }
+
+    ReplayLine *L = find(LA);
+    if (L) {
+      if (E.IsWrite)
+        ++Stats.WriteHits;
+      else
+        ++Stats.ReadHits;
+      L->LastUsed = ++Tick;
+    } else {
+      uint32_t Set = Geometry.setOf(LA);
+      L = chooseVictim(Set);
+      if (L->Valid)
+        evict(*L);
+      L->Valid = true;
+      L->Dirty = false;
+      L->Tag = LA;
+      L->InsertedAt = ++Tick;
+      L->LastUsed = Tick;
+      bool FetchWords = !E.IsWrite || Config.LineWords > 1;
+      ++Stats.Fills;
+      if (FetchWords)
+        Stats.FillWords += Config.LineWords;
+    }
+
+    if (Policy == TracePolicy::MIN)
+      L->NextUse = (*NextUses)[Index];
+    if (E.IsWrite)
+      L->Dirty = true;
+    if (E.Info.LastRef)
+      freeLine(*L);
+  }
+
+  /// Counts the remaining dirty lines as end-of-program flush
+  /// write-backs and returns the final counters. Call exactly once.
+  CacheStats finish() {
+    for (ReplayLine &L : Lines)
+      if (L.Valid && L.Dirty)
+        Stats.FlushWriteBackWords += Config.LineWords;
+    return Stats;
+  }
+
+private:
+  ReplayLine *find(uint64_t LA) {
+    uint32_t Set = Geometry.setOf(LA);
+    ReplayLine *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
+    for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
+      if (Base[Way].Valid && Base[Way].Tag == LA)
+        return &Base[Way];
+    return nullptr;
+  }
+
+  ReplayLine *chooseVictim(uint32_t Set) {
+    ReplayLine *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
+    for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
+      if (!Base[Way].Valid)
+        return &Base[Way];
+    switch (Policy) {
+    case TracePolicy::LRU: {
+      ReplayLine *Victim = Base;
+      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
+        if (Base[Way].LastUsed < Victim->LastUsed)
+          Victim = &Base[Way];
+      return Victim;
+    }
+    case TracePolicy::FIFO: {
+      ReplayLine *Victim = Base;
+      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
+        if (Base[Way].InsertedAt < Victim->InsertedAt)
+          Victim = &Base[Way];
+      return Victim;
+    }
+    case TracePolicy::Random:
+      return &Base[Rng.nextBelow(Config.Assoc)];
+    case TracePolicy::MIN: {
+      // Belady: evict the line whose next use is farthest in the future.
+      ReplayLine *Victim = Base;
+      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
+        if (Base[Way].NextUse > Victim->NextUse)
+          Victim = &Base[Way];
+      return Victim;
+    }
+    }
+    return Base;
+  }
+
+  void evict(ReplayLine &L) {
+    if (L.Dirty) {
+      ++Stats.WriteBacks;
+      Stats.WriteBackWords += Config.LineWords;
+    }
+    ++Stats.Evictions;
+    L.Valid = false;
+    L.Dirty = false;
+  }
+
+  void freeLine(ReplayLine &L) {
+    ++Stats.DeadFrees;
+    if (Config.LineWords == 1) {
+      if (L.Dirty)
+        ++Stats.DeadWriteBacksAvoided;
+      L.Valid = false;
+      L.Dirty = false;
+      return;
+    }
+    L.LastUsed = 0;
+    L.InsertedAt = 0;
+    L.NextUse = Never;
+  }
+
+  CacheConfig Config;
+  CacheGeometry Geometry;
+  TracePolicy Policy;
+  std::shared_ptr<const std::vector<uint64_t>> NextUses;
+  SplitMix64 Rng;
+  std::vector<ReplayLine> Lines;
+  CacheStats Stats;
+  uint64_t Tick = 0;
+};
 
 /// Replays \p Trace against a cache with geometry \p Config (the
 /// Config.Policy field is ignored; \p Policy is used instead). Returns

@@ -1,0 +1,163 @@
+//===- urcm/support/ThreadPool.h - Minimal worker pool ----------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the sweep engine to run
+/// independent experiment points concurrently. Design constraints:
+///
+///  * deterministic results: parallelFor writes each result through its
+///    own index, so outcomes never depend on scheduling order;
+///  * the calling thread participates in parallelFor (a pool of size N
+///    brings N+1 workers to bear, and a pool on a single-core machine
+///    degrades gracefully to near-serial execution);
+///  * exceptions from tasks are captured and rethrown on the caller.
+///
+/// parallelFor must not be called from inside a pool task (the nested
+/// call would deadlock waiting for workers that are all busy in the
+/// outer loop); the sweep engine only fans out from the main thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_THREADPOOL_H
+#define URCM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace urcm {
+
+class ThreadPool {
+public:
+  /// \p ThreadCount 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned ThreadCount = 0) {
+    if (ThreadCount == 0) {
+      ThreadCount = std::thread::hardware_concurrency();
+      if (ThreadCount == 0)
+        ThreadCount = 1;
+    }
+    Workers.reserve(ThreadCount);
+    for (unsigned I = 0; I != ThreadCount; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopping = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs Body(0), ..., Body(N-1), possibly concurrently, and returns
+  /// once every call has finished. The first exception thrown by any
+  /// call is rethrown here (remaining indexes still run to completion).
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body) {
+    if (N == 0)
+      return;
+    if (N == 1) { // Nothing to overlap; skip the queue round-trip.
+      Body(0);
+      return;
+    }
+
+    auto Job = std::make_shared<ParallelJob>();
+    Job->Limit = N;
+    Job->Body = &Body;
+
+    size_t Helpers = std::min<size_t>(Workers.size(), N - 1);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      for (size_t I = 0; I != Helpers; ++I)
+        Tasks.push([Job] { Job->drain(); });
+    }
+    WakeWorkers.notify_all();
+
+    // The caller works too; drain() returns when the index space is
+    // exhausted (other workers may still be finishing their last index).
+    Job->drain();
+    std::unique_lock<std::mutex> Lock(Job->DoneM);
+    Job->DoneCV.wait(Lock, [&] { return Job->Done == N; });
+    if (Job->Error)
+      std::rethrow_exception(Job->Error);
+  }
+
+  /// The process-wide pool (sized to the hardware), created on first use.
+  static ThreadPool &global() {
+    static ThreadPool Pool;
+    return Pool;
+  }
+
+private:
+  struct ParallelJob {
+    std::atomic<size_t> Next{0};
+    size_t Limit = 0;
+    const std::function<void(size_t)> *Body = nullptr;
+    std::mutex DoneM;
+    std::condition_variable DoneCV;
+    size_t Done = 0;
+    std::exception_ptr Error;
+
+    void drain() {
+      for (;;) {
+        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Limit)
+          return;
+        std::exception_ptr E;
+        try {
+          (*Body)(I);
+        } catch (...) {
+          E = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> Lock(DoneM);
+          if (E && !Error)
+            Error = E;
+          ++Done;
+          if (Done == Limit)
+            DoneCV.notify_all();
+        }
+      }
+    }
+  };
+
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WakeWorkers.wait(Lock, [&] { return Stopping || !Tasks.empty(); });
+        if (Tasks.empty())
+          return; // Stopping, queue drained.
+        Task = std::move(Tasks.front());
+        Tasks.pop();
+      }
+      Task();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable WakeWorkers;
+  std::queue<std::function<void()>> Tasks;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_THREADPOOL_H

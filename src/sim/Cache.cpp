@@ -60,7 +60,7 @@ uint64_t urcm::memoryAccessCycles(const CacheStats &Stats,
 }
 
 DataCache::DataCache(const CacheConfig &Config, MainMemory &Mem)
-    : Config(Config), Mem(Mem), Rng(Config.Seed) {
+    : Config(Config), Geometry(Config), Mem(Mem), Rng(Config.Seed) {
   assert(Config.NumLines > 0 && "cache must have lines");
   assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
          "associativity must divide the line count");

@@ -15,6 +15,8 @@ using namespace urcm;
 
 SimResult Simulator::run(const MachineProgram &Prog) {
   SimResult Result;
+  if (Config.RecordTrace && Config.TraceSizeHint)
+    Result.Trace.reserve(Config.TraceSizeHint);
   MainMemory Mem(Prog.StackTop + 64);
   DataCache Cache(Config.Cache, Mem);
 
@@ -61,7 +63,8 @@ SimResult Simulator::run(const MachineProgram &Prog) {
       ++Result.BypassTransitions;
     LastBypassBit = Bit;
     if (Config.RecordTrace)
-      Result.Trace.push_back(TraceEvent{Addr, IsWrite, Info});
+      Result.Trace.push_back(TraceEvent{static_cast<uint32_t>(Addr),
+                                        IsWrite, TraceEvent::Hints(Info)});
   };
 
   while (Result.Steps < Config.MaxSteps) {

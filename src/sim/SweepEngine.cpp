@@ -1,0 +1,676 @@
+//===- SweepEngine.cpp - Compile-once/replay-many sweeps -----------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The stack-distance fast path implemented here extends Mattson's
+// one-pass algorithm [Mattson et al., IBM Sys. J. 1970] to the paper's
+// hint semantics. The classic algorithm exploits LRU inclusion: lines
+// ordered by recency form a stack, an access at stack depth d hits in
+// every fully-associative LRU cache with more than d lines and misses in
+// the rest, so one walk yields hit counts for all sizes.
+//
+// Dead-tag frees and bypass migrations break the textbook version: a
+// freed line leaves a free slot in every cache that held it, and caches
+// of different sizes disagree about which lines they hold. Deleting the
+// freed line from the stack is wrong — it would promote every deeper
+// line by one position, turning later misses into phantom hits for
+// intermediate sizes. Instead a freed line's stack slot is kept as a
+// *hole*: depth arithmetic still counts it, and the number of holes
+// among the top S entries is exactly the number of free slots in the
+// size-S cache. The update rules (derived positionally, asserted
+// bit-identical to TraceReplayer by tests/sweepengine_test.cpp):
+//
+//  * free (dead tag / bypass migration): the line's entry becomes a
+//    hole in place;
+//  * miss everywhere: the new line pushes on top and consumes the
+//    topmost hole, if any — sizes that see the hole fill a free slot,
+//    sizes above the hole evict their own per-size LRU victim (the
+//    entry at stack position S, which simply slides out of the top-S
+//    window);
+//  * hit at depth d with a hole above: the line moves to the top and
+//    the topmost hole moves down into the vacated slot, recording that
+//    every size small enough to miss but deep enough to contain the
+//    hole consumed its free slot, while hitting sizes keep theirs.
+//
+// Dirtiness is also size-dependent (a size that missed refetches the
+// line clean), captured by a per-line DirtyMin = smallest size whose
+// copy is dirty: a write sets it to 1, a read at depth d raises it to
+// max(DirtyMin, d+1) because sizes <= d refill clean.
+//
+// Two Fenwick trees over the timestamp domain (all entries / holes
+// only) give O(log n) depth, topmost-hole and per-size victim queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/SweepEngine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+using namespace urcm;
+
+namespace {
+
+/// computeNextLineUses for an IgnoreHints replay: bypassed events count
+/// as through-cache accesses there, so the next-use index must include
+/// them.
+std::shared_ptr<const std::vector<uint64_t>>
+computeNextLineUsesUnhinted(const std::vector<TraceEvent> &Trace,
+                            uint32_t LineWords) {
+  CacheConfig Geo;
+  Geo.LineWords = LineWords;
+  CacheGeometry G(Geo);
+  auto Next = std::make_shared<std::vector<uint64_t>>(
+      Trace.size(), std::numeric_limits<uint64_t>::max());
+  std::unordered_map<uint64_t, uint64_t> NextOfLine;
+  for (uint64_t Index = Trace.size(); Index-- > 0;) {
+    uint64_t LA = G.lineAddr(Trace[Index].Addr);
+    auto It = NextOfLine.find(LA);
+    if (It != NextOfLine.end())
+      (*Next)[Index] = It->second;
+    NextOfLine[LA] = Index;
+  }
+  return Next;
+}
+
+/// True if \p P can be served by the specialized two-way LRU kernel
+/// below.
+bool lruTwoWayEligible(const SweepPoint &P) {
+  return P.Policy == TracePolicy::LRU &&
+         P.Config.Write == WritePolicy::WriteBack &&
+         P.Config.LineWords == 1 && P.Config.Assoc == 2 &&
+         P.Config.NumLines >= 2 &&
+         (P.Config.NumLines & (P.Config.NumLines - 1)) == 0;
+}
+
+/// Specialized lock-step replay for two-way LRU write-back caches with
+/// one-word lines and power-of-two line counts — the paper's preferred
+/// data-cache shape and by far the hottest sweep configuration.
+/// Counters are bit-identical to TraceReplayer; the win is the state
+/// encoding: each set is a two-entry move-to-front list of tag words
+/// (bit 63 = dirty, all-ones = invalid), so the common case — a hit on
+/// the most recent way — is one load and one compare, with no tick
+/// bookkeeping (for two ways, position *is* recency).
+///
+/// Invariants: among valid ways of a set, slot 0 is the more recently
+/// used; invalid ways can sit in either slot (an access always leaves
+/// the touched line in slot 0, and dead-tag/bypass frees invalidate in
+/// place). Victim choice matches DataCache::chooseVictim: an invalid
+/// way first, else the LRU way (slot 1).
+std::vector<CacheStats>
+replayLRUTwoWay(const std::vector<TraceEvent> &Trace,
+                const std::vector<SweepPoint> &Points) {
+  constexpr uint64_t DirtyBit = uint64_t(1) << 63;
+  constexpr uint64_t TagMask = ~DirtyBit;
+  constexpr uint64_t Invalid = ~uint64_t(0);
+
+  struct Way2Cache {
+    uint64_t SetMask;
+    bool Hinted;
+    std::vector<uint64_t> Tags;
+    CacheStats St;
+  };
+  std::vector<Way2Cache> Caches;
+  Caches.reserve(Points.size());
+  for (const SweepPoint &P : Points) {
+    assert(lruTwoWayEligible(P));
+    Caches.push_back({uint64_t(P.Config.NumLines / 2) - 1,
+                      !P.IgnoreHints,
+                      std::vector<uint64_t>(P.Config.NumLines, Invalid),
+                      CacheStats()});
+  }
+
+  for (const TraceEvent &E : Trace) {
+    const uint64_t A = E.Addr;
+    const bool W = E.IsWrite;
+    const bool Bypass = E.Info.Bypass;
+    const bool LastRef = E.Info.LastRef;
+    for (Way2Cache &C : Caches) {
+      uint64_t *P = C.Tags.data() + ((A & C.SetMask) << 1);
+      if (__builtin_expect(!(Bypass & C.Hinted), 1)) {
+        uint64_t T0 = P[0];
+        if (W)
+          ++C.St.Writes;
+        else
+          ++C.St.Reads;
+        if ((T0 & TagMask) == A) {
+          if (W) {
+            ++C.St.WriteHits;
+            P[0] = T0 | DirtyBit;
+          } else {
+            ++C.St.ReadHits;
+          }
+        } else if (uint64_t T1 = P[1]; (T1 & TagMask) == A) {
+          if (W) {
+            ++C.St.WriteHits;
+            T1 |= DirtyBit;
+          } else {
+            ++C.St.ReadHits;
+          }
+          P[1] = T0;
+          P[0] = T1;
+        } else {
+          // Miss. One-word write-allocate skips the fetch (the store
+          // overwrites the whole line).
+          ++C.St.Fills;
+          if (!W)
+            ++C.St.FillWords;
+          uint64_t NewTag = W ? A | DirtyBit : A;
+          if (T0 == Invalid) {
+            P[0] = NewTag;
+          } else {
+            if (T1 != Invalid) {
+              ++C.St.Evictions;
+              if (T1 & DirtyBit) {
+                ++C.St.WriteBacks;
+                ++C.St.WriteBackWords;
+              }
+            }
+            P[1] = T0;
+            P[0] = NewTag;
+          }
+        }
+        if (LastRef & C.Hinted) {
+          // The accessed line sits in slot 0 after every path above.
+          ++C.St.DeadFrees;
+          if (P[0] & DirtyBit)
+            ++C.St.DeadWriteBacksAvoided;
+          P[0] = Invalid;
+        }
+      } else if (W) {
+        ++C.St.BypassWrites;
+      } else {
+        // Bypass read: a resident line migrates to the register file
+        // (dirty lines write back first) and frees its slot.
+        uint64_t T0 = P[0], T1 = P[1];
+        uint64_t *Slot = (T0 & TagMask) == A   ? &P[0]
+                         : (T1 & TagMask) == A ? &P[1]
+                                               : nullptr;
+        if (Slot) {
+          ++C.St.BypassHitMigrations;
+          ++C.St.DeadFrees;
+          if (*Slot & DirtyBit) {
+            ++C.St.WriteBacks;
+            ++C.St.WriteBackWords;
+            ++C.St.Evictions;
+          }
+          *Slot = Invalid;
+        } else {
+          ++C.St.BypassReads;
+        }
+      }
+    }
+  }
+
+  std::vector<CacheStats> Out;
+  Out.reserve(Caches.size());
+  for (Way2Cache &C : Caches) {
+    for (uint64_t T : C.Tags)
+      if (T != Invalid && (T & DirtyBit))
+        ++C.St.FlushWriteBackWords;
+    Out.push_back(C.St);
+  }
+  return Out;
+}
+
+/// The general lock-step walk: one TraceReplayer per point.
+std::vector<CacheStats>
+replayGenericMulti(const std::vector<TraceEvent> &Trace,
+                   const std::vector<SweepPoint> &Points) {
+  // MIN points with the same line size and hint view share one
+  // next-use index.
+  std::map<std::pair<uint32_t, bool>,
+           std::shared_ptr<const std::vector<uint64_t>>>
+      NextUses;
+  std::vector<TraceReplayer> Replayers;
+  Replayers.reserve(Points.size());
+  bool AnyHinted = false;
+  bool AnyUnhinted = false;
+  for (const SweepPoint &P : Points) {
+    (P.IgnoreHints ? AnyUnhinted : AnyHinted) = true;
+    std::shared_ptr<const std::vector<uint64_t>> Next;
+    if (P.Policy == TracePolicy::MIN) {
+      auto &Slot = NextUses[{P.Config.LineWords, P.IgnoreHints}];
+      if (!Slot)
+        Slot = P.IgnoreHints
+                   ? computeNextLineUsesUnhinted(Trace, P.Config.LineWords)
+                   : computeNextLineUses(Trace, P.Config.LineWords);
+      Next = Slot;
+    }
+    Replayers.emplace_back(P.Config, P.Policy, std::move(Next));
+  }
+  // One walk of the (large) trace; every configuration advances in
+  // lock-step. The replayers are mutually independent, so the counters
+  // equal per-point replayTrace calls. IgnoreHints points see the event
+  // with its hint bits cleared (stripped once per event, not per
+  // point).
+  const size_t N = Points.size();
+  for (uint64_t Index = 0; Index != Trace.size(); ++Index) {
+    const TraceEvent &E = Trace[Index];
+    TraceEvent Stripped;
+    if (AnyUnhinted) {
+      Stripped = E;
+      Stripped.Info.Bypass = false;
+      Stripped.Info.LastRef = false;
+    }
+    if (!AnyUnhinted) {
+      for (TraceReplayer &R : Replayers)
+        R.step(E, Index);
+    } else if (!AnyHinted) {
+      for (TraceReplayer &R : Replayers)
+        R.step(Stripped, Index);
+    } else {
+      for (size_t P = 0; P != N; ++P)
+        Replayers[P].step(Points[P].IgnoreHints ? Stripped : E, Index);
+    }
+  }
+  std::vector<CacheStats> Out;
+  Out.reserve(Replayers.size());
+  for (TraceReplayer &R : Replayers)
+    Out.push_back(R.finish());
+  return Out;
+}
+
+} // namespace
+
+std::vector<CacheStats>
+urcm::replayTraceMulti(const std::vector<TraceEvent> &Trace,
+                       const std::vector<SweepPoint> &Points) {
+  // Partition into the specialized two-way LRU kernel and the general
+  // replayer. The two groups each walk the trace once; streaming the
+  // trace twice is far cheaper than running every point through the
+  // general per-event machinery.
+  std::vector<size_t> FastIdx, SlowIdx;
+  for (size_t I = 0; I != Points.size(); ++I)
+    (lruTwoWayEligible(Points[I]) ? FastIdx : SlowIdx).push_back(I);
+  if (SlowIdx.empty() && FastIdx.empty())
+    return {};
+  if (FastIdx.empty())
+    return replayGenericMulti(Trace, Points);
+  if (SlowIdx.empty())
+    return replayLRUTwoWay(Trace, Points);
+  std::vector<CacheStats> Out(Points.size());
+  std::vector<SweepPoint> Fast, Slow;
+  for (size_t I : FastIdx)
+    Fast.push_back(Points[I]);
+  for (size_t I : SlowIdx)
+    Slow.push_back(Points[I]);
+  std::vector<CacheStats> FastOut = replayLRUTwoWay(Trace, Fast);
+  std::vector<CacheStats> SlowOut = replayGenericMulti(Trace, Slow);
+  for (size_t I = 0; I != FastIdx.size(); ++I)
+    Out[FastIdx[I]] = FastOut[I];
+  for (size_t I = 0; I != SlowIdx.size(); ++I)
+    Out[SlowIdx[I]] = SlowOut[I];
+  return Out;
+}
+
+bool urcm::stackDistanceEligible(const SweepPoint &Point) {
+  return Point.Policy == TracePolicy::LRU &&
+         Point.Config.Write == WritePolicy::WriteBack &&
+         Point.Config.LineWords == 1 &&
+         Point.Config.Assoc == Point.Config.NumLines &&
+         Point.Config.NumLines > 0;
+}
+
+namespace {
+
+constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
+
+/// Fenwick tree of 0/1 flags over the 1-based timestamp domain.
+class BitTree {
+public:
+  explicit BitTree(uint64_t N) : Tree(N + 1, 0) {
+    while ((uint64_t(1) << (LogN + 1)) <= N)
+      ++LogN;
+  }
+
+  uint64_t total() const { return Total; }
+
+  void set(uint64_t I) {
+    ++Total;
+    for (; I < Tree.size(); I += I & (~I + 1))
+      ++Tree[I];
+  }
+
+  void clear(uint64_t I) {
+    --Total;
+    for (; I < Tree.size(); I += I & (~I + 1))
+      --Tree[I];
+  }
+
+  /// Number of set flags at positions <= I.
+  uint64_t prefix(uint64_t I) const {
+    uint64_t Sum = 0;
+    for (; I > 0; I -= I & (~I + 1))
+      Sum += Tree[I];
+    return Sum;
+  }
+
+  /// Smallest position whose prefix is >= K (the K-th set flag);
+  /// requires 1 <= K <= total().
+  uint64_t select(uint64_t K) const {
+    uint64_t Pos = 0;
+    for (uint32_t Bit = LogN + 1; Bit-- > 0;) {
+      uint64_t Next = Pos + (uint64_t(1) << Bit);
+      if (Next < Tree.size() && Tree[Next] < K) {
+        Pos = Next;
+        K -= Tree[Next];
+      }
+    }
+    return Pos + 1;
+  }
+
+private:
+  std::vector<uint32_t> Tree;
+  uint64_t Total = 0;
+  uint32_t LogN = 0;
+};
+
+} // namespace
+
+std::vector<CacheStats>
+urcm::sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
+                            const std::vector<uint32_t> &NumLines,
+                            bool IgnoreHints) {
+  const size_t NumSizes = NumLines.size();
+  std::vector<CacheStats> Stats(NumSizes);
+  if (NumSizes == 0)
+    return Stats;
+
+  /// DirtyMin = smallest tracked-or-not capacity whose copy of the line
+  /// is dirty (Never when clean in every size).
+  struct LineState {
+    uint64_t Ts;
+    uint64_t DirtyMin;
+  };
+
+  // Each event consumes at most one fresh timestamp.
+  const uint64_t Domain = Trace.size() + 1;
+  BitTree All(Domain);   // Valid lines and holes.
+  BitTree Holes(Domain); // Holes only.
+  std::unordered_map<uint64_t, LineState> Lines;
+  std::vector<uint64_t> AddrOfTs(Domain + 1, 0);
+  uint64_t NextTs = 0;
+
+  // 0-based stack depth: number of entries more recent than Ts.
+  auto depthOf = [&](uint64_t Ts) { return All.total() - All.prefix(Ts); };
+
+  for (const TraceEvent &E : Trace) {
+    const uint64_t LA = E.Addr; // One-word lines: address == line address.
+    const bool Bypass = !IgnoreHints && E.Info.Bypass;
+    const bool LastRef = !IgnoreHints && E.Info.LastRef;
+    auto It = Lines.find(LA);
+
+    if (Bypass) {
+      if (E.IsWrite) {
+        // UmAm_STORE: straight to memory in every size.
+        for (CacheStats &St : Stats)
+          ++St.BypassWrites;
+        continue;
+      }
+      if (It == Lines.end()) {
+        for (CacheStats &St : Stats)
+          ++St.BypassReads;
+        continue;
+      }
+      // UmAm_LOAD: sizes holding the line migrate-and-free it (dirty
+      // copies are written back first, see DataCache::read); the rest
+      // read memory directly.
+      const uint64_t D = depthOf(It->second.Ts);
+      const uint64_t DirtyMin = It->second.DirtyMin;
+      for (size_t K = 0; K != NumSizes; ++K) {
+        CacheStats &St = Stats[K];
+        const uint64_t S = NumLines[K];
+        if (S > D) {
+          ++St.BypassHitMigrations;
+          ++St.DeadFrees;
+          if (DirtyMin <= S) {
+            ++St.WriteBacks;
+            ++St.WriteBackWords;
+            ++St.Evictions;
+          }
+        } else {
+          ++St.BypassReads;
+        }
+      }
+      // The entry becomes a hole in place: every size that held the
+      // line gains a free slot at its stack position.
+      Holes.set(It->second.Ts);
+      Lines.erase(It);
+      continue;
+    }
+
+    // Through-cache access. All queries run against the pre-access
+    // stack; mutations follow after the stats loop.
+    const uint64_t D = It == Lines.end() ? Never : depthOf(It->second.Ts);
+    const uint64_t TotalBefore = All.total();
+    uint64_t HoleTs = 0;
+    uint64_t PHole = Never; // 0-based depth of the topmost hole.
+    if (Holes.total() > 0) {
+      HoleTs = Holes.select(Holes.total());
+      PHole = depthOf(HoleTs);
+    }
+    // Sizes up to EvictMax miss with a full window and no hole in it:
+    // they evict their own LRU victim, the entry at stack position S.
+    const uint64_t EvictMax = std::min({D, PHole, TotalBefore});
+
+    for (size_t K = 0; K != NumSizes; ++K) {
+      CacheStats &St = Stats[K];
+      const uint64_t S = NumLines[K];
+      if (E.IsWrite)
+        ++St.Writes;
+      else
+        ++St.Reads;
+      if (D != Never && S > D) {
+        if (E.IsWrite)
+          ++St.WriteHits;
+        else
+          ++St.ReadHits;
+        continue;
+      }
+      ++St.Fills;
+      if (!E.IsWrite)
+        ++St.FillWords; // One-word write-allocate skips the fetch.
+      if (S <= EvictMax) {
+        const uint64_t VictimTs = All.select(TotalBefore - S + 1);
+        ++St.Evictions;
+        if (Lines.find(AddrOfTs[VictimTs])->second.DirtyMin <= S) {
+          ++St.WriteBacks;
+          ++St.WriteBackWords;
+        }
+      }
+    }
+
+    // Stack update.
+    const uint64_t NewTs = ++NextTs;
+    AddrOfTs[NewTs] = LA;
+    if (It != Lines.end()) {
+      const uint64_t OldTs = It->second.Ts;
+      All.clear(OldTs);
+      if (PHole != Never && HoleTs > OldTs) {
+        // The topmost hole moves down into the vacated slot: sizes in
+        // (PHole, D] missed and consumed their free slot; hitting
+        // sizes keep theirs.
+        Holes.clear(HoleTs);
+        All.clear(HoleTs);
+        Holes.set(OldTs);
+        All.set(OldTs);
+      }
+      It->second.Ts = NewTs;
+      if (E.IsWrite)
+        It->second.DirtyMin = 1;
+      else if (It->second.DirtyMin != Never)
+        It->second.DirtyMin = std::max(It->second.DirtyMin, D + 1);
+    } else {
+      // Miss everywhere: the topmost hole (if any) is consumed.
+      if (PHole != Never) {
+        Holes.clear(HoleTs);
+        All.clear(HoleTs);
+      }
+      Lines.emplace(LA, LineState{NewTs, E.IsWrite ? 1 : Never});
+    }
+    All.set(NewTs);
+
+    if (LastRef) {
+      // The line (now on top, resident in every size) is freed; dirty
+      // copies are dropped without write-back.
+      const LineState &LS = Lines.find(LA)->second;
+      for (size_t K = 0; K != NumSizes; ++K) {
+        ++Stats[K].DeadFrees;
+        if (LS.DirtyMin <= NumLines[K])
+          ++Stats[K].DeadWriteBacksAvoided;
+      }
+      Holes.set(NewTs);
+      Lines.erase(LA);
+    }
+  }
+
+  // End of program: flush the remaining dirty lines of every size.
+  for (const auto &[Addr, LS] : Lines) {
+    if (LS.DirtyMin == Never)
+      continue;
+    const uint64_t P = depthOf(LS.Ts);
+    for (size_t K = 0; K != NumSizes; ++K)
+      if (NumLines[K] > P && LS.DirtyMin <= NumLines[K])
+        ++Stats[K].FlushWriteBackWords;
+  }
+  return Stats;
+}
+
+std::vector<CacheStats>
+urcm::replaySweepPoints(const std::vector<TraceEvent> &Trace,
+                        const std::vector<SweepPoint> &Points) {
+  if (!Points.empty() &&
+      std::all_of(Points.begin(), Points.end(), stackDistanceEligible)) {
+    // One stack walk per hint view (the walk itself covers all sizes).
+    std::vector<CacheStats> Out(Points.size());
+    for (bool IgnoreHints : {false, true}) {
+      std::vector<uint32_t> Sizes;
+      std::vector<size_t> Index;
+      for (size_t P = 0; P != Points.size(); ++P) {
+        if (Points[P].IgnoreHints == IgnoreHints) {
+          Sizes.push_back(Points[P].Config.NumLines);
+          Index.push_back(P);
+        }
+      }
+      if (Sizes.empty())
+        continue;
+      std::vector<CacheStats> Part =
+          sweepLRUStackDistance(Trace, Sizes, IgnoreHints);
+      for (size_t I = 0; I != Index.size(); ++I)
+        Out[Index[I]] = Part[I];
+    }
+    return Out;
+  }
+  return replayTraceMulti(Trace, Points);
+}
+
+SweepEngine &SweepEngine::global() {
+  static SweepEngine Engine;
+  return Engine;
+}
+
+void SweepEngine::schedule(const std::string &Key,
+                           const std::string &HintGroup,
+                           const SimConfig &Base,
+                           std::vector<SweepPoint> Points, Producer Run) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto [It, Inserted] = Experiments.try_emplace(Key);
+  if (!Inserted)
+    return;
+  Experiment &E = It->second;
+  E.HintGroup = HintGroup;
+  E.Base = Base;
+  E.Points = std::move(Points);
+  E.Run = std::move(Run);
+}
+
+void SweepEngine::run() {
+  // Snapshot the pending set; schedule() must not be called while run()
+  // is in flight.
+  std::vector<Experiment *> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    for (auto &[Key, E] : Experiments)
+      if (!E.Done)
+        Pending.push_back(&E);
+  }
+
+  Pool->parallelFor(Pending.size(), [&](size_t I) {
+    Experiment &E = *Pending[I];
+    SimConfig Config = E.Base;
+    Config.RecordTrace = true;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      auto It = Hints.find(E.HintGroup);
+      if (It != Hints.end())
+        Config.TraceSizeHint = It->second;
+    }
+    E.Result = E.Run(Config);
+    if (E.Result.ok()) {
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        uint64_t &Hint = Hints[E.HintGroup];
+        Hint = std::max<uint64_t>(Hint, E.Result.Trace.size());
+      }
+      // A point matching the base run's own cache configuration reuses
+      // the base counters (replay is bit-identical, so this is pure
+      // reuse); everything else replays in a single pass.
+      E.Stats.resize(E.Points.size());
+      std::vector<SweepPoint> Rest;
+      std::vector<size_t> RestIndex;
+      for (size_t P = 0; P != E.Points.size(); ++P) {
+        const SweepPoint &Pt = E.Points[P];
+        if (!Pt.IgnoreHints && Pt.Config == Config.Cache &&
+            Pt.Policy == tracePolicyFor(Config.Cache.Policy)) {
+          E.Stats[P] = E.Result.Cache;
+        } else {
+          Rest.push_back(Pt);
+          RestIndex.push_back(P);
+        }
+      }
+      if (!Rest.empty()) {
+        std::vector<CacheStats> Replayed =
+            replaySweepPoints(E.Result.Trace, Rest);
+        for (size_t R = 0; R != Rest.size(); ++R)
+          E.Stats[RestIndex[R]] = Replayed[R];
+      }
+    }
+    // Traces run to hundreds of MB; drop this one before the next
+    // experiment starts.
+    E.Result.Trace.clear();
+    E.Result.Trace.shrink_to_fit();
+    std::lock_guard<std::mutex> Lock(M);
+    E.Done = true;
+  });
+}
+
+const SweepEngine::Experiment &
+SweepEngine::finished(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Experiments.find(Key);
+  assert(It != Experiments.end() && It->second.Done &&
+         "experiment was not scheduled/run");
+  return It->second;
+}
+
+bool SweepEngine::done(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Experiments.find(Key);
+  return It != Experiments.end() && It->second.Done;
+}
+
+const SimResult &SweepEngine::base(const std::string &Key) const {
+  return finished(Key).Result;
+}
+
+const CacheStats &SweepEngine::point(const std::string &Key,
+                                     size_t Index) const {
+  const Experiment &E = finished(Key);
+  assert(Index < E.Stats.size() && "sweep point index out of range");
+  return E.Stats[Index];
+}

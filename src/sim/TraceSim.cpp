@@ -6,7 +6,6 @@
 
 #include "urcm/sim/TraceSim.h"
 
-#include <cassert>
 #include <limits>
 #include <unordered_map>
 
@@ -26,222 +25,50 @@ const char *urcm::tracePolicyName(TracePolicy Policy) {
   return "?";
 }
 
+TracePolicy urcm::tracePolicyFor(ReplacementPolicy Policy) {
+  switch (Policy) {
+  case ReplacementPolicy::LRU:
+    return TracePolicy::LRU;
+  case ReplacementPolicy::FIFO:
+    return TracePolicy::FIFO;
+  case ReplacementPolicy::Random:
+    return TracePolicy::Random;
+  }
+  return TracePolicy::LRU;
+}
+
 namespace {
-
 constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
-
-struct ReplayLine {
-  bool Valid = false;
-  bool Dirty = false;
-  uint64_t Tag = 0;
-  uint64_t LastUsed = 0;
-  uint64_t InsertedAt = 0;
-  uint64_t NextUse = Never; // For MIN.
-};
-
-class Replayer {
-public:
-  Replayer(const std::vector<TraceEvent> &Trace, const CacheConfig &Config,
-           TracePolicy Policy)
-      : Trace(Trace), Config(Config), Policy(Policy), Rng(Config.Seed),
-        Lines(Config.NumLines) {
-    assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
-           "associativity must divide the line count");
-    if (Policy == TracePolicy::MIN)
-      computeNextUses();
-  }
-
-  CacheStats run() {
-    for (uint64_t Index = 0; Index != Trace.size(); ++Index)
-      step(Index);
-    // End of program: count remaining dirty lines as flush write-backs.
-    for (ReplayLine &L : Lines)
-      if (L.Valid && L.Dirty)
-        Stats.FlushWriteBackWords += Config.LineWords;
-    return Stats;
-  }
-
-private:
-  uint32_t numSets() const { return Config.NumLines / Config.Assoc; }
-  uint64_t lineAddr(uint64_t Addr) const { return Addr / Config.LineWords; }
-
-  /// For MIN: NextUseAfter[i] = index of the next through-cache access to
-  /// the same line after event i (Never if none).
-  void computeNextUses() {
-    NextUseAfter.assign(Trace.size(), Never);
-    std::unordered_map<uint64_t, uint64_t> NextOfLine;
-    for (uint64_t Index = Trace.size(); Index-- > 0;) {
-      const TraceEvent &E = Trace[Index];
-      if (E.Info.Bypass)
-        continue;
-      uint64_t LA = lineAddr(E.Addr);
-      auto It = NextOfLine.find(LA);
-      NextUseAfter[Index] = It == NextOfLine.end() ? Never : It->second;
-      NextOfLine[LA] = Index;
-    }
-  }
-
-  ReplayLine *find(uint64_t LA) {
-    uint32_t Set = static_cast<uint32_t>(LA % numSets());
-    for (uint32_t Way = 0; Way != Config.Assoc; ++Way) {
-      ReplayLine &L = Lines[static_cast<size_t>(Set) * Config.Assoc + Way];
-      if (L.Valid && L.Tag == LA)
-        return &L;
-    }
-    return nullptr;
-  }
-
-  ReplayLine *chooseVictim(uint32_t Set) {
-    ReplayLine *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
-    for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
-      if (!Base[Way].Valid)
-        return &Base[Way];
-    switch (Policy) {
-    case TracePolicy::LRU: {
-      ReplayLine *Victim = Base;
-      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-        if (Base[Way].LastUsed < Victim->LastUsed)
-          Victim = &Base[Way];
-      return Victim;
-    }
-    case TracePolicy::FIFO: {
-      ReplayLine *Victim = Base;
-      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-        if (Base[Way].InsertedAt < Victim->InsertedAt)
-          Victim = &Base[Way];
-      return Victim;
-    }
-    case TracePolicy::Random:
-      return &Base[Rng.nextBelow(Config.Assoc)];
-    case TracePolicy::MIN: {
-      // Belady: evict the line whose next use is farthest in the future.
-      ReplayLine *Victim = Base;
-      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-        if (Base[Way].NextUse > Victim->NextUse)
-          Victim = &Base[Way];
-      return Victim;
-    }
-    }
-    return Base;
-  }
-
-  void evict(ReplayLine &L) {
-    if (L.Dirty) {
-      ++Stats.WriteBacks;
-      Stats.WriteBackWords += Config.LineWords;
-    }
-    ++Stats.Evictions;
-    L.Valid = false;
-    L.Dirty = false;
-  }
-
-  void freeLine(ReplayLine &L) {
-    ++Stats.DeadFrees;
-    if (Config.LineWords == 1) {
-      if (L.Dirty)
-        ++Stats.DeadWriteBacksAvoided;
-      L.Valid = false;
-      L.Dirty = false;
-      return;
-    }
-    L.LastUsed = 0;
-    L.InsertedAt = 0;
-    L.NextUse = Never;
-  }
-
-  void step(uint64_t Index) {
-    const TraceEvent &E = Trace[Index];
-    uint64_t LA = lineAddr(E.Addr);
-
-    if (E.Info.Bypass) {
-      if (!E.IsWrite) {
-        if (ReplayLine *L = find(LA)) {
-          // Migration: dirty lines are written back first (see
-          // DataCache::read for the soundness argument).
-          ++Stats.BypassHitMigrations;
-          if (Config.LineWords == 1) {
-            ++Stats.DeadFrees;
-            if (L->Dirty)
-              evict(*L);
-            L->Valid = false;
-            L->Dirty = false;
-          } else {
-            evict(*L);
-          }
-        } else {
-          ++Stats.BypassReads;
-        }
-      } else {
-        ++Stats.BypassWrites;
-      }
-      return;
-    }
-
-    if (E.IsWrite)
-      ++Stats.Writes;
-    else
-      ++Stats.Reads;
-
-    if (E.IsWrite && Config.Write == WritePolicy::WriteThrough) {
-      // Write-through / no-write-allocate (see DataCache::write).
-      ++Stats.WriteThroughWords;
-      if (ReplayLine *L = find(LA)) {
-        ++Stats.WriteHits;
-        L->LastUsed = ++Tick;
-        if (Policy == TracePolicy::MIN)
-          L->NextUse = NextUseAfter[Index];
-        if (E.Info.LastRef)
-          freeLine(*L);
-      }
-      return;
-    }
-
-    ReplayLine *L = find(LA);
-    if (L) {
-      if (E.IsWrite)
-        ++Stats.WriteHits;
-      else
-        ++Stats.ReadHits;
-      L->LastUsed = ++Tick;
-    } else {
-      uint32_t Set = static_cast<uint32_t>(LA % numSets());
-      L = chooseVictim(Set);
-      if (L->Valid)
-        evict(*L);
-      L->Valid = true;
-      L->Dirty = false;
-      L->Tag = LA;
-      L->InsertedAt = ++Tick;
-      L->LastUsed = Tick;
-      bool FetchWords = !E.IsWrite || Config.LineWords > 1;
-      ++Stats.Fills;
-      if (FetchWords)
-        Stats.FillWords += Config.LineWords;
-    }
-
-    if (Policy == TracePolicy::MIN)
-      L->NextUse = NextUseAfter[Index];
-    if (E.IsWrite)
-      L->Dirty = true;
-    if (E.Info.LastRef)
-      freeLine(*L);
-  }
-
-  const std::vector<TraceEvent> &Trace;
-  CacheConfig Config;
-  TracePolicy Policy;
-  SplitMix64 Rng;
-  std::vector<ReplayLine> Lines;
-  std::vector<uint64_t> NextUseAfter;
-  CacheStats Stats;
-  uint64_t Tick = 0;
-};
-
 } // namespace
+
+std::shared_ptr<const std::vector<uint64_t>>
+urcm::computeNextLineUses(const std::vector<TraceEvent> &Trace,
+                          uint32_t LineWords) {
+  CacheConfig Geo;
+  Geo.LineWords = LineWords;
+  CacheGeometry G(Geo);
+  auto Next = std::make_shared<std::vector<uint64_t>>(Trace.size(), Never);
+  std::unordered_map<uint64_t, uint64_t> NextOfLine;
+  for (uint64_t Index = Trace.size(); Index-- > 0;) {
+    const TraceEvent &E = Trace[Index];
+    if (E.Info.Bypass)
+      continue;
+    uint64_t LA = G.lineAddr(E.Addr);
+    auto It = NextOfLine.find(LA);
+    (*Next)[Index] = It == NextOfLine.end() ? Never : It->second;
+    NextOfLine[LA] = Index;
+  }
+  return Next;
+}
 
 CacheStats urcm::replayTrace(const std::vector<TraceEvent> &Trace,
                              const CacheConfig &Config,
                              TracePolicy Policy) {
-  Replayer R(Trace, Config, Policy);
-  return R.run();
+  std::shared_ptr<const std::vector<uint64_t>> NextUses;
+  if (Policy == TracePolicy::MIN)
+    NextUses = computeNextLineUses(Trace, Config.LineWords);
+  TraceReplayer R(Config, Policy, std::move(NextUses));
+  for (uint64_t Index = 0; Index != Trace.size(); ++Index)
+    R.step(Trace[Index], Index);
+  return R.finish();
 }

@@ -15,8 +15,8 @@ using namespace urcm;
 
 namespace {
 
-TraceEvent read(uint64_t Addr) { return TraceEvent{Addr, false, {}}; }
-TraceEvent write(uint64_t Addr) { return TraceEvent{Addr, true, {}}; }
+TraceEvent read(uint32_t Addr) { return TraceEvent{Addr, false, {}}; }
+TraceEvent write(uint32_t Addr) { return TraceEvent{Addr, true, {}}; }
 
 CacheConfig config(uint32_t Lines = 8, uint32_t Assoc = 2) {
   CacheConfig C;

@@ -1,0 +1,307 @@
+//===- sweepengine_test.cpp - Sweep-engine equivalence tests -------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// The sweep engine's whole contract is bit-identity: every stats-only
+// shortcut (lock-step multi-replay, the two-way LRU kernel, the
+// hole-extended stack-distance pass, hint-stripped conventional replay)
+// must reproduce the exact counters of the slow path it replaces. These
+// tests pin that down against TraceReplayer, the live DataCache and
+// full conventional-scheme simulations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/SweepEngine.h"
+
+#include "urcm/driver/Driver.h"
+#include "urcm/support/RNG.h"
+#include "urcm/support/ThreadPool.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <algorithm>
+#include <atomic>
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+CacheConfig config(uint32_t Lines, uint32_t Assoc, uint32_t LineWords = 1) {
+  CacheConfig C;
+  C.NumLines = Lines;
+  C.Assoc = Assoc;
+  C.LineWords = LineWords;
+  return C;
+}
+
+/// A deterministic trace with locality, writes, and hint bits on a
+/// fraction of events (hint placement need not be compiler-plausible:
+/// the replayers must agree on any input).
+std::vector<TraceEvent> hintedTrace(uint64_t Seed, size_t N,
+                                    uint32_t AddressRange) {
+  SplitMix64 Rng(Seed);
+  std::vector<TraceEvent> Trace;
+  Trace.reserve(N);
+  uint32_t Hot = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t Roll = Rng.nextBelow(100);
+    TraceEvent E;
+    E.Addr = static_cast<uint32_t>(
+        Roll < 60 ? (Hot + Rng.nextBelow(8)) % AddressRange
+                  : Rng.nextBelow(AddressRange));
+    if (Roll == 99)
+      Hot = static_cast<uint32_t>(Rng.nextBelow(AddressRange));
+    E.IsWrite = Rng.nextBelow(4) == 0;
+    E.Info.Bypass = Rng.nextBelow(10) == 0;
+    E.Info.LastRef = !E.Info.Bypass && Rng.nextBelow(13) == 0;
+    Trace.push_back(E);
+  }
+  return Trace;
+}
+
+std::vector<TraceEvent> stripped(std::vector<TraceEvent> Trace) {
+  for (TraceEvent &E : Trace) {
+    E.Info.Bypass = false;
+    E.Info.LastRef = false;
+  }
+  return Trace;
+}
+
+/// Per-point ground truth for a sweep point: single-config replay of
+/// the (possibly hint-stripped) trace.
+CacheStats groundTruth(const std::vector<TraceEvent> &Trace,
+                       const SweepPoint &P) {
+  return replayTrace(P.IgnoreHints ? stripped(Trace) : Trace, P.Config,
+                     P.Policy);
+}
+
+SimResult runWorkload(const std::string &Name, const CompileOptions &O,
+                      const SimConfig &Sim) {
+  const Workload *W = findWorkload(Name);
+  EXPECT_NE(W, nullptr);
+  DiagnosticEngine Diags;
+  SimResult R = compileAndRun(W->Source, O, Sim, Diags);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return R;
+}
+
+TEST(ReplayMulti, MatchesPerPointReplayAcrossConfigurations) {
+  std::vector<TraceEvent> Trace = hintedTrace(7, 20000, 600);
+  std::vector<SweepPoint> Points = {
+      // Two-way LRU kernel candidates, hinted and stripped.
+      {config(128, 2), TracePolicy::LRU, false},
+      {config(16, 2), TracePolicy::LRU, false},
+      {config(16, 2), TracePolicy::LRU, true},
+      {config(1024, 2), TracePolicy::LRU, true},
+      // General path: other associativities, multi-word lines,
+      // write-through, non-LRU policies, Belady MIN.
+      {config(64, 4), TracePolicy::LRU, false},
+      {config(32, 2, 2), TracePolicy::LRU, false},
+      {config(32, 2, 4), TracePolicy::LRU, true},
+      {config(64, 2), TracePolicy::FIFO, false},
+      {config(64, 2), TracePolicy::Random, false},
+      {config(64, 2), TracePolicy::MIN, false},
+      {config(64, 2), TracePolicy::MIN, true},
+      {config(8, 8), TracePolicy::LRU, false},
+  };
+  SweepPoint WriteThrough{config(64, 2), TracePolicy::LRU, false};
+  WriteThrough.Config.Write = WritePolicy::WriteThrough;
+  Points.push_back(WriteThrough);
+
+  std::vector<CacheStats> Got = replayTraceMulti(Trace, Points);
+  ASSERT_EQ(Got.size(), Points.size());
+  for (size_t I = 0; I != Points.size(); ++I)
+    EXPECT_EQ(Got[I], groundTruth(Trace, Points[I])) << "point " << I;
+}
+
+TEST(ReplayMulti, TwoWayKernelOddTrafficPatterns) {
+  // Dead-tag and bypass interplay at tiny sizes (constant eviction
+  // pressure) and at sizes big enough that nothing evicts.
+  std::vector<TraceEvent> Trace = hintedTrace(21, 30000, 4000);
+  std::vector<SweepPoint> Points;
+  for (uint32_t Lines : {2u, 4u, 16u, 4096u})
+    for (bool Ignore : {false, true})
+      Points.push_back({config(Lines, 2), TracePolicy::LRU, Ignore});
+  std::vector<CacheStats> Got = replayTraceMulti(Trace, Points);
+  for (size_t I = 0; I != Points.size(); ++I)
+    EXPECT_EQ(Got[I], groundTruth(Trace, Points[I])) << "point " << I;
+}
+
+TEST(StackDistance, MatchesReplayAtEveryFullyAssociativeSize) {
+  std::vector<TraceEvent> Trace = hintedTrace(11, 20000, 500);
+  std::vector<uint32_t> Sizes = {1, 2, 3, 8, 32, 100, 512};
+  for (bool Ignore : {false, true}) {
+    std::vector<CacheStats> Got =
+        sweepLRUStackDistance(Trace, Sizes, Ignore);
+    ASSERT_EQ(Got.size(), Sizes.size());
+    for (size_t I = 0; I != Sizes.size(); ++I) {
+      SweepPoint P{config(Sizes[I], Sizes[I]), TracePolicy::LRU, Ignore};
+      EXPECT_EQ(Got[I], groundTruth(Trace, P))
+          << "size " << Sizes[I] << " ignore=" << Ignore;
+    }
+  }
+}
+
+TEST(StackDistance, ReplaySweepPointsDispatchesToIt) {
+  std::vector<TraceEvent> Trace = hintedTrace(13, 15000, 300);
+  std::vector<SweepPoint> Points;
+  for (uint32_t S : {4u, 16u, 64u})
+    Points.push_back({config(S, S), TracePolicy::LRU, false});
+  Points.push_back({config(32, 32), TracePolicy::LRU, true});
+  ASSERT_TRUE(std::all_of(Points.begin(), Points.end(),
+                          stackDistanceEligible));
+  std::vector<CacheStats> Got = replaySweepPoints(Trace, Points);
+  for (size_t I = 0; I != Points.size(); ++I)
+    EXPECT_EQ(Got[I], groundTruth(Trace, Points[I])) << "point " << I;
+}
+
+TEST(ReplayEquivalence, WorkloadTraceMatchesLiveSimulation) {
+  // The traced base run's own counters must equal a replay of its
+  // trace — this is what lets the engine reuse base stats for the
+  // matching sweep point.
+  CompileOptions O;
+  O.IRGen.ScalarLocalsInMemory = true;
+  SimConfig Sim;
+  Sim.Cache = config(128, 2);
+  Sim.RecordTrace = true;
+  SimResult R = runWorkload("Queen", O, Sim);
+  EXPECT_EQ(R.Cache, replayTrace(R.Trace, Sim.Cache, TracePolicy::LRU));
+
+  // And every sweep geometry replayed from this trace matches a
+  // dedicated per-point replay.
+  std::vector<SweepPoint> Points;
+  for (uint32_t Lines : {16u, 64u, 256u, 1024u})
+    for (bool Ignore : {false, true})
+      Points.push_back({config(Lines, 2), TracePolicy::LRU, Ignore});
+  std::vector<CacheStats> Got = replayTraceMulti(R.Trace, Points);
+  for (size_t I = 0; I != Points.size(); ++I)
+    EXPECT_EQ(Got[I], groundTruth(R.Trace, Points[I])) << "point " << I;
+}
+
+TEST(ReplayEquivalence, HintStrippedReplayMatchesConventionalRun) {
+  // The derived-conventional trick: the unified pass only flips hint
+  // bits on an identical instruction stream, so replaying the unified
+  // trace with hints ignored must reproduce the conventional scheme's
+  // live cache counters exactly — at the traced geometry and at others.
+  CompileOptions Uni;
+  Uni.IRGen.ScalarLocalsInMemory = true;
+  Uni.Scheme = UnifiedOptions::unified();
+  CompileOptions Conv = Uni;
+  Conv.Scheme = UnifiedOptions::conventional();
+
+  SimConfig Traced;
+  Traced.Cache = config(128, 2);
+  Traced.RecordTrace = true;
+  SimResult U = runWorkload("Queen", Uni, Traced);
+
+  for (uint32_t Lines : {16u, 128u}) {
+    SimConfig Sim;
+    Sim.Cache = config(Lines, 2);
+    SimResult C = runWorkload("Queen", Conv, Sim);
+    SweepPoint P{Sim.Cache, TracePolicy::LRU, /*IgnoreHints=*/true};
+    EXPECT_EQ(C.Cache, replayTraceMulti(U.Trace, {P})[0])
+        << "lines " << Lines;
+    EXPECT_EQ(C.Output, U.Output);
+    EXPECT_EQ(C.Steps, U.Steps);
+  }
+}
+
+TEST(Engine, CompileOnceServesEveryPointAndReusesBase) {
+  ThreadPool Pool(2);
+  SweepEngine Engine(&Pool);
+  std::atomic<int> Runs{0};
+
+  CompileOptions O;
+  O.Scheme = UnifiedOptions::unified();
+  SimConfig Base;
+  Base.Cache = config(128, 2);
+  std::vector<SweepPoint> Points = {
+      {config(16, 2), TracePolicy::LRU, false},
+      {config(128, 2), TracePolicy::LRU, false}, // == base geometry
+      {config(16, 2), TracePolicy::LRU, true},
+  };
+  auto Producer = [&](const SimConfig &Sim) {
+    ++Runs;
+    EXPECT_TRUE(Sim.RecordTrace);
+    const Workload *W = findWorkload("Queen");
+    DiagnosticEngine Diags;
+    return compileAndRun(W->Source, O, Sim, Diags);
+  };
+  Engine.schedule("queen", "Queen", Base, Points, Producer);
+  Engine.schedule("queen", "Queen", Base, Points, Producer); // no-op
+  Engine.run();
+
+  EXPECT_EQ(Runs.load(), 1);
+  ASSERT_TRUE(Engine.done("queen"));
+  const SimResult &BaseRun = Engine.base("queen");
+  EXPECT_TRUE(BaseRun.ok());
+  // The trace is freed once the points are served.
+  EXPECT_TRUE(BaseRun.Trace.empty());
+  // The point matching the base geometry is the base run's own stats.
+  EXPECT_EQ(Engine.point("queen", 1), BaseRun.Cache);
+  // Ground truth for the others from an independent traced run.
+  SimConfig Traced = Base;
+  Traced.RecordTrace = true;
+  SimResult Fresh = runWorkload("Queen", O, Traced);
+  for (size_t I = 0; I != Points.size(); ++I)
+    EXPECT_EQ(Engine.point("queen", I), groundTruth(Fresh.Trace, Points[I]))
+        << "point " << I;
+
+  // Scheduling after run() still works and runs exactly once more.
+  Engine.schedule("queen2", "Queen", Base, Points, Producer);
+  Engine.run();
+  EXPECT_EQ(Runs.load(), 2);
+  EXPECT_EQ(Engine.point("queen2", 0), Engine.point("queen", 0));
+}
+
+TEST(Engine, ParallelExecutionIsDeterministic) {
+  // The same experiment set run serially and across a pool must
+  // produce identical counters (Random-policy replays are seeded per
+  // point, so thread scheduling cannot leak in).
+  CompileOptions O;
+  O.Scheme = UnifiedOptions::unified();
+  auto Schedule = [&](SweepEngine &Engine) {
+    for (const char *Name : {"Queen", "Sieve"}) {
+      SimConfig Base;
+      Base.Cache = config(128, 2);
+      std::vector<SweepPoint> Points = {
+          {config(16, 2), TracePolicy::LRU, false},
+          {config(64, 2), TracePolicy::Random, false},
+          {config(64, 2), TracePolicy::MIN, true},
+      };
+      Engine.schedule(Name, Name, Base, Points,
+                      [Name, O](const SimConfig &Sim) {
+                        const Workload *W = findWorkload(Name);
+                        DiagnosticEngine Diags;
+                        return compileAndRun(W->Source, O, Sim, Diags);
+                      });
+    }
+  };
+  ThreadPool Serial(1), Wide(4);
+  SweepEngine A(&Serial), B(&Wide);
+  Schedule(A);
+  Schedule(B);
+  A.run();
+  B.run();
+  for (const char *Name : {"Queen", "Sieve"}) {
+    EXPECT_EQ(A.base(Name).Cache, B.base(Name).Cache);
+    for (size_t I = 0; I != 3; ++I)
+      EXPECT_EQ(A.point(Name, I), B.point(Name, I)) << Name << " " << I;
+  }
+}
+
+TEST(Engine, TraceReserveHintDoesNotChangeResults) {
+  CompileOptions O;
+  SimConfig Sim;
+  Sim.Cache = config(128, 2);
+  Sim.RecordTrace = true;
+  SimResult Plain = runWorkload("Sieve", O, Sim);
+  Sim.TraceSizeHint = 1 << 20;
+  SimResult Hinted = runWorkload("Sieve", O, Sim);
+  EXPECT_EQ(Plain.Cache, Hinted.Cache);
+  EXPECT_EQ(Plain.Output, Hinted.Output);
+  EXPECT_EQ(Plain.Trace.size(), Hinted.Trace.size());
+  EXPECT_GE(Hinted.Trace.capacity(), size_t(1) << 20);
+}
+
+} // namespace

@@ -14,16 +14,16 @@ using namespace urcm;
 
 namespace {
 
-TraceEvent read(uint64_t Addr) { return TraceEvent{Addr, false, {}}; }
-TraceEvent write(uint64_t Addr) { return TraceEvent{Addr, true, {}}; }
+TraceEvent read(uint32_t Addr) { return TraceEvent{Addr, false, {}}; }
+TraceEvent write(uint32_t Addr) { return TraceEvent{Addr, true, {}}; }
 
-TraceEvent readLast(uint64_t Addr) {
+TraceEvent readLast(uint32_t Addr) {
   TraceEvent E{Addr, false, {}};
   E.Info.LastRef = true;
   return E;
 }
 
-TraceEvent readBypass(uint64_t Addr) {
+TraceEvent readBypass(uint32_t Addr) {
   TraceEvent E{Addr, false, {}};
   E.Info.Bypass = true;
   return E;

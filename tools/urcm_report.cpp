@@ -13,12 +13,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "urcm/driver/Driver.h"
+#include "urcm/support/ThreadPool.h"
 #include "urcm/workloads/Workloads.h"
 
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 using namespace urcm;
 
@@ -71,6 +73,29 @@ SimResult runSystem(const Workload &W, bool Era, bool Promote,
   return R;
 }
 
+/// Everything the report needs for one workload. Computed once per
+/// workload up front (in parallel) so the tables below are lookups;
+/// fig5 in particular feeds two tables.
+struct WorkloadData {
+  SchemeComparison Fig5;
+  SimResult EraBaseline;
+  SimResult CompleteUnified;
+};
+
+std::vector<WorkloadData> computeAll() {
+  const std::vector<Workload> &Workloads = paperWorkloads();
+  std::vector<WorkloadData> Data(Workloads.size());
+  ThreadPool::global().parallelFor(Workloads.size(), [&](size_t I) {
+    const Workload &W = Workloads[I];
+    Data[I].Fig5 = fig5(W);
+    Data[I].EraBaseline =
+        runSystem(W, true, false, UnifiedOptions::conventional());
+    Data[I].CompleteUnified =
+        runSystem(W, false, true, UnifiedOptions::reuseAware());
+  });
+  return Data;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -81,6 +106,8 @@ int main(int argc, char **argv) {
       return 1;
     }
   }
+
+  std::vector<WorkloadData> Data = computeAll();
 
   line("# URCM reproduction report");
   line("");
@@ -96,8 +123,9 @@ int main(int argc, char **argv) {
        "unambiguous |");
   line("|---|---|---|---|---|");
   double Sum = 0;
-  for (const Workload &W : paperWorkloads()) {
-    SchemeComparison C = fig5(W);
+  for (size_t I = 0; I != paperWorkloads().size(); ++I) {
+    const Workload &W = paperWorkloads()[I];
+    const SchemeComparison &C = Data[I].Fig5;
     Sum += C.cacheTrafficReductionPercent();
     line("| %s | %llu | %llu | %.1f%% | %.1f%% |", W.Name.c_str(),
          static_cast<unsigned long long>(
@@ -114,8 +142,9 @@ int main(int argc, char **argv) {
   line("");
   line("| bench | static unambiguous | refs |");
   line("|---|---|---|");
-  for (const Workload &W : paperWorkloads()) {
-    SchemeComparison C = fig5(W);
+  for (size_t I = 0; I != paperWorkloads().size(); ++I) {
+    const Workload &W = paperWorkloads()[I];
+    const SchemeComparison &C = Data[I].Fig5;
     line("| %s | %.1f%% | %llu |", W.Name.c_str(),
          C.StaticStats.unambiguousFraction() * 100.0,
          static_cast<unsigned long long>(C.StaticStats.totalRefs()));
@@ -130,13 +159,12 @@ int main(int argc, char **argv) {
   line("|---|---|---|---|");
   LatencyModel Model;
   double Product = 1.0;
-  for (const Workload &W : paperWorkloads()) {
-    SimResult Base =
-        runSystem(W, true, false, UnifiedOptions::conventional());
-    SimResult Uni =
-        runSystem(W, false, true, UnifiedOptions::reuseAware());
-    uint64_t BaseCycles = memoryAccessCycles(Base.Cache, Model);
-    uint64_t UniCycles = memoryAccessCycles(Uni.Cache, Model);
+  for (size_t I = 0; I != paperWorkloads().size(); ++I) {
+    const Workload &W = paperWorkloads()[I];
+    uint64_t BaseCycles =
+        memoryAccessCycles(Data[I].EraBaseline.Cache, Model);
+    uint64_t UniCycles =
+        memoryAccessCycles(Data[I].CompleteUnified.Cache, Model);
     double Speedup = static_cast<double>(BaseCycles) /
                      static_cast<double>(UniCycles);
     Product *= Speedup;
