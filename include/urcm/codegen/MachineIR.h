@@ -109,7 +109,31 @@ struct MInst {
   bool isMemAccess() const {
     return Op == MOpcode::Ld || Op == MOpcode::St;
   }
+
+  /// True for instructions that end a straight-line run: everything
+  /// whose successor is not simply PC+1 (including Bnz, whose
+  /// fall-through still leaves the current run, and Halt). The
+  /// predecoded execution engine hoists step-limit and PC-bounds checks
+  /// to run boundaries, so run membership must be conservative.
+  bool isTerminator() const {
+    switch (Op) {
+    case MOpcode::Jmp:
+    case MOpcode::Bnz:
+    case MOpcode::Call:
+    case MOpcode::Ret:
+    case MOpcode::Halt:
+      return true;
+    default:
+      return false;
+    }
+  }
 };
+
+/// Predecode metadata: RunLen[i] = number of instructions in the
+/// straight-line run starting at i — the distance to (and including)
+/// the next terminator, or to the end of \p Code when none follows.
+/// Defined for *every* index because Ret can land execution mid-run.
+std::vector<uint32_t> computeRunLengths(const std::vector<MInst> &Code);
 
 /// Per-function metadata in the linked program.
 struct MachineFunction {

@@ -153,6 +153,14 @@ struct CacheGeometry {
     return static_cast<uint32_t>(SetsPow2 ? LineAddress & SetMask
                                           : LineAddress % NumSets);
   }
+  /// Addr % LineWords without the hardware divide on the common
+  /// geometries (identical result).
+  uint32_t wordInLine(uint64_t Addr) const {
+    if (LineWords == 1)
+      return 0;
+    return static_cast<uint32_t>(LinePow2 ? Addr & (LineWords - 1)
+                                          : Addr % LineWords);
+  }
 };
 
 /// A simple memory-access-time model used to reproduce the paper's
@@ -191,15 +199,69 @@ private:
   std::vector<int64_t> Shadow;
 };
 
-/// The data cache.
+/// The data cache. The hot paths (hit on read/write) are inlined here:
+/// the simulator performs one cache access per simulated memory
+/// instruction (plus one per *fetch* when the I-cache is modeled), so
+/// call overhead and pointer-chasing on this path dominate simulation
+/// wall time. Line metadata is a 32-byte POD and line data lives in one
+/// flat word array indexed by line slot — no per-line allocation, no
+/// indirection, and no divide on the access path (see
+/// CacheGeometry::wordInLine).
 class DataCache {
 public:
   DataCache(const CacheConfig &Config, MainMemory &Mem);
 
+#if defined(__GNUC__)
+// The simulator's load/store handlers live inside one large dispatch
+// function; GCC's function-growth limit refuses to inline these
+// otherwise-small hot wrappers there, leaving a call on every simulated
+// memory access.
+#define URCM_CACHE_INLINE __attribute__((always_inline)) inline
+#else
+#define URCM_CACHE_INLINE inline
+#endif
+
   /// Performs a data read at word address \p Addr with hint bits \p Info.
-  int64_t read(uint64_t Addr, const MemRefInfo &Info);
+  URCM_CACHE_INLINE int64_t read(uint64_t Addr, const MemRefInfo &Info) {
+    if (!Info.Bypass) {
+      uint64_t LineAddress = Geometry.lineAddr(Addr);
+      ++Stats.Reads;
+      if (Line *L = findLine(LineAddress)) {
+        ++Stats.ReadHits;
+        touch(*L);
+        int64_t Value = wordOf(*L, Addr);
+        if (Info.LastRef)
+          freeLine(*L, /*AvoidWriteBack=*/true);
+        return Value;
+      }
+      return readMiss(Addr, LineAddress, Info);
+    }
+    return readBypass(Addr, Info);
+  }
+
   /// Performs a data write.
-  void write(uint64_t Addr, int64_t Value, const MemRefInfo &Info);
+  URCM_CACHE_INLINE void write(uint64_t Addr, int64_t Value,
+                               const MemRefInfo &Info) {
+    if (!Info.Bypass && Config.Write == WritePolicy::WriteBack) {
+      uint64_t LineAddress = Geometry.lineAddr(Addr);
+      ++Stats.Writes;
+      if (Line *L = findLine(LineAddress)) {
+        ++Stats.WriteHits;
+        touch(*L);
+        wordOf(*L, Addr) = Value;
+        L->Dirty = true;
+        if (Info.LastRef) {
+          // Dead store: the value will never be read; the line is
+          // reclaimable immediately and the memory copy need not be
+          // produced.
+          freeLine(*L, /*AvoidWriteBack=*/true);
+        }
+        return;
+      }
+      return writeMiss(Addr, LineAddress, Value, Info);
+    }
+    writeSlow(Addr, Value, Info);
+  }
 
   /// Writes back all dirty lines (end of program); counted separately.
   void flush();
@@ -217,12 +279,11 @@ public:
 
 private:
   struct Line {
-    bool Valid = false;
-    bool Dirty = false;
     uint64_t Tag = 0; // Line address.
     uint64_t LastUsed = 0;
     uint64_t InsertedAt = 0;
-    std::vector<int64_t> Data;
+    bool Valid = false;
+    bool Dirty = false;
   };
 
   uint32_t numSets() const { return Geometry.NumSets; }
@@ -231,25 +292,311 @@ private:
     return Geometry.setOf(LineAddress);
   }
 
-  Line *findLine(uint64_t LineAddress);
-  const Line *findLine(uint64_t LineAddress) const;
+  /// The backing word of \p Addr within resident line \p L.
+  int64_t &wordOf(Line &L, uint64_t Addr) {
+    return Words[static_cast<size_t>(&L - Lines.data()) * Config.LineWords +
+                 Geometry.wordInLine(Addr)];
+  }
+
+  Line *findLine(uint64_t LineAddress) {
+    Line *Base =
+        Lines.data() + static_cast<size_t>(setOf(LineAddress)) * Config.Assoc;
+    for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
+      if (Base[Way].Valid && Base[Way].Tag == LineAddress)
+        return Base + Way;
+    return nullptr;
+  }
+  const Line *findLine(uint64_t LineAddress) const {
+    return const_cast<DataCache *>(this)->findLine(LineAddress);
+  }
+
   /// Chooses a victim slot in the set (invalid slot preferred).
   Line *chooseVictim(uint32_t Set);
+  /// The first invalid way of the set, or null if all ways are valid —
+  /// the slot chooseVictim would pick without consulting the policy.
+  Line *invalidWayOf(uint32_t Set);
   void evict(Line &L, bool CountAsFlush = false);
   /// Loads the line for \p LineAddress into the cache (fetching words
   /// from memory unless \p FetchWords is false) and returns it.
   Line *allocate(uint64_t LineAddress, bool FetchWords);
   void touch(Line &L) { L.LastUsed = ++Tick; }
-  void freeLine(Line &L, bool AvoidWriteBack);
+
+  /// Reclaims a dead-hinted line (paper's free-on-last-reference). The
+  /// hot case — one-word line, write-back suppressed — is a pair of
+  /// flag clears, so this lives in the header next to its callers.
+  void freeLine(Line &L, bool AvoidWriteBack) {
+    ++Stats.DeadFrees;
+    if (Config.LineWords == 1) {
+      if (L.Dirty && AvoidWriteBack)
+        ++Stats.DeadWriteBacksAvoided;
+      else if (L.Dirty)
+        evict(L);
+      L.Valid = false;
+      L.Dirty = false;
+      return;
+    }
+    // Multi-word lines: other words in the line may still be live, so
+    // the line is only demoted to least-recently-used (paper's
+    // alternative).
+    L.LastUsed = 0;
+    L.InsertedAt = 0;
+  }
+
+  /// Out-of-line remainder of read(): through-cache miss.
+  int64_t readMiss(uint64_t Addr, uint64_t LineAddress,
+                   const MemRefInfo &Info);
+  /// Out-of-line remainder of read(): bypassed (UmAm_LOAD).
+  int64_t readBypass(uint64_t Addr, const MemRefInfo &Info);
+  /// Out-of-line remainder of write(): write-back miss (write-allocate).
+  void writeMiss(uint64_t Addr, uint64_t LineAddress, int64_t Value,
+                 const MemRefInfo &Info);
+  /// Out-of-line remainder of write(): bypass and write-through.
+  void writeSlow(uint64_t Addr, int64_t Value, const MemRefInfo &Info);
 
   CacheConfig Config;
   CacheGeometry Geometry;
   MainMemory &Mem;
   CacheStats Stats;
   std::vector<Line> Lines; // Set-major: set s occupies [s*Assoc, ...).
+  /// Line data, flat: line slot i owns [i*LineWords, (i+1)*LineWords).
+  std::vector<int64_t> Words;
   uint64_t Tick = 0;
   SplitMix64 Rng;
 };
+
+/// Specialized data cache for the paper's canonical configuration —
+/// write-back, LRU, two-way, one-word lines, power-of-two line count —
+/// which nearly every exhibit simulates. Behavior and counters are
+/// bit-identical to DataCache under an eligible() configuration (the
+/// differential and fuzz tests pin this against the generic cache via
+/// the switch engine). The win is the state encoding, shared with the
+/// sweep engine's LRUTwoWayStream: each set is a two-entry
+/// move-to-front list of tag words (bit 63 = dirty, all-ones =
+/// invalid) with a parallel value array, so the common case — a hit on
+/// the most recent way — is one load and one compare, with no tick
+/// bookkeeping, no way walk, and no 32-byte line metadata.
+///
+/// Invariants: among valid ways of a set, slot 0 is the more recently
+/// used; invalid ways can sit in either slot (an access always leaves
+/// the touched line in slot 0, and dead-tag/bypass frees invalidate in
+/// place). Victim choice matches DataCache::chooseVictim: an invalid
+/// way first — the choice *among* invalid ways has no observable
+/// effect — else the LRU way, which is slot 1.
+class TwoWayWB1Cache {
+  static constexpr uint64_t DirtyBit = uint64_t(1) << 63;
+  static constexpr uint64_t TagMask = ~DirtyBit;
+  static constexpr uint64_t Invalid = ~uint64_t(0);
+
+public:
+  /// True if \p C is a configuration this cache reproduces exactly.
+  static bool eligible(const CacheConfig &C) {
+    return C.Write == WritePolicy::WriteBack &&
+           C.Policy == ReplacementPolicy::LRU && C.LineWords == 1 &&
+           C.Assoc == 2 && C.NumLines >= 2 &&
+           (C.NumLines & (C.NumLines - 1)) == 0;
+  }
+
+  TwoWayWB1Cache(const CacheConfig &Config, MainMemory &Mem)
+      : Config(Config), Mem(Mem),
+        SetMask(uint64_t(Config.NumLines / 2) - 1),
+        Tags(Config.NumLines, Invalid), Vals(Config.NumLines, 0) {
+    assert(eligible(Config) && "config not supported by the fast cache");
+  }
+
+  URCM_CACHE_INLINE int64_t read(uint64_t Addr, const MemRefInfo &Info) {
+    if (!Info.Bypass) {
+      ++Stats.Reads;
+      uint64_t *P = Tags.data() + ((Addr & SetMask) << 1);
+      int64_t *V = Vals.data() + ((Addr & SetMask) << 1);
+      uint64_t T0 = P[0];
+      if ((T0 & TagMask) == Addr) {
+        ++Stats.ReadHits;
+        int64_t Value = V[0];
+        if (Info.LastRef)
+          freeFront(P, T0);
+        return Value;
+      }
+      if (uint64_t T1 = P[1]; (T1 & TagMask) == Addr) {
+        ++Stats.ReadHits;
+        int64_t Value = V[1];
+        P[1] = T0;
+        P[0] = T1;
+        V[1] = V[0];
+        V[0] = Value;
+        if (Info.LastRef)
+          freeFront(P, T1);
+        return Value;
+      }
+      return readMiss(Addr, P, V, Info);
+    }
+    return readBypass(Addr);
+  }
+
+  URCM_CACHE_INLINE void write(uint64_t Addr, int64_t Value,
+                               const MemRefInfo &Info) {
+    if (!Info.Bypass) {
+      ++Stats.Writes;
+      uint64_t *P = Tags.data() + ((Addr & SetMask) << 1);
+      int64_t *V = Vals.data() + ((Addr & SetMask) << 1);
+      uint64_t T0 = P[0];
+      if ((T0 & TagMask) == Addr) {
+        ++Stats.WriteHits;
+        if (Info.LastRef) {
+          // Dead store: dirty by construction, write-back avoided.
+          ++Stats.DeadFrees;
+          ++Stats.DeadWriteBacksAvoided;
+          P[0] = Invalid;
+          return;
+        }
+        P[0] = T0 | DirtyBit;
+        V[0] = Value;
+        return;
+      }
+      if (uint64_t T1 = P[1]; (T1 & TagMask) == Addr) {
+        ++Stats.WriteHits;
+        P[1] = T0;
+        V[1] = V[0];
+        if (Info.LastRef) {
+          ++Stats.DeadFrees;
+          ++Stats.DeadWriteBacksAvoided;
+          P[0] = Invalid;
+          return;
+        }
+        P[0] = T1 | DirtyBit;
+        V[0] = Value;
+        return;
+      }
+      return writeMiss(Addr, Value, P, V, Info);
+    }
+    // UmAm_STORE: straight to memory. A stale cached copy should not
+    // exist under the compiler contract; if one does, keep it coherent
+    // (no dirty bit, no recency change — same as DataCache).
+    ++Stats.BypassWrites;
+    Mem.write(Addr, Value);
+    uint64_t *P = Tags.data() + ((Addr & SetMask) << 1);
+    int64_t *V = Vals.data() + ((Addr & SetMask) << 1);
+    if ((P[0] & TagMask) == Addr)
+      V[0] = Value;
+    else if ((P[1] & TagMask) == Addr)
+      V[1] = Value;
+  }
+
+  /// Writes back all dirty lines (end of program); counted separately.
+  void flush() {
+    for (size_t I = 0; I != Tags.size(); ++I) {
+      uint64_t T = Tags[I];
+      if (T != Invalid && (T & DirtyBit)) {
+        Mem.write(T & TagMask, Vals[I]);
+        Stats.FlushWriteBackWords += 1;
+      }
+      Tags[I] = Invalid;
+    }
+  }
+
+  const CacheStats &stats() const { return Stats; }
+  const CacheConfig &config() const { return Config; }
+
+private:
+  /// freeLine() for the line in slot 0 whose (possibly dirty) tag word
+  /// is \p T: reclaim it, counting a suppressed write-back if dirty.
+  void freeFront(uint64_t *P, uint64_t T) {
+    ++Stats.DeadFrees;
+    if (T & DirtyBit)
+      ++Stats.DeadWriteBacksAvoided;
+    P[0] = Invalid;
+  }
+
+  /// Evicts the valid line with tag word \p T and cached value \p Val.
+  void evictTag(uint64_t T, int64_t Val) {
+    ++Stats.Evictions;
+    if (T & DirtyBit) {
+      ++Stats.WriteBacks;
+      Stats.WriteBackWords += 1;
+      Mem.write(T & TagMask, Val);
+    }
+  }
+
+  int64_t readMiss(uint64_t Addr, uint64_t *P, int64_t *V,
+                   const MemRefInfo &Info) {
+    uint64_t T0 = P[0], T1 = P[1];
+    if (T0 != Invalid) {
+      if (T1 != Invalid)
+        evictTag(T1, V[1]); // Victim write-back precedes the fetch.
+      P[1] = T0;
+      V[1] = V[0];
+    }
+    int64_t Value = Mem.read(Addr);
+    ++Stats.Fills;
+    Stats.FillWords += 1;
+    if (Info.LastRef) {
+      // Dead load: the fresh line is clean, so nothing is avoided and
+      // the slot is reclaimed immediately.
+      ++Stats.DeadFrees;
+      P[0] = Invalid;
+      return Value;
+    }
+    P[0] = Addr;
+    V[0] = Value;
+    return Value;
+  }
+
+  void writeMiss(uint64_t Addr, int64_t Value, uint64_t *P, int64_t *V,
+                 const MemRefInfo &Info) {
+    uint64_t T0 = P[0], T1 = P[1];
+    if (T0 != Invalid) {
+      if (T1 != Invalid)
+        evictTag(T1, V[1]);
+      P[1] = T0;
+      V[1] = V[0];
+    }
+    // One-word write-allocate skips the fetch (the store overwrites
+    // the whole line).
+    ++Stats.Fills;
+    if (Info.LastRef) {
+      ++Stats.DeadFrees;
+      ++Stats.DeadWriteBacksAvoided;
+      P[0] = Invalid;
+      return;
+    }
+    P[0] = Addr | DirtyBit;
+    V[0] = Value;
+  }
+
+  int64_t readBypass(uint64_t Addr) {
+    // UmAm_LOAD: probe; a hit migrates the value to the register and
+    // frees the line in place (dirty lines write back first — see
+    // DataCache::readBypass for why). A miss reads memory directly.
+    uint64_t *P = Tags.data() + ((Addr & SetMask) << 1);
+    int64_t *V = Vals.data() + ((Addr & SetMask) << 1);
+    int Slot = (P[0] & TagMask) == Addr   ? 0
+               : (P[1] & TagMask) == Addr ? 1
+                                          : -1;
+    if (Slot >= 0) {
+      int64_t Value = V[Slot];
+      ++Stats.BypassHitMigrations;
+      ++Stats.DeadFrees;
+      if (P[Slot] & DirtyBit) {
+        ++Stats.Evictions;
+        ++Stats.WriteBacks;
+        Stats.WriteBackWords += 1;
+        Mem.write(Addr, Value);
+      }
+      P[Slot] = Invalid;
+      return Value;
+    }
+    ++Stats.BypassReads;
+    return Mem.read(Addr);
+  }
+
+  CacheConfig Config;
+  MainMemory &Mem;
+  CacheStats Stats;
+  uint64_t SetMask; // Set index = Addr & SetMask (one-word lines).
+  std::vector<uint64_t> Tags; // 2 per set; set s occupies [2s, 2s+2).
+  std::vector<int64_t> Vals;  // Parallel to Tags.
+};
+
+#undef URCM_CACHE_INLINE
 
 } // namespace urcm
 

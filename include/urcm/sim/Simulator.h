@@ -57,14 +57,55 @@ struct TraceEvent {
 static_assert(sizeof(TraceEvent) == 8, "trace events are streamed in "
                                        "bulk; keep them packed");
 
+/// Consumer of the data-reference trace in fixed-size chunks, fed while
+/// the simulation is still running. This is the streaming alternative to
+/// SimConfig::RecordTrace: peak trace memory is O(chunk) instead of
+/// O(trace), and a consumer on another thread (see
+/// urcm/sim/TraceStream.h) can replay chunk k while the simulator
+/// produces chunk k+1. Chunk boundaries are an implementation detail:
+/// the concatenation of all chunks is exactly the trace RecordTrace
+/// would have recorded.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+
+  /// Takes ownership of \p Chunk — the next events of the trace, in
+  /// order — and returns an *empty* buffer for the producer to refill
+  /// (sinks recycle the consumer's drained buffers to keep the steady
+  /// state allocation-free). The final chunk may be short; empty
+  /// chunks are never delivered.
+  virtual std::vector<TraceEvent> chunk(std::vector<TraceEvent> Chunk) = 0;
+};
+
+/// Which execution engine Simulator::run uses. Both produce bit-identical
+/// SimResults (asserted differentially by tests/simulator_test.cpp and
+/// tests/fuzz_test.cpp); Switch is kept as the portable reference
+/// implementation.
+enum class SimEngine : uint8_t {
+  /// Predecoded threaded-dispatch fast path (urcm/sim/Predecode.h).
+  Predecoded,
+  /// The legacy one-MInst-at-a-time switch interpreter.
+  Switch,
+};
+
 /// Simulation knobs.
 struct SimConfig {
   CacheConfig Cache;
   uint64_t MaxSteps = 2000000000ull;
+  SimEngine Engine = SimEngine::Predecoded;
   /// Check every delivered load value against the shadow memory.
   bool Paranoid = true;
   /// Record the data-reference trace for later replay.
   bool RecordTrace = false;
+  /// When set, the trace streams through this sink in chunks of
+  /// TraceChunkEvents instead of accumulating in SimResult::Trace
+  /// (RecordTrace is ignored). The sink is called on the simulating
+  /// thread.
+  TraceSink *Sink = nullptr;
+  /// Events per streamed chunk (64K events = 512 KB at 8 bytes each:
+  /// big enough to amortize hand-off costs, small enough to bound
+  /// in-flight memory).
+  uint32_t TraceChunkEvents = 1u << 16;
   /// Expected trace length (e.g. from a previous run of the same
   /// workload); when RecordTrace is set the trace vector is reserved to
   /// this size up front, avoiding reallocation copies of a trace that
@@ -123,15 +164,26 @@ struct SimResult {
   bool ok() const { return Halted && Error.empty(); }
 };
 
+struct PredecodedProgram;
+
 /// Executes machine programs.
 class Simulator {
 public:
   explicit Simulator(const SimConfig &Config) : Config(Config) {}
 
-  /// Runs \p Prog to completion (Halt), error, or the step limit.
+  /// Runs \p Prog to completion (Halt), error, or the step limit,
+  /// through the engine selected by SimConfig::Engine (predecoding on
+  /// the fly for SimEngine::Predecoded).
   SimResult run(const MachineProgram &Prog);
 
+  /// Runs an already-predecoded program (always the predecoded engine).
+  /// Callers that execute one program many times predecode once and use
+  /// this overload.
+  SimResult run(const PredecodedProgram &Prog);
+
 private:
+  SimResult runSwitch(const MachineProgram &Prog);
+
   SimConfig Config;
 };
 

@@ -43,6 +43,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -97,6 +98,50 @@ sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
 std::vector<CacheStats>
 replaySweepPoints(const std::vector<TraceEvent> &Trace,
                   const std::vector<SweepPoint> &Points);
+
+/// Chunk-driven replay of a set of sweep points: the streaming form of
+/// replaySweepPoints, advanced one trace chunk at a time so replay can
+/// start before generation finishes (see urcm/sim/TraceStream.h).
+/// Feeding the whole trace as one chunk is exactly the batch call — the
+/// batch entry points are wrappers over this class, so the two modes
+/// cannot diverge. Internally dispatches to the same kernels: the
+/// hole-extended Mattson stack-distance sweep when every point is
+/// eligible (unless \p AllowStackFastPath is false, which pins the
+/// lock-step kernels — that is replayTraceMulti's contract), else the
+/// specialized two-way-LRU kernel plus the generic lock-step replayer.
+class SweepPointStream {
+public:
+  /// True when every point replays in one forward pass. Belady MIN
+  /// points do not: their next-use precomputation reads the whole trace
+  /// backwards, so they require batch mode (\p FullTrace).
+  static bool streamable(const std::vector<SweepPoint> &Points);
+
+  /// \p FullTrace must be non-null when any point uses TracePolicy::MIN
+  /// and is ignored otherwise.
+  explicit SweepPointStream(std::vector<SweepPoint> Points,
+                            const std::vector<TraceEvent> *FullTrace =
+                                nullptr,
+                            bool AllowStackFastPath = true);
+  SweepPointStream(const SweepPointStream &) = delete;
+  SweepPointStream &operator=(const SweepPointStream &) = delete;
+  ~SweepPointStream();
+
+  /// Pre-sizes internal structures for an expected total event count (a
+  /// pure allocation hint the batch wrappers use; streaming callers,
+  /// who do not know the trace length, simply grow on demand).
+  void reserve(uint64_t ExpectedEvents);
+
+  /// Advances every point over the next \p Count trace events.
+  void feed(const TraceEvent *Events, size_t Count);
+
+  /// End of trace: final flush accounting. Call exactly once; counters
+  /// are returned in the order of the constructor's Points.
+  std::vector<CacheStats> finish();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
 
 /// Memoizing, parallel front-end: each *experiment* is one traced
 /// functional run (the producer closure compiles and simulates — the

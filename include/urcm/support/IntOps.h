@@ -1,0 +1,62 @@
+//===- IntOps.h - Wrapping arithmetic for simulated machines ---*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// The simulated machine (and the IR interpreter that serves as its
+// oracle) defines integer arithmetic as two's-complement wraparound.
+// Host-side signed overflow is undefined behavior, so every simulated
+// ALU op routes through these helpers: compute in uint64_t (defined
+// modulo 2^64) and convert back, which C++20 guarantees is the
+// two's-complement value.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_INTOPS_H
+#define URCM_SUPPORT_INTOPS_H
+
+#include <cstdint>
+
+namespace urcm {
+
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+/// INT64_MIN / -1 overflows (and traps on x86); the simulated machine
+/// defines it to wrap to INT64_MIN, matching A * (1/B) mod 2^64.
+/// Callers reject B == 0 before calling (that stays a simulated fault).
+inline int64_t wrapDiv(int64_t A, int64_t B) {
+  if (B == -1)
+    return wrapSub(0, A);
+  return A / B;
+}
+
+/// Remainder companion of wrapDiv: INT64_MIN % -1 is defined as 0.
+inline int64_t wrapRem(int64_t A, int64_t B) {
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
+/// Logical-left shift with wraparound (shift count already masked by
+/// the caller). Signed << is value-preserving-modulo-2^64 in C++20,
+/// but shifting *into* the sign bit still trips UBSan's shift check on
+/// some toolchains; the unsigned detour is unambiguous.
+inline int64_t wrapShl(int64_t A, unsigned N) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) << N);
+}
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_INTOPS_H

@@ -1,0 +1,100 @@
+//===- urcm/support/SPSCQueue.h - Bounded SPSC handoff queue ----*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer queue used to hand trace
+/// chunks from the simulating thread to a replaying thread. Chunks are
+/// hundreds of kilobytes, so handoffs are rare relative to the work they
+/// carry; a mutex + condvar ring is the right tool (a lock-free ring
+/// would save nanoseconds per *chunk* while complicating shutdown and
+/// backpressure). The bounded capacity is the backpressure mechanism:
+/// a producer that outruns the consumer blocks instead of buffering the
+/// whole trace, which is what keeps streaming memory O(capacity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SUPPORT_SPSCQUEUE_H
+#define URCM_SUPPORT_SPSCQUEUE_H
+
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace urcm {
+
+template <typename T> class SPSCQueue {
+public:
+  /// \p Capacity bounds the number of in-flight items (>= 1).
+  explicit SPSCQueue(size_t Capacity) : Capacity(Capacity) {
+    assert(Capacity > 0 && "a zero-capacity queue cannot make progress");
+  }
+
+  /// Enqueues \p Value, blocking while the queue is full.
+  void push(T Value) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Items.size() < Capacity; });
+    assert(!Closed && "push after close");
+    Items.push_back(std::move(Value));
+    NotEmpty.notify_one();
+  }
+
+  /// Enqueues \p Value if space is available without blocking.
+  bool tryPush(T Value) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Items.size() >= Capacity)
+      return false;
+    assert(!Closed && "push after close");
+    Items.push_back(std::move(Value));
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues into \p Out, blocking while the queue is empty. Returns
+  /// false once the queue is closed *and* drained.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Dequeues into \p Out if an item is ready; never blocks and never
+  /// consults the closed flag (pure opportunistic grab).
+  bool tryPop(T &Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Producer-side end-of-stream: wakes a blocked consumer; pop()
+  /// returns false once the remaining items drain.
+  void close() {
+    std::lock_guard<std::mutex> Lock(M);
+    Closed = true;
+    NotEmpty.notify_all();
+  }
+
+private:
+  const size_t Capacity;
+  std::mutex M;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace urcm
+
+#endif // URCM_SUPPORT_SPSCQUEUE_H

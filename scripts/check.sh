@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# One-stop pre-merge gate:
+#   1. tier-1 build + tests in the default (RelWithDebInfo) preset
+#   2. the same suite under ASan+UBSan, once per dispatch strategy
+#      (the sanitizer presets differ only in URCM_FORCE_SWITCH_DISPATCH,
+#      so both the computed-goto and the switch engines get scrubbed)
+#   3. opt-in (--bench): rerun the paper exhibits and diff their wall
+#      times against the committed BENCH_sweep.json trajectory
+#
+# Usage: scripts/check.sh [--bench] [--skip-sanitizers]
+#
+# Wall-time caveat: single-core CI boxes show +/-15% run-to-run noise,
+# so the bench diff only *flags* regressions past a generous threshold;
+# treat it as a tripwire, not a verdict. Confirm any flagged exhibit
+# with an interleaved A/B against the previous commit's binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+RUN_SAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    --skip-sanitizers) RUN_SAN=0 ;;
+    *) echo "usage: scripts/check.sh [--bench] [--skip-sanitizers]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: default preset =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default -j"$(nproc)"
+
+if [ "$RUN_SAN" = 1 ]; then
+  for preset in asan-ubsan asan-ubsan-threaded; do
+    echo "== sanitizers: $preset =="
+    cmake --preset "$preset" >/dev/null
+    cmake --build --preset "$preset" -j"$(nproc)"
+    # Leak checking stays on (default); halt-on-error comes from
+    # -fno-sanitize-recover in the preset flags.
+    ctest --test-dir "$([ "$preset" = asan-ubsan ] && echo build-asan \
+                                                  || echo build-asan-threaded)" \
+      -j"$(nproc)" --output-on-failure
+  done
+fi
+
+if [ "$RUN_BENCH" = 1 ]; then
+  echo "== bench trajectory diff =="
+  TMP_JSON=$(mktemp /tmp/bench_sweep.XXXXXX.json)
+  trap 'rm -f "$TMP_JSON"' EXIT
+  bench/run_benches.sh build "$TMP_JSON"
+  python3 - BENCH_sweep.json "$TMP_JSON" <<'PY'
+import json, sys
+
+base_path, new_path = sys.argv[1], sys.argv[2]
+try:
+    base = json.load(open(base_path))["wall_time_s"]
+except FileNotFoundError:
+    print(f"no committed {base_path}; nothing to diff against")
+    sys.exit(0)
+new = json.load(open(new_path))["wall_time_s"]
+
+THRESHOLD = 1.25  # generous: single-core wall times carry ~15% noise
+regressed = []
+print(f"{'exhibit':<28}{'base':>8}{'new':>8}{'ratio':>8}")
+for name in sorted(set(base) | set(new)):
+    b, n = base.get(name), new.get(name)
+    if b is None or n is None:
+        print(f"{name:<28}{b or '-':>8}{n or '-':>8}{'new' if b is None else 'gone':>8}")
+        continue
+    ratio = n / b if b else float("inf")
+    print(f"{name:<28}{b:>8.2f}{n:>8.2f}{ratio:>7.2f}x")
+    if ratio > THRESHOLD:
+        regressed.append((name, ratio))
+
+if regressed:
+    print("\npossible regressions (confirm with interleaved A/B):")
+    for name, ratio in regressed:
+        print(f"  {name}: {ratio:.2f}x slower than committed baseline")
+    sys.exit(1)
+print("\nbench trajectory OK")
+PY
+fi
+
+echo "== check.sh: all gates passed =="

@@ -9,6 +9,17 @@
 
 using namespace urcm;
 
+std::vector<uint32_t>
+urcm::computeRunLengths(const std::vector<MInst> &Code) {
+  std::vector<uint32_t> RunLen(Code.size());
+  uint32_t Run = 0;
+  for (size_t I = Code.size(); I-- > 0;) {
+    Run = Code[I].isTerminator() ? 1 : Run + 1;
+    RunLen[I] = Run;
+  }
+  return RunLen;
+}
+
 const char *urcm::mopcodeName(MOpcode Op) {
   switch (Op) {
   case MOpcode::Add:

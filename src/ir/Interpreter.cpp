@@ -6,6 +6,7 @@
 
 #include "urcm/ir/Interpreter.h"
 
+#include "urcm/support/IntOps.h"
 #include "urcm/support/StringUtils.h"
 
 #include <cassert>
@@ -145,15 +146,15 @@ private:
         switch (I.Op) {
         case Opcode::Add:
           Fr.Regs[I.Dst] =
-              operandValue(Fr, I.Ops[0]) + operandValue(Fr, I.Ops[1]);
+              wrapAdd(operandValue(Fr, I.Ops[0]), operandValue(Fr, I.Ops[1]));
           break;
         case Opcode::Sub:
           Fr.Regs[I.Dst] =
-              operandValue(Fr, I.Ops[0]) - operandValue(Fr, I.Ops[1]);
+              wrapSub(operandValue(Fr, I.Ops[0]), operandValue(Fr, I.Ops[1]));
           break;
         case Opcode::Mul:
           Fr.Regs[I.Dst] =
-              operandValue(Fr, I.Ops[0]) * operandValue(Fr, I.Ops[1]);
+              wrapMul(operandValue(Fr, I.Ops[0]), operandValue(Fr, I.Ops[1]));
           break;
         case Opcode::Div: {
           int64_t D = operandValue(Fr, I.Ops[1]);
@@ -161,7 +162,7 @@ private:
             fail("division by zero");
             break;
           }
-          Fr.Regs[I.Dst] = operandValue(Fr, I.Ops[0]) / D;
+          Fr.Regs[I.Dst] = wrapDiv(operandValue(Fr, I.Ops[0]), D);
           break;
         }
         case Opcode::Rem: {
@@ -170,7 +171,7 @@ private:
             fail("remainder by zero");
             break;
           }
-          Fr.Regs[I.Dst] = operandValue(Fr, I.Ops[0]) % D;
+          Fr.Regs[I.Dst] = wrapRem(operandValue(Fr, I.Ops[0]), D);
           break;
         }
         case Opcode::And:
@@ -186,8 +187,9 @@ private:
               operandValue(Fr, I.Ops[0]) ^ operandValue(Fr, I.Ops[1]);
           break;
         case Opcode::Shl:
-          Fr.Regs[I.Dst] = operandValue(Fr, I.Ops[0])
-                           << (operandValue(Fr, I.Ops[1]) & 63);
+          Fr.Regs[I.Dst] =
+              wrapShl(operandValue(Fr, I.Ops[0]),
+                      static_cast<unsigned>(operandValue(Fr, I.Ops[1]) & 63));
           break;
         case Opcode::Shr:
           Fr.Regs[I.Dst] =

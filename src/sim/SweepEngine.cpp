@@ -42,9 +42,22 @@
 // Two Fenwick trees over the timestamp domain (all entries / holes
 // only) give O(log n) depth, topmost-hole and per-size victim queries.
 //
+// Every replay kernel here (the two-way-LRU kernel, the generic
+// lock-step replayer, the stack-distance sweep) is written as a
+// chunk-fed stream — construct, feed(events), finish() — and the batch
+// entry points (replayTraceMulti, sweepLRUStackDistance,
+// replaySweepPoints) are one-chunk wrappers, so the streaming pipeline
+// (urcm/sim/TraceStream.h) and the materialized-trace path execute the
+// same per-event code and cannot diverge. The stack-distance stream's
+// Fenwick trees grow geometrically because a streaming consumer does
+// not know the trace length up front; the batch wrapper pre-sizes them
+// to the exact domain.
+//
 //===----------------------------------------------------------------------===//
 
 #include "urcm/sim/SweepEngine.h"
+
+#include "urcm/sim/TraceStream.h"
 
 #include <algorithm>
 #include <cassert>
@@ -101,12 +114,10 @@ bool lruTwoWayEligible(const SweepPoint &P) {
 /// the touched line in slot 0, and dead-tag/bypass frees invalidate in
 /// place). Victim choice matches DataCache::chooseVictim: an invalid
 /// way first, else the LRU way (slot 1).
-std::vector<CacheStats>
-replayLRUTwoWay(const std::vector<TraceEvent> &Trace,
-                const std::vector<SweepPoint> &Points) {
-  constexpr uint64_t DirtyBit = uint64_t(1) << 63;
-  constexpr uint64_t TagMask = ~DirtyBit;
-  constexpr uint64_t Invalid = ~uint64_t(0);
+class LRUTwoWayStream {
+  static constexpr uint64_t DirtyBit = uint64_t(1) << 63;
+  static constexpr uint64_t TagMask = ~DirtyBit;
+  static constexpr uint64_t Invalid = ~uint64_t(0);
 
   struct Way2Cache {
     uint64_t SetMask;
@@ -115,228 +126,238 @@ replayLRUTwoWay(const std::vector<TraceEvent> &Trace,
     CacheStats St;
   };
   std::vector<Way2Cache> Caches;
-  Caches.reserve(Points.size());
-  for (const SweepPoint &P : Points) {
-    assert(lruTwoWayEligible(P));
-    Caches.push_back({uint64_t(P.Config.NumLines / 2) - 1,
-                      !P.IgnoreHints,
-                      std::vector<uint64_t>(P.Config.NumLines, Invalid),
-                      CacheStats()});
+
+public:
+  explicit LRUTwoWayStream(const std::vector<SweepPoint> &Points) {
+    Caches.reserve(Points.size());
+    for (const SweepPoint &P : Points) {
+      assert(lruTwoWayEligible(P));
+      Caches.push_back({uint64_t(P.Config.NumLines / 2) - 1,
+                        !P.IgnoreHints,
+                        std::vector<uint64_t>(P.Config.NumLines, Invalid),
+                        CacheStats()});
+    }
   }
 
-  for (const TraceEvent &E : Trace) {
-    const uint64_t A = E.Addr;
-    const bool W = E.IsWrite;
-    const bool Bypass = E.Info.Bypass;
-    const bool LastRef = E.Info.LastRef;
+  void feed(const TraceEvent *Events, size_t Count) {
+    // Configuration-major: each cache streams the whole chunk with its
+    // tag pointer, set mask, and counters held in registers, and the
+    // chunk itself stays hot across passes. Caches are mutually
+    // independent, so the interchange cannot change any counter.
     for (Way2Cache &C : Caches) {
-      uint64_t *P = C.Tags.data() + ((A & C.SetMask) << 1);
-      if (__builtin_expect(!(Bypass & C.Hinted), 1)) {
-        uint64_t T0 = P[0];
-        if (W)
-          ++C.St.Writes;
-        else
-          ++C.St.Reads;
-        if ((T0 & TagMask) == A) {
-          if (W) {
-            ++C.St.WriteHits;
-            P[0] = T0 | DirtyBit;
-          } else {
-            ++C.St.ReadHits;
-          }
-        } else if (uint64_t T1 = P[1]; (T1 & TagMask) == A) {
-          if (W) {
-            ++C.St.WriteHits;
-            T1 |= DirtyBit;
-          } else {
-            ++C.St.ReadHits;
-          }
-          P[1] = T0;
-          P[0] = T1;
-        } else {
-          // Miss. One-word write-allocate skips the fetch (the store
-          // overwrites the whole line).
-          ++C.St.Fills;
-          if (!W)
-            ++C.St.FillWords;
-          uint64_t NewTag = W ? A | DirtyBit : A;
-          if (T0 == Invalid) {
-            P[0] = NewTag;
-          } else {
-            if (T1 != Invalid) {
-              ++C.St.Evictions;
-              if (T1 & DirtyBit) {
-                ++C.St.WriteBacks;
-                ++C.St.WriteBackWords;
-              }
+      uint64_t *const Tags = C.Tags.data();
+      const uint64_t SetMask = C.SetMask;
+      const bool Hinted = C.Hinted;
+      CacheStats St = C.St;
+      for (const TraceEvent *E = Events, *End = Events + Count; E != End;
+           ++E) {
+        const uint64_t A = E->Addr;
+        const bool W = E->IsWrite;
+        uint64_t *P = Tags + ((A & SetMask) << 1);
+        if (__builtin_expect(!(E->Info.Bypass & Hinted), 1)) {
+          uint64_t T0 = P[0];
+          if (W)
+            ++St.Writes;
+          else
+            ++St.Reads;
+          if ((T0 & TagMask) == A) {
+            if (W) {
+              ++St.WriteHits;
+              P[0] = T0 | DirtyBit;
+            } else {
+              ++St.ReadHits;
+            }
+          } else if (uint64_t T1 = P[1]; (T1 & TagMask) == A) {
+            if (W) {
+              ++St.WriteHits;
+              T1 |= DirtyBit;
+            } else {
+              ++St.ReadHits;
             }
             P[1] = T0;
-            P[0] = NewTag;
+            P[0] = T1;
+          } else {
+            // Miss. One-word write-allocate skips the fetch (the store
+            // overwrites the whole line).
+            ++St.Fills;
+            if (!W)
+              ++St.FillWords;
+            uint64_t NewTag = W ? A | DirtyBit : A;
+            if (T0 == Invalid) {
+              P[0] = NewTag;
+            } else {
+              if (T1 != Invalid) {
+                ++St.Evictions;
+                if (T1 & DirtyBit) {
+                  ++St.WriteBacks;
+                  ++St.WriteBackWords;
+                }
+              }
+              P[1] = T0;
+              P[0] = NewTag;
+            }
           }
-        }
-        if (LastRef & C.Hinted) {
-          // The accessed line sits in slot 0 after every path above.
-          ++C.St.DeadFrees;
-          if (P[0] & DirtyBit)
-            ++C.St.DeadWriteBacksAvoided;
-          P[0] = Invalid;
-        }
-      } else if (W) {
-        ++C.St.BypassWrites;
-      } else {
-        // Bypass read: a resident line migrates to the register file
-        // (dirty lines write back first) and frees its slot.
-        uint64_t T0 = P[0], T1 = P[1];
-        uint64_t *Slot = (T0 & TagMask) == A   ? &P[0]
-                         : (T1 & TagMask) == A ? &P[1]
-                                               : nullptr;
-        if (Slot) {
-          ++C.St.BypassHitMigrations;
-          ++C.St.DeadFrees;
-          if (*Slot & DirtyBit) {
-            ++C.St.WriteBacks;
-            ++C.St.WriteBackWords;
-            ++C.St.Evictions;
+          if (E->Info.LastRef & Hinted) {
+            // The accessed line sits in slot 0 after every path above.
+            ++St.DeadFrees;
+            if (P[0] & DirtyBit)
+              ++St.DeadWriteBacksAvoided;
+            P[0] = Invalid;
           }
-          *Slot = Invalid;
+        } else if (W) {
+          ++St.BypassWrites;
         } else {
-          ++C.St.BypassReads;
+          // Bypass read: a resident line migrates to the register file
+          // (dirty lines write back first) and frees its slot.
+          uint64_t T0 = P[0], T1 = P[1];
+          uint64_t *Slot = (T0 & TagMask) == A   ? &P[0]
+                           : (T1 & TagMask) == A ? &P[1]
+                                                 : nullptr;
+          if (Slot) {
+            ++St.BypassHitMigrations;
+            ++St.DeadFrees;
+            if (*Slot & DirtyBit) {
+              ++St.WriteBacks;
+              ++St.WriteBackWords;
+              ++St.Evictions;
+            }
+            *Slot = Invalid;
+          } else {
+            ++St.BypassReads;
+          }
         }
       }
+      C.St = St;
     }
   }
 
-  std::vector<CacheStats> Out;
-  Out.reserve(Caches.size());
-  for (Way2Cache &C : Caches) {
-    for (uint64_t T : C.Tags)
-      if (T != Invalid && (T & DirtyBit))
-        ++C.St.FlushWriteBackWords;
-    Out.push_back(C.St);
+  std::vector<CacheStats> finish() {
+    std::vector<CacheStats> Out;
+    Out.reserve(Caches.size());
+    for (Way2Cache &C : Caches) {
+      for (uint64_t T : C.Tags)
+        if (T != Invalid && (T & DirtyBit))
+          ++C.St.FlushWriteBackWords;
+      Out.push_back(C.St);
+    }
+    return Out;
   }
-  return Out;
-}
+};
 
-/// The general lock-step walk: one TraceReplayer per point.
-std::vector<CacheStats>
-replayGenericMulti(const std::vector<TraceEvent> &Trace,
-                   const std::vector<SweepPoint> &Points) {
-  // MIN points with the same line size and hint view share one
-  // next-use index.
-  std::map<std::pair<uint32_t, bool>,
-           std::shared_ptr<const std::vector<uint64_t>>>
-      NextUses;
+/// The general lock-step walk: one TraceReplayer per point, advanced a
+/// chunk at a time (a running event index supplies MIN's
+/// future-knowledge lookups, so batch callers that feed the whole trace
+/// as one chunk see the original indexes).
+class GenericMultiStream {
+  std::vector<SweepPoint> Points;
   std::vector<TraceReplayer> Replayers;
-  Replayers.reserve(Points.size());
-  bool AnyHinted = false;
+  std::vector<TraceEvent> Stripped; // Per-chunk scratch (hints cleared).
   bool AnyUnhinted = false;
-  for (const SweepPoint &P : Points) {
-    (P.IgnoreHints ? AnyUnhinted : AnyHinted) = true;
-    std::shared_ptr<const std::vector<uint64_t>> Next;
-    if (P.Policy == TracePolicy::MIN) {
-      auto &Slot = NextUses[{P.Config.LineWords, P.IgnoreHints}];
-      if (!Slot)
-        Slot = P.IgnoreHints
-                   ? computeNextLineUsesUnhinted(Trace, P.Config.LineWords)
-                   : computeNextLineUses(Trace, P.Config.LineWords);
-      Next = Slot;
+  uint64_t RunningIndex = 0;
+
+public:
+  /// \p FullTrace is required when any point uses TracePolicy::MIN.
+  GenericMultiStream(std::vector<SweepPoint> PointsIn,
+                     const std::vector<TraceEvent> *FullTrace)
+      : Points(std::move(PointsIn)) {
+    // MIN points with the same line size and hint view share one
+    // next-use index.
+    std::map<std::pair<uint32_t, bool>,
+             std::shared_ptr<const std::vector<uint64_t>>>
+        NextUses;
+    Replayers.reserve(Points.size());
+    for (const SweepPoint &P : Points) {
+      AnyUnhinted |= P.IgnoreHints;
+      std::shared_ptr<const std::vector<uint64_t>> Next;
+      if (P.Policy == TracePolicy::MIN) {
+        assert(FullTrace && "MIN points require the materialized trace");
+        auto &Slot = NextUses[{P.Config.LineWords, P.IgnoreHints}];
+        if (!Slot)
+          Slot = P.IgnoreHints ? computeNextLineUsesUnhinted(
+                                     *FullTrace, P.Config.LineWords)
+                               : computeNextLineUses(*FullTrace,
+                                                     P.Config.LineWords);
+        Next = Slot;
+      }
+      Replayers.emplace_back(P.Config, P.Policy, std::move(Next));
     }
-    Replayers.emplace_back(P.Config, P.Policy, std::move(Next));
   }
-  // One walk of the (large) trace; every configuration advances in
-  // lock-step. The replayers are mutually independent, so the counters
-  // equal per-point replayTrace calls. IgnoreHints points see the event
-  // with its hint bits cleared (stripped once per event, not per
-  // point).
-  const size_t N = Points.size();
-  for (uint64_t Index = 0; Index != Trace.size(); ++Index) {
-    const TraceEvent &E = Trace[Index];
-    TraceEvent Stripped;
+
+  void feed(const TraceEvent *Events, size_t Count) {
+    // Configuration-major: each replayer streams the whole chunk before
+    // the next starts, keeping its cache state hot. The replayers are
+    // mutually independent, so the counters equal per-point replayTrace
+    // calls. IgnoreHints points see the chunk with its hint bits
+    // cleared (stripped once per chunk, not per point).
+    const uint64_t Base = RunningIndex;
+    RunningIndex += Count;
     if (AnyUnhinted) {
-      Stripped = E;
-      Stripped.Info.Bypass = false;
-      Stripped.Info.LastRef = false;
+      Stripped.assign(Events, Events + Count);
+      for (TraceEvent &E : Stripped) {
+        E.Info.Bypass = false;
+        E.Info.LastRef = false;
+      }
     }
-    if (!AnyUnhinted) {
-      for (TraceReplayer &R : Replayers)
-        R.step(E, Index);
-    } else if (!AnyHinted) {
-      for (TraceReplayer &R : Replayers)
-        R.step(Stripped, Index);
-    } else {
-      for (size_t P = 0; P != N; ++P)
-        Replayers[P].step(Points[P].IgnoreHints ? Stripped : E, Index);
+    const size_t N = Points.size();
+    for (size_t P = 0; P != N; ++P) {
+      const TraceEvent *Src =
+          Points[P].IgnoreHints && AnyUnhinted ? Stripped.data() : Events;
+      TraceReplayer &R = Replayers[P];
+      for (size_t K = 0; K != Count; ++K)
+        R.step(Src[K], Base + K);
     }
   }
-  std::vector<CacheStats> Out;
-  Out.reserve(Replayers.size());
-  for (TraceReplayer &R : Replayers)
-    Out.push_back(R.finish());
-  return Out;
-}
 
-} // namespace
-
-std::vector<CacheStats>
-urcm::replayTraceMulti(const std::vector<TraceEvent> &Trace,
-                       const std::vector<SweepPoint> &Points) {
-  // Partition into the specialized two-way LRU kernel and the general
-  // replayer. The two groups each walk the trace once; streaming the
-  // trace twice is far cheaper than running every point through the
-  // general per-event machinery.
-  std::vector<size_t> FastIdx, SlowIdx;
-  for (size_t I = 0; I != Points.size(); ++I)
-    (lruTwoWayEligible(Points[I]) ? FastIdx : SlowIdx).push_back(I);
-  if (SlowIdx.empty() && FastIdx.empty())
-    return {};
-  if (FastIdx.empty())
-    return replayGenericMulti(Trace, Points);
-  if (SlowIdx.empty())
-    return replayLRUTwoWay(Trace, Points);
-  std::vector<CacheStats> Out(Points.size());
-  std::vector<SweepPoint> Fast, Slow;
-  for (size_t I : FastIdx)
-    Fast.push_back(Points[I]);
-  for (size_t I : SlowIdx)
-    Slow.push_back(Points[I]);
-  std::vector<CacheStats> FastOut = replayLRUTwoWay(Trace, Fast);
-  std::vector<CacheStats> SlowOut = replayGenericMulti(Trace, Slow);
-  for (size_t I = 0; I != FastIdx.size(); ++I)
-    Out[FastIdx[I]] = FastOut[I];
-  for (size_t I = 0; I != SlowIdx.size(); ++I)
-    Out[SlowIdx[I]] = SlowOut[I];
-  return Out;
-}
-
-bool urcm::stackDistanceEligible(const SweepPoint &Point) {
-  return Point.Policy == TracePolicy::LRU &&
-         Point.Config.Write == WritePolicy::WriteBack &&
-         Point.Config.LineWords == 1 &&
-         Point.Config.Assoc == Point.Config.NumLines &&
-         Point.Config.NumLines > 0;
-}
-
-namespace {
+  std::vector<CacheStats> finish() {
+    std::vector<CacheStats> Out;
+    Out.reserve(Replayers.size());
+    for (TraceReplayer &R : Replayers)
+      Out.push_back(R.finish());
+    return Out;
+  }
+};
 
 constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
 
-/// Fenwick tree of 0/1 flags over the 1-based timestamp domain.
+/// Fenwick tree of 0/1 flags over a growable 1-based position domain.
+/// ensure() extends the domain geometrically, preserving the set flags
+/// (an O(domain) rebuild per doubling — amortized constant per
+/// position, and zero rebuilds when the final domain is reserved up
+/// front, as the batch wrappers do).
 class BitTree {
 public:
-  explicit BitTree(uint64_t N) : Tree(N + 1, 0) {
-    while ((uint64_t(1) << (LogN + 1)) <= N)
-      ++LogN;
-  }
-
   uint64_t total() const { return Total; }
 
+  /// Grows the domain so position \p N is addressable.
+  void ensure(uint64_t N) {
+    if (N < Tree.size())
+      return;
+    uint64_t NewDomain =
+        std::max<uint64_t>(N, Tree.empty() ? 64 : 2 * (Tree.size() - 1));
+    Flags.resize(NewDomain + 1, 0);
+    Tree.assign(NewDomain + 1, 0);
+    LogN = 0;
+    while ((uint64_t(1) << (LogN + 1)) <= NewDomain)
+      ++LogN;
+    // Linear Fenwick rebuild: by the time position I propagates to its
+    // parent, every child range of I has already folded into Tree[I].
+    for (uint64_t I = 1; I <= NewDomain; ++I) {
+      Tree[I] += Flags[I];
+      uint64_t J = I + (I & (~I + 1));
+      if (J <= NewDomain)
+        Tree[J] += Tree[I];
+    }
+  }
+
   void set(uint64_t I) {
+    Flags[I] = 1;
     ++Total;
     for (; I < Tree.size(); I += I & (~I + 1))
       ++Tree[I];
   }
 
   void clear(uint64_t I) {
+    Flags[I] = 0;
     --Total;
     for (; I < Tree.size(); I += I & (~I + 1))
       --Tree[I];
@@ -366,21 +387,14 @@ public:
 
 private:
   std::vector<uint32_t> Tree;
+  std::vector<uint8_t> Flags;
   uint64_t Total = 0;
   uint32_t LogN = 0;
 };
 
-} // namespace
-
-std::vector<CacheStats>
-urcm::sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
-                            const std::vector<uint32_t> &NumLines,
-                            bool IgnoreHints) {
-  const size_t NumSizes = NumLines.size();
-  std::vector<CacheStats> Stats(NumSizes);
-  if (NumSizes == 0)
-    return Stats;
-
+/// Chunk-fed form of the hole-extended Mattson sweep (see the file
+/// comment for the update rules). One instance per hint view.
+class StackDistanceStream {
   /// DirtyMin = smallest tracked-or-not capacity whose copy of the line
   /// is dirty (Never when clean in every size).
   struct LineState {
@@ -388,186 +402,346 @@ urcm::sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
     uint64_t DirtyMin;
   };
 
-  // Each event consumes at most one fresh timestamp.
-  const uint64_t Domain = Trace.size() + 1;
-  BitTree All(Domain);   // Valid lines and holes.
-  BitTree Holes(Domain); // Holes only.
+  std::vector<uint32_t> NumLines;
+  bool IgnoreHints;
+  std::vector<CacheStats> Stats;
+  BitTree All;   // Valid lines and holes.
+  BitTree Holes; // Holes only.
   std::unordered_map<uint64_t, LineState> Lines;
-  std::vector<uint64_t> AddrOfTs(Domain + 1, 0);
+  std::vector<uint64_t> AddrOfTs;
   uint64_t NextTs = 0;
 
   // 0-based stack depth: number of entries more recent than Ts.
-  auto depthOf = [&](uint64_t Ts) { return All.total() - All.prefix(Ts); };
+  uint64_t depthOf(uint64_t Ts) const {
+    return All.total() - All.prefix(Ts);
+  }
 
-  for (const TraceEvent &E : Trace) {
-    const uint64_t LA = E.Addr; // One-word lines: address == line address.
-    const bool Bypass = !IgnoreHints && E.Info.Bypass;
-    const bool LastRef = !IgnoreHints && E.Info.LastRef;
-    auto It = Lines.find(LA);
+public:
+  StackDistanceStream(std::vector<uint32_t> NumLinesIn, bool IgnoreHints)
+      : NumLines(std::move(NumLinesIn)), IgnoreHints(IgnoreHints),
+        Stats(NumLines.size()) {}
 
-    if (Bypass) {
-      if (E.IsWrite) {
-        // UmAm_STORE: straight to memory in every size.
-        for (CacheStats &St : Stats)
-          ++St.BypassWrites;
+  /// Pre-sizes the timestamp domain (each event consumes at most one
+  /// fresh timestamp).
+  void reserve(uint64_t ExpectedEvents) {
+    All.ensure(ExpectedEvents + 1);
+    Holes.ensure(ExpectedEvents + 1);
+    if (AddrOfTs.size() < ExpectedEvents + 2)
+      AddrOfTs.resize(ExpectedEvents + 2, 0);
+  }
+
+  void feed(const TraceEvent *Events, size_t Count) {
+    const size_t NumSizes = NumLines.size();
+    if (NumSizes == 0)
+      return;
+    // Grow the timestamp domain ahead of the chunk.
+    All.ensure(NextTs + Count + 1);
+    Holes.ensure(NextTs + Count + 1);
+    if (AddrOfTs.size() < NextTs + Count + 2)
+      AddrOfTs.resize(
+          std::max<uint64_t>(NextTs + Count + 2, 2 * AddrOfTs.size()), 0);
+
+    for (const TraceEvent *EP = Events, *EEnd = Events + Count;
+         EP != EEnd; ++EP) {
+      const TraceEvent &E = *EP;
+      const uint64_t LA = E.Addr; // One-word lines: address == line addr.
+      const bool Bypass = !IgnoreHints && E.Info.Bypass;
+      const bool LastRef = !IgnoreHints && E.Info.LastRef;
+      auto It = Lines.find(LA);
+
+      if (Bypass) {
+        if (E.IsWrite) {
+          // UmAm_STORE: straight to memory in every size.
+          for (CacheStats &St : Stats)
+            ++St.BypassWrites;
+          continue;
+        }
+        if (It == Lines.end()) {
+          for (CacheStats &St : Stats)
+            ++St.BypassReads;
+          continue;
+        }
+        // UmAm_LOAD: sizes holding the line migrate-and-free it (dirty
+        // copies are written back first, see DataCache::read); the rest
+        // read memory directly.
+        const uint64_t D = depthOf(It->second.Ts);
+        const uint64_t DirtyMin = It->second.DirtyMin;
+        for (size_t K = 0; K != NumSizes; ++K) {
+          CacheStats &St = Stats[K];
+          const uint64_t S = NumLines[K];
+          if (S > D) {
+            ++St.BypassHitMigrations;
+            ++St.DeadFrees;
+            if (DirtyMin <= S) {
+              ++St.WriteBacks;
+              ++St.WriteBackWords;
+              ++St.Evictions;
+            }
+          } else {
+            ++St.BypassReads;
+          }
+        }
+        // The entry becomes a hole in place: every size that held the
+        // line gains a free slot at its stack position.
+        Holes.set(It->second.Ts);
+        Lines.erase(It);
         continue;
       }
-      if (It == Lines.end()) {
-        for (CacheStats &St : Stats)
-          ++St.BypassReads;
-        continue;
+
+      // Through-cache access. All queries run against the pre-access
+      // stack; mutations follow after the stats loop.
+      const uint64_t D = It == Lines.end() ? Never : depthOf(It->second.Ts);
+      const uint64_t TotalBefore = All.total();
+      uint64_t HoleTs = 0;
+      uint64_t PHole = Never; // 0-based depth of the topmost hole.
+      if (Holes.total() > 0) {
+        HoleTs = Holes.select(Holes.total());
+        PHole = depthOf(HoleTs);
       }
-      // UmAm_LOAD: sizes holding the line migrate-and-free it (dirty
-      // copies are written back first, see DataCache::read); the rest
-      // read memory directly.
-      const uint64_t D = depthOf(It->second.Ts);
-      const uint64_t DirtyMin = It->second.DirtyMin;
+      // Sizes up to EvictMax miss with a full window and no hole in it:
+      // they evict their own LRU victim, the entry at stack position S.
+      const uint64_t EvictMax = std::min({D, PHole, TotalBefore});
+
       for (size_t K = 0; K != NumSizes; ++K) {
         CacheStats &St = Stats[K];
         const uint64_t S = NumLines[K];
-        if (S > D) {
-          ++St.BypassHitMigrations;
-          ++St.DeadFrees;
-          if (DirtyMin <= S) {
+        if (E.IsWrite)
+          ++St.Writes;
+        else
+          ++St.Reads;
+        if (D != Never && S > D) {
+          if (E.IsWrite)
+            ++St.WriteHits;
+          else
+            ++St.ReadHits;
+          continue;
+        }
+        ++St.Fills;
+        if (!E.IsWrite)
+          ++St.FillWords; // One-word write-allocate skips the fetch.
+        if (S <= EvictMax) {
+          const uint64_t VictimTs = All.select(TotalBefore - S + 1);
+          ++St.Evictions;
+          if (Lines.find(AddrOfTs[VictimTs])->second.DirtyMin <= S) {
             ++St.WriteBacks;
             ++St.WriteBackWords;
-            ++St.Evictions;
           }
-        } else {
-          ++St.BypassReads;
         }
       }
-      // The entry becomes a hole in place: every size that held the
-      // line gains a free slot at its stack position.
-      Holes.set(It->second.Ts);
-      Lines.erase(It);
-      continue;
-    }
 
-    // Through-cache access. All queries run against the pre-access
-    // stack; mutations follow after the stats loop.
-    const uint64_t D = It == Lines.end() ? Never : depthOf(It->second.Ts);
-    const uint64_t TotalBefore = All.total();
-    uint64_t HoleTs = 0;
-    uint64_t PHole = Never; // 0-based depth of the topmost hole.
-    if (Holes.total() > 0) {
-      HoleTs = Holes.select(Holes.total());
-      PHole = depthOf(HoleTs);
-    }
-    // Sizes up to EvictMax miss with a full window and no hole in it:
-    // they evict their own LRU victim, the entry at stack position S.
-    const uint64_t EvictMax = std::min({D, PHole, TotalBefore});
-
-    for (size_t K = 0; K != NumSizes; ++K) {
-      CacheStats &St = Stats[K];
-      const uint64_t S = NumLines[K];
-      if (E.IsWrite)
-        ++St.Writes;
-      else
-        ++St.Reads;
-      if (D != Never && S > D) {
+      // Stack update.
+      const uint64_t NewTs = ++NextTs;
+      AddrOfTs[NewTs] = LA;
+      if (It != Lines.end()) {
+        const uint64_t OldTs = It->second.Ts;
+        All.clear(OldTs);
+        if (PHole != Never && HoleTs > OldTs) {
+          // The topmost hole moves down into the vacated slot: sizes in
+          // (PHole, D] missed and consumed their free slot; hitting
+          // sizes keep theirs.
+          Holes.clear(HoleTs);
+          All.clear(HoleTs);
+          Holes.set(OldTs);
+          All.set(OldTs);
+        }
+        It->second.Ts = NewTs;
         if (E.IsWrite)
-          ++St.WriteHits;
-        else
-          ++St.ReadHits;
-        continue;
-      }
-      ++St.Fills;
-      if (!E.IsWrite)
-        ++St.FillWords; // One-word write-allocate skips the fetch.
-      if (S <= EvictMax) {
-        const uint64_t VictimTs = All.select(TotalBefore - S + 1);
-        ++St.Evictions;
-        if (Lines.find(AddrOfTs[VictimTs])->second.DirtyMin <= S) {
-          ++St.WriteBacks;
-          ++St.WriteBackWords;
+          It->second.DirtyMin = 1;
+        else if (It->second.DirtyMin != Never)
+          It->second.DirtyMin = std::max(It->second.DirtyMin, D + 1);
+      } else {
+        // Miss everywhere: the topmost hole (if any) is consumed.
+        if (PHole != Never) {
+          Holes.clear(HoleTs);
+          All.clear(HoleTs);
         }
+        Lines.emplace(LA, LineState{NewTs, E.IsWrite ? 1 : Never});
+      }
+      All.set(NewTs);
+
+      if (LastRef) {
+        // The line (now on top, resident in every size) is freed; dirty
+        // copies are dropped without write-back.
+        const LineState &LS = Lines.find(LA)->second;
+        for (size_t K = 0; K != NumSizes; ++K) {
+          ++Stats[K].DeadFrees;
+          if (LS.DirtyMin <= NumLines[K])
+            ++Stats[K].DeadWriteBacksAvoided;
+        }
+        Holes.set(NewTs);
+        Lines.erase(LA);
       }
     }
+  }
 
-    // Stack update.
-    const uint64_t NewTs = ++NextTs;
-    AddrOfTs[NewTs] = LA;
-    if (It != Lines.end()) {
-      const uint64_t OldTs = It->second.Ts;
-      All.clear(OldTs);
-      if (PHole != Never && HoleTs > OldTs) {
-        // The topmost hole moves down into the vacated slot: sizes in
-        // (PHole, D] missed and consumed their free slot; hitting
-        // sizes keep theirs.
-        Holes.clear(HoleTs);
-        All.clear(HoleTs);
-        Holes.set(OldTs);
-        All.set(OldTs);
-      }
-      It->second.Ts = NewTs;
-      if (E.IsWrite)
-        It->second.DirtyMin = 1;
-      else if (It->second.DirtyMin != Never)
-        It->second.DirtyMin = std::max(It->second.DirtyMin, D + 1);
+  std::vector<CacheStats> finish() {
+    // End of program: flush the remaining dirty lines of every size.
+    for (const auto &[Addr, LS] : Lines) {
+      if (LS.DirtyMin == Never)
+        continue;
+      const uint64_t P = depthOf(LS.Ts);
+      for (size_t K = 0; K != NumLines.size(); ++K)
+        if (NumLines[K] > P && LS.DirtyMin <= NumLines[K])
+          ++Stats[K].FlushWriteBackWords;
+    }
+    return Stats;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SweepPointStream: the dispatching stream over all kernels.
+//===----------------------------------------------------------------------===//
+
+struct SweepPointStream::Impl {
+  std::vector<SweepPoint> Points;
+  bool UseStack = false;
+  // Stack mode: one stream per hint view ([0] hinted, [1] stripped).
+  std::unique_ptr<StackDistanceStream> Stack[2];
+  std::vector<size_t> StackIdx[2];
+  // Kernel mode: the specialized two-way kernel plus the generic walk.
+  std::unique_ptr<LRUTwoWayStream> Fast;
+  std::unique_ptr<GenericMultiStream> Slow;
+  std::vector<size_t> FastIdx, SlowIdx;
+};
+
+bool SweepPointStream::streamable(const std::vector<SweepPoint> &Points) {
+  return std::none_of(Points.begin(), Points.end(), [](const SweepPoint &P) {
+    return P.Policy == TracePolicy::MIN;
+  });
+}
+
+SweepPointStream::SweepPointStream(
+    std::vector<SweepPoint> Points,
+    const std::vector<TraceEvent> *FullTrace, bool AllowStackFastPath)
+    : P(std::make_unique<Impl>()) {
+  P->Points = std::move(Points);
+  const std::vector<SweepPoint> &Pts = P->Points;
+  P->UseStack =
+      AllowStackFastPath && !Pts.empty() &&
+      std::all_of(Pts.begin(), Pts.end(), stackDistanceEligible);
+  if (P->UseStack) {
+    // One stack walk per hint view (the walk itself covers all sizes).
+    for (size_t I = 0; I != Pts.size(); ++I)
+      P->StackIdx[Pts[I].IgnoreHints ? 1 : 0].push_back(I);
+    for (int View : {0, 1}) {
+      if (P->StackIdx[View].empty())
+        continue;
+      std::vector<uint32_t> Sizes;
+      Sizes.reserve(P->StackIdx[View].size());
+      for (size_t I : P->StackIdx[View])
+        Sizes.push_back(Pts[I].Config.NumLines);
+      P->Stack[View] = std::make_unique<StackDistanceStream>(
+          std::move(Sizes), View == 1);
+    }
+    return;
+  }
+  // Partition into the specialized two-way LRU kernel and the general
+  // replayer. The two groups each walk every chunk once; touching a
+  // chunk twice is far cheaper than running every point through the
+  // general per-event machinery.
+  std::vector<SweepPoint> Fast, Slow;
+  for (size_t I = 0; I != Pts.size(); ++I) {
+    if (lruTwoWayEligible(Pts[I])) {
+      P->FastIdx.push_back(I);
+      Fast.push_back(Pts[I]);
     } else {
-      // Miss everywhere: the topmost hole (if any) is consumed.
-      if (PHole != Never) {
-        Holes.clear(HoleTs);
-        All.clear(HoleTs);
-      }
-      Lines.emplace(LA, LineState{NewTs, E.IsWrite ? 1 : Never});
-    }
-    All.set(NewTs);
-
-    if (LastRef) {
-      // The line (now on top, resident in every size) is freed; dirty
-      // copies are dropped without write-back.
-      const LineState &LS = Lines.find(LA)->second;
-      for (size_t K = 0; K != NumSizes; ++K) {
-        ++Stats[K].DeadFrees;
-        if (LS.DirtyMin <= NumLines[K])
-          ++Stats[K].DeadWriteBacksAvoided;
-      }
-      Holes.set(NewTs);
-      Lines.erase(LA);
+      P->SlowIdx.push_back(I);
+      Slow.push_back(Pts[I]);
     }
   }
+  if (!Fast.empty())
+    P->Fast = std::make_unique<LRUTwoWayStream>(Fast);
+  if (!Slow.empty())
+    P->Slow =
+        std::make_unique<GenericMultiStream>(std::move(Slow), FullTrace);
+}
 
-  // End of program: flush the remaining dirty lines of every size.
-  for (const auto &[Addr, LS] : Lines) {
-    if (LS.DirtyMin == Never)
+SweepPointStream::~SweepPointStream() = default;
+
+void SweepPointStream::reserve(uint64_t ExpectedEvents) {
+  for (int View : {0, 1})
+    if (P->Stack[View])
+      P->Stack[View]->reserve(ExpectedEvents);
+}
+
+void SweepPointStream::feed(const TraceEvent *Events, size_t Count) {
+  if (Count == 0)
+    return;
+  for (int View : {0, 1})
+    if (P->Stack[View])
+      P->Stack[View]->feed(Events, Count);
+  if (P->Fast)
+    P->Fast->feed(Events, Count);
+  if (P->Slow)
+    P->Slow->feed(Events, Count);
+}
+
+std::vector<CacheStats> SweepPointStream::finish() {
+  std::vector<CacheStats> Out(P->Points.size());
+  for (int View : {0, 1}) {
+    if (!P->Stack[View])
       continue;
-    const uint64_t P = depthOf(LS.Ts);
-    for (size_t K = 0; K != NumSizes; ++K)
-      if (NumLines[K] > P && LS.DirtyMin <= NumLines[K])
-        ++Stats[K].FlushWriteBackWords;
+    std::vector<CacheStats> Part = P->Stack[View]->finish();
+    for (size_t I = 0; I != P->StackIdx[View].size(); ++I)
+      Out[P->StackIdx[View][I]] = Part[I];
   }
-  return Stats;
+  if (P->Fast) {
+    std::vector<CacheStats> Part = P->Fast->finish();
+    for (size_t I = 0; I != P->FastIdx.size(); ++I)
+      Out[P->FastIdx[I]] = Part[I];
+  }
+  if (P->Slow) {
+    std::vector<CacheStats> Part = P->Slow->finish();
+    for (size_t I = 0; I != P->SlowIdx.size(); ++I)
+      Out[P->SlowIdx[I]] = Part[I];
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch wrappers: one chunk, then finish.
+//===----------------------------------------------------------------------===//
+
+std::vector<CacheStats>
+urcm::replayTraceMulti(const std::vector<TraceEvent> &Trace,
+                       const std::vector<SweepPoint> &Points) {
+  SweepPointStream Stream(Points, &Trace, /*AllowStackFastPath=*/false);
+  Stream.feed(Trace.data(), Trace.size());
+  return Stream.finish();
+}
+
+bool urcm::stackDistanceEligible(const SweepPoint &Point) {
+  return Point.Policy == TracePolicy::LRU &&
+         Point.Config.Write == WritePolicy::WriteBack &&
+         Point.Config.LineWords == 1 &&
+         Point.Config.Assoc == Point.Config.NumLines &&
+         Point.Config.NumLines > 0;
+}
+
+std::vector<CacheStats>
+urcm::sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
+                            const std::vector<uint32_t> &NumLines,
+                            bool IgnoreHints) {
+  StackDistanceStream Stream(NumLines, IgnoreHints);
+  Stream.reserve(Trace.size());
+  Stream.feed(Trace.data(), Trace.size());
+  return Stream.finish();
 }
 
 std::vector<CacheStats>
 urcm::replaySweepPoints(const std::vector<TraceEvent> &Trace,
                         const std::vector<SweepPoint> &Points) {
-  if (!Points.empty() &&
-      std::all_of(Points.begin(), Points.end(), stackDistanceEligible)) {
-    // One stack walk per hint view (the walk itself covers all sizes).
-    std::vector<CacheStats> Out(Points.size());
-    for (bool IgnoreHints : {false, true}) {
-      std::vector<uint32_t> Sizes;
-      std::vector<size_t> Index;
-      for (size_t P = 0; P != Points.size(); ++P) {
-        if (Points[P].IgnoreHints == IgnoreHints) {
-          Sizes.push_back(Points[P].Config.NumLines);
-          Index.push_back(P);
-        }
-      }
-      if (Sizes.empty())
-        continue;
-      std::vector<CacheStats> Part =
-          sweepLRUStackDistance(Trace, Sizes, IgnoreHints);
-      for (size_t I = 0; I != Index.size(); ++I)
-        Out[Index[I]] = Part[I];
-    }
-    return Out;
-  }
-  return replayTraceMulti(Trace, Points);
+  SweepPointStream Stream(Points, &Trace);
+  Stream.reserve(Trace.size());
+  Stream.feed(Trace.data(), Trace.size());
+  return Stream.finish();
 }
+
+//===----------------------------------------------------------------------===//
+// SweepEngine
+//===----------------------------------------------------------------------===//
 
 SweepEngine &SweepEngine::global() {
   static SweepEngine Engine;
@@ -603,47 +777,77 @@ void SweepEngine::run() {
   Pool->parallelFor(Pending.size(), [&](size_t I) {
     Experiment &E = *Pending[I];
     SimConfig Config = E.Base;
-    Config.RecordTrace = true;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      auto It = Hints.find(E.HintGroup);
-      if (It != Hints.end())
-        Config.TraceSizeHint = It->second;
+
+    // A point matching the base run's own cache configuration reuses
+    // the base counters (replay is bit-identical, so this is pure
+    // reuse); everything else replays. The partition depends only on
+    // configurations, so it is computed up front and shared by both
+    // trace modes.
+    std::vector<SweepPoint> Rest;
+    std::vector<size_t> RestIndex, ReusedIndex;
+    for (size_t P = 0; P != E.Points.size(); ++P) {
+      const SweepPoint &Pt = E.Points[P];
+      if (!Pt.IgnoreHints && Pt.Config == Config.Cache &&
+          Pt.Policy == tracePolicyFor(Config.Cache.Policy)) {
+        ReusedIndex.push_back(P);
+      } else {
+        Rest.push_back(Pt);
+        RestIndex.push_back(P);
+      }
     }
-    E.Result = E.Run(Config);
+
+    uint64_t TraceEvents = 0;
+    std::vector<CacheStats> Replayed;
+    if (SweepPointStream::streamable(Rest)) {
+      // Streaming mode: replay overlaps generation chunk by chunk and
+      // the trace is never materialized — peak trace memory drops from
+      // O(trace) to O(chunk), which is what lets the sweep methodology
+      // scale to much larger workloads.
+      if (Rest.empty()) {
+        E.Result = E.Run(Config); // No replay consumers at all.
+      } else {
+        SweepPointStream Stream(Rest);
+        E.Result = streamTrace(
+            Config, E.Run,
+            [&](const TraceEvent *Events, size_t Count) {
+              Stream.feed(Events, Count);
+            },
+            /*QueueDepth=*/4, &TraceEvents);
+        if (E.Result.ok())
+          Replayed = Stream.finish();
+      }
+    } else {
+      // Belady MIN needs the whole trace (backward next-use pass):
+      // materialize it, replay, and drop it before the next experiment.
+      Config.RecordTrace = true;
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        auto It = Hints.find(E.HintGroup);
+        if (It != Hints.end())
+          Config.TraceSizeHint = It->second;
+      }
+      E.Result = E.Run(Config);
+      if (E.Result.ok()) {
+        TraceEvents = E.Result.Trace.size();
+        if (!Rest.empty())
+          Replayed = replaySweepPoints(E.Result.Trace, Rest);
+      }
+      E.Result.Trace.clear();
+      E.Result.Trace.shrink_to_fit();
+    }
+
     if (E.Result.ok()) {
       {
         std::lock_guard<std::mutex> Lock(M);
         uint64_t &Hint = Hints[E.HintGroup];
-        Hint = std::max<uint64_t>(Hint, E.Result.Trace.size());
+        Hint = std::max<uint64_t>(Hint, TraceEvents);
       }
-      // A point matching the base run's own cache configuration reuses
-      // the base counters (replay is bit-identical, so this is pure
-      // reuse); everything else replays in a single pass.
       E.Stats.resize(E.Points.size());
-      std::vector<SweepPoint> Rest;
-      std::vector<size_t> RestIndex;
-      for (size_t P = 0; P != E.Points.size(); ++P) {
-        const SweepPoint &Pt = E.Points[P];
-        if (!Pt.IgnoreHints && Pt.Config == Config.Cache &&
-            Pt.Policy == tracePolicyFor(Config.Cache.Policy)) {
-          E.Stats[P] = E.Result.Cache;
-        } else {
-          Rest.push_back(Pt);
-          RestIndex.push_back(P);
-        }
-      }
-      if (!Rest.empty()) {
-        std::vector<CacheStats> Replayed =
-            replaySweepPoints(E.Result.Trace, Rest);
-        for (size_t R = 0; R != Rest.size(); ++R)
-          E.Stats[RestIndex[R]] = Replayed[R];
-      }
+      for (size_t P : ReusedIndex)
+        E.Stats[P] = E.Result.Cache;
+      for (size_t R = 0; R != RestIndex.size(); ++R)
+        E.Stats[RestIndex[R]] = Replayed[R];
     }
-    // Traces run to hundreds of MB; drop this one before the next
-    // experiment starts.
-    E.Result.Trace.clear();
-    E.Result.Trace.shrink_to_fit();
     std::lock_guard<std::mutex> Lock(M);
     E.Done = true;
   });

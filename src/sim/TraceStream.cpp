@@ -1,0 +1,53 @@
+//===- TraceStream.cpp - Streaming trace pipeline ------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/TraceStream.h"
+
+#include <thread>
+
+using namespace urcm;
+
+SimResult urcm::streamTrace(
+    SimConfig Config,
+    const std::function<SimResult(const SimConfig &)> &Produce,
+    const std::function<void(const TraceEvent *, size_t)> &Consume,
+    size_t QueueDepth, uint64_t *EventCount) {
+  StreamedTrace Stream(QueueDepth);
+  Config.Sink = &Stream;
+  Config.RecordTrace = false;
+
+  SimResult Result;
+  std::exception_ptr ProducerError;
+  std::thread Producer([&] {
+    try {
+      Result = Produce(Config);
+    } catch (...) {
+      ProducerError = std::current_exception();
+    }
+    // Close even on failure so the consumer drains and unblocks.
+    Stream.producerDone();
+  });
+
+  std::exception_ptr ConsumerError;
+  std::vector<TraceEvent> Chunk;
+  while (Stream.next(Chunk)) {
+    if (ConsumerError)
+      continue; // Keep draining so the producer never deadlocks.
+    try {
+      Consume(Chunk.data(), Chunk.size());
+    } catch (...) {
+      ConsumerError = std::current_exception();
+    }
+  }
+  Producer.join();
+  if (EventCount)
+    *EventCount = Stream.eventCount();
+  if (ProducerError)
+    std::rethrow_exception(ProducerError);
+  if (ConsumerError)
+    std::rethrow_exception(ConsumerError);
+  return Result;
+}

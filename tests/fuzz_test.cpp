@@ -16,6 +16,7 @@
 
 #include "urcm/driver/Driver.h"
 #include "urcm/ir/Interpreter.h"
+#include "urcm/sim/Simulator.h"
 #include "urcm/support/RNG.h"
 #include "urcm/support/StringUtils.h"
 
@@ -185,6 +186,71 @@ TEST_P(FuzzDifferential, AllExecutionPathsAgree) {
         EXPECT_EQ(R.CoherenceViolations, 0u)
             << "era=" << Era << " cleanup=" << Cleanup;
       }
+    }
+  }
+}
+
+TEST_P(FuzzDifferential, EnginesBitIdentical) {
+  // The predecoded threaded-dispatch engine against the reference
+  // switch interpreter: identical SimResults — output, steps, cache and
+  // reference counters, and the recorded trace — on the same machine
+  // program, and both matching the IR oracle.
+  ProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  DiagnosticEngine Diags;
+  CompiledModule Module = compileToIR(Source, Diags);
+  ASSERT_TRUE(static_cast<bool>(Module)) << Diags.str();
+  InterpResult Oracle = interpretModule(*Module.IR);
+  ASSERT_TRUE(Oracle.ok()) << Oracle.Error;
+
+  for (auto Scheme :
+       {UnifiedOptions::conventional(), UnifiedOptions::unified(),
+        UnifiedOptions::reuseAware()}) {
+    CompileOptions Options;
+    Options.Scheme = Scheme;
+    DiagnosticEngine CompileDiags;
+    CompileResult Compiled = compileProgram(Source, Options, CompileDiags);
+    ASSERT_TRUE(Compiled.Ok) << CompileDiags.str();
+
+    SimConfig Sim;
+    Sim.Cache.NumLines = 16;
+    Sim.Cache.Assoc = 2;
+    Sim.RecordTrace = true;
+    Sim.ModelICache = (GetParam() % 2) == 0; // Cover both fetch paths.
+    Sim.ICache.NumLines = 8;
+
+    Sim.Engine = SimEngine::Predecoded;
+    SimResult P = Simulator(Sim).run(Compiled.Program);
+    Sim.Engine = SimEngine::Switch;
+    SimResult S = Simulator(Sim).run(Compiled.Program);
+
+    ASSERT_TRUE(P.ok()) << P.Error;
+    EXPECT_EQ(P.Output, Oracle.Output);
+    EXPECT_EQ(P.Halted, S.Halted);
+    EXPECT_EQ(P.Error, S.Error);
+    EXPECT_EQ(P.Steps, S.Steps);
+    EXPECT_EQ(P.Output, S.Output);
+    EXPECT_EQ(P.Cache, S.Cache);
+    EXPECT_EQ(P.ICache, S.ICache);
+    EXPECT_EQ(P.InstructionFetches, S.InstructionFetches);
+    EXPECT_EQ(P.BypassTransitions, S.BypassTransitions);
+    EXPECT_EQ(P.CoherenceViolations, S.CoherenceViolations);
+    EXPECT_EQ(P.Refs.Unambiguous, S.Refs.Unambiguous);
+    EXPECT_EQ(P.Refs.Ambiguous, S.Refs.Ambiguous);
+    EXPECT_EQ(P.Refs.Spill, S.Refs.Spill);
+    EXPECT_EQ(P.Refs.Unknown, S.Refs.Unknown);
+    EXPECT_EQ(P.Refs.Bypassed, S.Refs.Bypassed);
+    EXPECT_EQ(P.Refs.LastRefTagged, S.Refs.LastRefTagged);
+    ASSERT_EQ(P.Trace.size(), S.Trace.size());
+    for (size_t I = 0; I != P.Trace.size(); ++I) {
+      ASSERT_EQ(P.Trace[I].Addr, S.Trace[I].Addr) << "event " << I;
+      ASSERT_EQ(P.Trace[I].IsWrite, S.Trace[I].IsWrite) << "event " << I;
+      ASSERT_EQ(P.Trace[I].Info.Bypass, S.Trace[I].Info.Bypass)
+          << "event " << I;
+      ASSERT_EQ(P.Trace[I].Info.LastRef, S.Trace[I].Info.LastRef)
+          << "event " << I;
     }
   }
 }

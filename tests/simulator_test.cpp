@@ -231,3 +231,172 @@ TEST(Simulator, ParanoidCleanOnAllSchemes) {
     EXPECT_EQ(R.CoherenceViolations, 0u);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Engine differential: the predecoded threaded-dispatch engine and the
+// reference switch interpreter must produce bit-identical SimResults on
+// every path — success, every error, and the step limit — including the
+// recorded trace and all counters.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSameSimResult(const SimResult &P, const SimResult &S,
+                         const std::string &What) {
+  EXPECT_EQ(P.Halted, S.Halted) << What;
+  EXPECT_EQ(P.Error, S.Error) << What;
+  EXPECT_EQ(P.Steps, S.Steps) << What;
+  EXPECT_EQ(P.Output, S.Output) << What;
+  EXPECT_EQ(P.Cache, S.Cache) << What;
+  EXPECT_EQ(P.ICache, S.ICache) << What;
+  EXPECT_EQ(P.InstructionFetches, S.InstructionFetches) << What;
+  EXPECT_EQ(P.BypassTransitions, S.BypassTransitions) << What;
+  EXPECT_EQ(P.CoherenceViolations, S.CoherenceViolations) << What;
+  EXPECT_EQ(P.Refs.Unambiguous, S.Refs.Unambiguous) << What;
+  EXPECT_EQ(P.Refs.Ambiguous, S.Refs.Ambiguous) << What;
+  EXPECT_EQ(P.Refs.Spill, S.Refs.Spill) << What;
+  EXPECT_EQ(P.Refs.Unknown, S.Refs.Unknown) << What;
+  EXPECT_EQ(P.Refs.Bypassed, S.Refs.Bypassed) << What;
+  EXPECT_EQ(P.Refs.LastRefTagged, S.Refs.LastRefTagged) << What;
+  ASSERT_EQ(P.Trace.size(), S.Trace.size()) << What;
+  for (size_t I = 0; I != P.Trace.size(); ++I) {
+    EXPECT_EQ(P.Trace[I].Addr, S.Trace[I].Addr) << What << " event " << I;
+    EXPECT_EQ(P.Trace[I].IsWrite, S.Trace[I].IsWrite)
+        << What << " event " << I;
+    EXPECT_EQ(P.Trace[I].Info.Bypass, S.Trace[I].Info.Bypass)
+        << What << " event " << I;
+    EXPECT_EQ(P.Trace[I].Info.LastRef, S.Trace[I].Info.LastRef)
+        << What << " event " << I;
+  }
+}
+
+/// Compiles \p Source once per engine and asserts identical results.
+void expectEnginesAgree(const std::string &Source, SimConfig Sim = {},
+                        const CompileOptions &Options = {}) {
+  Sim.RecordTrace = true;
+  Sim.Engine = SimEngine::Predecoded;
+  SimResult P = runSource(Source, Options, Sim);
+  Sim.Engine = SimEngine::Switch;
+  SimResult S = runSource(Source, Options, Sim);
+  expectSameSimResult(P, S, Source.substr(0, 40));
+}
+
+/// Runs a raw machine program under both engines.
+void expectEnginesAgreeRaw(const MachineProgram &Prog, SimConfig Sim,
+                           const std::string &What) {
+  Sim.RecordTrace = true;
+  Sim.Engine = SimEngine::Predecoded;
+  SimResult P = Simulator(Sim).run(Prog);
+  Sim.Engine = SimEngine::Switch;
+  SimResult S = Simulator(Sim).run(Prog);
+  expectSameSimResult(P, S, What);
+}
+
+} // namespace
+
+TEST(EngineDifferential, ArithmeticErrorsIdentical) {
+  expectEnginesAgree("void main() { int z = 0; print(7 / z); }");
+  expectEnginesAgree("void main() { int z = 0; print(7 % z); }");
+  // Errors mid-loop: the erroring instruction must land on the same
+  // step count (it sits mid-run for the predecoded engine).
+  expectEnginesAgree("void main() {\n"
+                     "  int i; int s = 0;\n"
+                     "  for (i = 5; i >= 0 - 1; i = i - 1) {\n"
+                     "    s = s + 100 / i;\n"
+                     "  }\n"
+                     "  print(s);\n"
+                     "}\n");
+}
+
+TEST(EngineDifferential, OutOfRangeAccessIdentical) {
+  expectEnginesAgree("int a[4];\n"
+                     "void main() { int *p = &a[0]; print(p[99999999]); }");
+  expectEnginesAgree("int a[4];\n"
+                     "void main() { int *p = &a[0]; p[99999999] = 1; }");
+  // Negative effective address.
+  expectEnginesAgree("int a[4];\n"
+                     "void main() { int *p = &a[0]; print(p[0-99999999]); }");
+}
+
+TEST(EngineDifferential, StepLimitIdentical) {
+  const char *Spin = "void main() { int i;\n"
+                     "  for (i = 0; i < 1000000; i = i + 1) {}\n"
+                     "}\n";
+  // Sweep limits so exhaustion lands on every position within a run
+  // (run boundaries are where the predecoded engine hoists the check).
+  for (uint64_t Limit : {0ull, 1ull, 2ull, 999ull, 1000ull, 1001ull,
+                         1002ull, 1003ull, 5000ull}) {
+    SimConfig Sim;
+    Sim.MaxSteps = Limit;
+    expectEnginesAgree(Spin, Sim);
+  }
+}
+
+TEST(EngineDifferential, PCOffProgramIdentical) {
+  // Control flow running past the last instruction (no Halt).
+  MachineProgram FallOff;
+  {
+    MInst Li;
+    Li.Op = MOpcode::Li;
+    Li.Rd = 0;
+    Li.Imm = 42;
+    Li.UseImm = true;
+    FallOff.Code = {Li};
+  }
+  SimConfig Sim;
+  expectEnginesAgreeRaw(FallOff, Sim, "fall off end");
+
+  // A jump landing far outside the program.
+  MachineProgram WildJmp = FallOff;
+  {
+    MInst J;
+    J.Op = MOpcode::Jmp;
+    J.Target = 1000;
+    WildJmp.Code.push_back(J);
+  }
+  expectEnginesAgreeRaw(WildJmp, Sim, "wild jump");
+}
+
+TEST(EngineDifferential, RetCodeDeadHintICacheIdentical) {
+  // Once-executed functions get CodeDeadHint on their final Ret; with
+  // the I-cache modeled, that return invalidates the function's code
+  // lines (Ret/RetDead split in the predecoded engine).
+  const char *Source = "int init(int n) { return n * 3; }\n"
+                       "void main() {\n"
+                       "  int i; int s = init(7);\n"
+                       "  for (i = 0; i < 20; i = i + 1) { s = s + i; }\n"
+                       "  print(s);\n"
+                       "}\n";
+  SimConfig Sim;
+  Sim.ModelICache = true;
+  Sim.ICache.NumLines = 8;
+  Sim.ICache.Assoc = 2;
+  Sim.ICache.LineWords = 4;
+  expectEnginesAgree(Source, Sim);
+  // The hint path must actually fire.
+  Sim.RecordTrace = false;
+  SimResult R = runSource(Source, {}, Sim);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.ICache.DeadFrees, 0u);
+}
+
+TEST(EngineDifferential, WorkloadsWithHintsIdentical) {
+  const char *Source = "int a[64];\n"
+                       "int sum(int *p, int n) {\n"
+                       "  int i; int s = 0;\n"
+                       "  for (i = 0; i < n; i = i + 1) { s = s + p[i]; }\n"
+                       "  return s;\n"
+                       "}\n"
+                       "void main() {\n"
+                       "  int i;\n"
+                       "  for (i = 0; i < 64; i = i + 1) { a[i] = i * i; }\n"
+                       "  print(sum(&a[0], 64));\n"
+                       "}\n";
+  for (auto Scheme :
+       {UnifiedOptions::conventional(), UnifiedOptions::unified(),
+        UnifiedOptions::reuseAware()}) {
+    CompileOptions Options;
+    Options.Scheme = Scheme;
+    expectEnginesAgree(Source, {}, Options);
+  }
+}

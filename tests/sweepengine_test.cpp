@@ -14,6 +14,7 @@
 #include "urcm/sim/SweepEngine.h"
 
 #include "urcm/driver/Driver.h"
+#include "urcm/sim/TraceStream.h"
 #include "urcm/support/RNG.h"
 #include "urcm/support/ThreadPool.h"
 #include "urcm/workloads/Workloads.h"
@@ -222,7 +223,9 @@ TEST(Engine, CompileOnceServesEveryPointAndReusesBase) {
   };
   auto Producer = [&](const SimConfig &Sim) {
     ++Runs;
-    EXPECT_TRUE(Sim.RecordTrace);
+    // The engine must capture the trace one way or the other: streamed
+    // through a sink (no MIN points here) or materialized.
+    EXPECT_TRUE(Sim.Sink != nullptr || Sim.RecordTrace);
     const Workload *W = findWorkload("Queen");
     DiagnosticEngine Diags;
     return compileAndRun(W->Source, O, Sim, Diags);
@@ -305,3 +308,126 @@ TEST(Engine, TraceReserveHintDoesNotChangeResults) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Streaming pipeline: chunk-fed replay and the producer/consumer stream
+// must be bit-identical to the materialize-then-replay path.
+//===----------------------------------------------------------------------===//
+
+TEST(Streaming, ChunkedFeedMatchesBatchKernels) {
+  std::vector<TraceEvent> Trace = hintedTrace(21, 30000, 700);
+  std::vector<SweepPoint> Points = {
+      {config(128, 2), TracePolicy::LRU, false},
+      {config(16, 2), TracePolicy::LRU, true},
+      {config(64, 4), TracePolicy::LRU, false},
+      {config(32, 2, 2), TracePolicy::LRU, true},
+      {config(64, 2), TracePolicy::FIFO, false},
+      {config(8, 8), TracePolicy::LRU, false},
+  };
+  std::vector<CacheStats> Batch = replaySweepPoints(Trace, Points);
+  // Awkward chunk sizes: prime-sized, single-event, and a short tail.
+  for (size_t ChunkSize : {1u, 97u, 4096u, 29999u, 30000u, 50000u}) {
+    SweepPointStream Stream(Points);
+    for (size_t At = 0; At < Trace.size(); At += ChunkSize)
+      Stream.feed(Trace.data() + At,
+                  std::min(ChunkSize, Trace.size() - At));
+    EXPECT_EQ(Stream.finish(), Batch) << "chunk size " << ChunkSize;
+  }
+}
+
+TEST(Streaming, ChunkedFeedMatchesBatchStackDistance) {
+  // All points stack-eligible: the streaming path uses the growable
+  // Fenwick trees with no up-front reserve (geometric growth).
+  std::vector<TraceEvent> Trace = hintedTrace(22, 30000, 500);
+  std::vector<SweepPoint> Points;
+  for (uint32_t Lines : {2u, 8u, 32u, 100u, 256u, 1024u}) {
+    Points.push_back({config(Lines, Lines), TracePolicy::LRU, false});
+    Points.push_back({config(Lines, Lines), TracePolicy::LRU, true});
+  }
+  ASSERT_TRUE(std::all_of(Points.begin(), Points.end(),
+                          stackDistanceEligible));
+  std::vector<CacheStats> Batch = replaySweepPoints(Trace, Points);
+  for (size_t ChunkSize : {63u, 7000u}) {
+    SweepPointStream Stream(Points);
+    for (size_t At = 0; At < Trace.size(); At += ChunkSize)
+      Stream.feed(Trace.data() + At,
+                  std::min(ChunkSize, Trace.size() - At));
+    EXPECT_EQ(Stream.finish(), Batch) << "chunk size " << ChunkSize;
+  }
+  // Per-point ground truth too (not just batch-vs-stream agreement).
+  SweepPointStream Stream(Points);
+  Stream.feed(Trace.data(), Trace.size());
+  std::vector<CacheStats> Out = Stream.finish();
+  for (size_t I = 0; I != Points.size(); ++I)
+    EXPECT_EQ(Out[I], groundTruth(Trace, Points[I])) << "point " << I;
+}
+
+TEST(Streaming, StreamTraceMatchesBufferedRun) {
+  // streamTrace must deliver exactly the trace RecordTrace would have
+  // materialized — same events, same order, same SimResult — across
+  // chunk-boundary shapes (including a short final chunk).
+  CompileOptions O;
+  O.Scheme = UnifiedOptions::unified();
+  SimConfig Buffered;
+  Buffered.Cache = config(128, 2);
+  Buffered.RecordTrace = true;
+  SimResult Base = runWorkload("Queen", O, Buffered);
+  ASSERT_FALSE(Base.Trace.empty());
+
+  const Workload *W = findWorkload("Queen");
+  for (uint32_t ChunkEvents : {7u, 1024u, 1u << 20}) {
+    SimConfig Streamed = Buffered;
+    Streamed.TraceChunkEvents = ChunkEvents;
+    std::vector<TraceEvent> Collected;
+    uint64_t Events = 0;
+    SimResult R = streamTrace(
+        Streamed,
+        [&](const SimConfig &Sim) {
+          EXPECT_NE(Sim.Sink, nullptr);
+          EXPECT_FALSE(Sim.RecordTrace);
+          DiagnosticEngine Diags;
+          return compileAndRun(W->Source, O, Sim, Diags);
+        },
+        [&](const TraceEvent *E, size_t N) {
+          Collected.insert(Collected.end(), E, E + N);
+        },
+        /*QueueDepth=*/2, &Events);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_TRUE(R.Trace.empty()); // Streamed, not materialized.
+    EXPECT_EQ(R.Output, Base.Output);
+    EXPECT_EQ(R.Steps, Base.Steps);
+    EXPECT_EQ(R.Cache, Base.Cache);
+    EXPECT_EQ(Events, Base.Trace.size());
+    ASSERT_EQ(Collected.size(), Base.Trace.size())
+        << "chunk " << ChunkEvents;
+    for (size_t I = 0; I != Collected.size(); ++I) {
+      ASSERT_EQ(Collected[I].Addr, Base.Trace[I].Addr) << "event " << I;
+      ASSERT_EQ(Collected[I].IsWrite, Base.Trace[I].IsWrite)
+          << "event " << I;
+      ASSERT_EQ(Collected[I].Info.Bypass, Base.Trace[I].Info.Bypass)
+          << "event " << I;
+      ASSERT_EQ(Collected[I].Info.LastRef, Base.Trace[I].Info.LastRef)
+          << "event " << I;
+    }
+  }
+}
+
+TEST(Streaming, ConsumerExceptionPropagatesWithoutDeadlock) {
+  CompileOptions O;
+  SimConfig Sim;
+  Sim.Cache = config(64, 2);
+  Sim.TraceChunkEvents = 64; // Many chunks with a tiny queue.
+  const Workload *W = findWorkload("Queen");
+  EXPECT_THROW(
+      streamTrace(
+          Sim,
+          [&](const SimConfig &Cfg) {
+            DiagnosticEngine Diags;
+            return compileAndRun(W->Source, O, Cfg, Diags);
+          },
+          [&](const TraceEvent *, size_t) {
+            throw std::runtime_error("consumer failed");
+          },
+          /*QueueDepth=*/1),
+      std::runtime_error);
+}
