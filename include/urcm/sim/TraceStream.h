@@ -47,6 +47,7 @@ public:
   /// QueueDepth chunks behind.
   std::vector<TraceEvent> chunk(std::vector<TraceEvent> Chunk) override {
     Events += Chunk.size();
+    ++Chunks;
     Full.push(std::move(Chunk));
     std::vector<TraceEvent> Recycled;
     Free.tryPop(Recycled); // Empty fresh buffer if none drained yet.
@@ -71,10 +72,21 @@ public:
   /// stream ends; used for trace-length accounting).
   uint64_t eventCount() const { return Events; }
 
+  /// Chunks handed off so far (stable after the stream ends).
+  uint64_t chunkCount() const { return Chunks; }
+
+  /// Times the producer blocked on a full queue (consumer-bound stream).
+  uint64_t producerStalls() const { return Full.pushWaits(); }
+
+  /// Times the consumer blocked on an empty queue (producer-bound
+  /// stream; includes the unavoidable wait for the first chunk).
+  uint64_t consumerStalls() const { return Full.popWaits(); }
+
 private:
   SPSCQueue<std::vector<TraceEvent>> Full;
   SPSCQueue<std::vector<TraceEvent>> Free;
   uint64_t Events = 0;
+  uint64_t Chunks = 0;
 };
 
 /// Runs \p Produce — a closure that must pass \p Config (sink included)

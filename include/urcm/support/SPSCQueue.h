@@ -14,6 +14,10 @@
 /// a producer that outruns the consumer blocks instead of buffering the
 /// whole trace, which is what keeps streaming memory O(capacity).
 ///
+/// The queue counts its blocking waits (pushWaits/popWaits): a high
+/// pushWaits says the consumer is the bottleneck, a high popWaits says
+/// the producer is. Telemetry reads these per stream, not per handoff.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef URCM_SUPPORT_SPSCQUEUE_H
@@ -21,6 +25,7 @@
 
 #include <cassert>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 
@@ -36,6 +41,8 @@ public:
   /// Enqueues \p Value, blocking while the queue is full.
   void push(T Value) {
     std::unique_lock<std::mutex> Lock(M);
+    if (Items.size() >= Capacity)
+      ++PushWaits;
     NotFull.wait(Lock, [&] { return Items.size() < Capacity; });
     assert(!Closed && "push after close");
     Items.push_back(std::move(Value));
@@ -57,6 +64,8 @@ public:
   /// false once the queue is closed *and* drained.
   bool pop(T &Out) {
     std::unique_lock<std::mutex> Lock(M);
+    if (Items.empty() && !Closed)
+      ++PopWaits;
     NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
     if (Items.empty())
       return false;
@@ -86,13 +95,33 @@ public:
     NotEmpty.notify_all();
   }
 
+  /// Times push() found the queue full and had to block.
+  uint64_t pushWaits() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return PushWaits;
+  }
+
+  /// Times pop() found the queue empty (and not closed) and had to block.
+  uint64_t popWaits() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return PopWaits;
+  }
+
+  /// Current occupancy; instantaneous, for telemetry sampling only.
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Items.size();
+  }
+
 private:
   const size_t Capacity;
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable NotFull;
   std::condition_variable NotEmpty;
   std::deque<T> Items;
   bool Closed = false;
+  uint64_t PushWaits = 0;
+  uint64_t PopWaits = 0;
 };
 
 } // namespace urcm

@@ -24,6 +24,8 @@
 #ifndef URCM_SUPPORT_THREADPOOL_H
 #define URCM_SUPPORT_THREADPOOL_H
 
+#include "urcm/support/Telemetry.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -47,7 +49,11 @@ public:
     }
     Workers.reserve(ThreadCount);
     for (unsigned I = 0; I != ThreadCount; ++I)
-      Workers.emplace_back([this] { workerLoop(); });
+      Workers.emplace_back([this, I] {
+        if (telemetry::enabled())
+          telemetry::setThreadName("pool-" + std::to_string(I));
+        workerLoop();
+      });
   }
 
   ThreadPool(const ThreadPool &) = delete;

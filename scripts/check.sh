@@ -6,8 +6,11 @@
 #      so both the computed-goto and the switch engines get scrubbed)
 #   3. opt-in (--bench): rerun the paper exhibits and diff their wall
 #      times against the committed BENCH_sweep.json trajectory
+#   4. opt-in (--telemetry): run an instrumented Towers sweep and
+#      validate the telemetry snapshot against docs/telemetry_schema.json
+#      plus the Chrome trace export's structure
 #
-# Usage: scripts/check.sh [--bench] [--skip-sanitizers]
+# Usage: scripts/check.sh [--bench] [--telemetry] [--skip-sanitizers]
 #
 # Wall-time caveat: single-core CI boxes show +/-15% run-to-run noise,
 # so the bench diff only *flags* regressions past a generous threshold;
@@ -17,12 +20,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_TELEMETRY=0
 RUN_SAN=1
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
+    --telemetry) RUN_TELEMETRY=1 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
-    *) echo "usage: scripts/check.sh [--bench] [--skip-sanitizers]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--skip-sanitizers]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -42,6 +48,17 @@ if [ "$RUN_SAN" = 1 ]; then
                                                   || echo build-asan-threaded)" \
       -j"$(nproc)" --output-on-failure
   done
+fi
+
+if [ "$RUN_TELEMETRY" = 1 ]; then
+  echo "== telemetry smoke: instrumented Towers sweep =="
+  TELEMETRY_DIR=$(mktemp -d /tmp/urcm_telemetry.XXXXXX)
+  ./build/tools/urcmc --workload=Towers --sweep=16,64 \
+    --telemetry-json="$TELEMETRY_DIR/telemetry.json" \
+    --trace-out="$TELEMETRY_DIR/trace.json" >/dev/null
+  python3 scripts/validate_telemetry.py snapshot "$TELEMETRY_DIR/telemetry.json"
+  python3 scripts/validate_telemetry.py trace "$TELEMETRY_DIR/trace.json"
+  rm -rf "$TELEMETRY_DIR"
 fi
 
 if [ "$RUN_BENCH" = 1 ]; then

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate urcm telemetry output files.
+
+Usage:
+  scripts/validate_telemetry.py snapshot FILE   # vs docs/telemetry_schema.json
+  scripts/validate_telemetry.py trace FILE      # Chrome trace-event checks
+
+Stdlib only (no jsonschema dependency): `check` implements exactly the
+JSON-Schema subset docs/telemetry_schema.json uses — type, const, enum,
+minimum, required, properties, additionalProperties (bool or schema),
+items.
+"""
+
+import json
+import os
+import sys
+
+
+def check(value, schema, path="$"):
+    """Returns a list of error strings (empty when valid)."""
+    errors = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        type_map = {
+            "object": dict,
+            "array": list,
+            "string": str,
+            "boolean": bool,
+            "number": (int, float),
+            "integer": int,
+        }
+        py = type_map[expected]
+        # bool is a subclass of int in Python; keep them distinct.
+        ok = isinstance(value, py)
+        if expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            return ["%s: expected %s, got %s"
+                    % (path, expected, type(value).__name__)]
+
+    if "const" in schema and value != schema["const"]:
+        errors.append("%s: expected %r, got %r"
+                      % (path, schema["const"], value))
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not in %r" % (path, value, schema["enum"]))
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append("%s: %r below minimum %r"
+                      % (path, value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required key %r" % (path, key))
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            sub_path = "%s.%s" % (path, key)
+            if key in props:
+                errors.extend(check(sub, props[key], sub_path))
+            elif extra is False:
+                errors.append("%s: unexpected key %r" % (path, key))
+            elif isinstance(extra, dict):
+                errors.extend(check(sub, extra, sub_path))
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            errors.extend(check(item, schema["items"],
+                                "%s[%d]" % (path, index)))
+
+    return errors
+
+
+def validate_snapshot(data):
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               os.pardir, "docs", "telemetry_schema.json")
+    with open(schema_path) as handle:
+        schema = json.load(handle)
+    return check(data, schema)
+
+
+def validate_trace(data):
+    """Structural checks for Chrome trace-event JSON (the format is
+    external, so this mirrors what chrome://tracing requires rather
+    than a schema of ours)."""
+    errors = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["$: expected an object with a traceEvents array"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["$.traceEvents: expected an array"]
+    span_names = set()
+    for index, event in enumerate(events):
+        path = "$.traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            errors.append("%s: expected an object" % path)
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append("%s: missing %r" % (path, key))
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            errors.append("%s: unexpected ph %r" % (path, phase))
+        elif phase == "X":
+            span_names.add(event.get("name"))
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    errors.append("%s: %r must be a number" % (path, key))
+                elif event[key] < 0:
+                    errors.append("%s: %r is negative" % (path, key))
+    if not span_names:
+        errors.append("$.traceEvents: no complete (ph=X) span events")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("snapshot", "trace"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    kind, path = argv[1], argv[2]
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("%s: %s" % (path, error), file=sys.stderr)
+        return 1
+    errors = (validate_snapshot if kind == "snapshot" else validate_trace)(data)
+    for error in errors:
+        print("%s: %s" % (path, error), file=sys.stderr)
+    if errors:
+        return 1
+    print("%s: valid telemetry %s" % (path, kind))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include "urcm/analysis/AliasAnalysis.h"
 
 #include "urcm/lang/AST.h"
+#include "urcm/support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,6 +15,11 @@
 #include <numeric>
 
 using namespace urcm;
+
+URCM_STAT(NumAliasRuns, "analysis.alias.runs",
+          "Per-function alias analyses computed");
+URCM_STAT(NumEscapedGlobals, "analysis.alias.escaped-globals",
+          "Globals whose address escapes direct load/store position");
 
 const char *urcm::aliasKindName(AliasKind Kind) {
   switch (Kind) {
@@ -36,6 +42,7 @@ const char *urcm::aliasKindName(AliasKind Kind) {
 //===----------------------------------------------------------------------===//
 
 ModuleEscapeInfo::ModuleEscapeInfo(const IRModule &M) {
+  telemetry::ScopedPhase Phase("analysis.escape");
   EscapedGlobals.assign(M.globals().size(), false);
   // A global escapes when its address is materialized anywhere outside a
   // direct Load/Store address position: Mov/arith operands, call
@@ -55,6 +62,9 @@ ModuleEscapeInfo::ModuleEscapeInfo(const IRModule &M) {
       }
     }
   }
+  if (telemetry::enabled())
+    NumEscapedGlobals.add(static_cast<uint64_t>(
+        std::count(EscapedGlobals.begin(), EscapedGlobals.end(), true)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -64,6 +74,8 @@ ModuleEscapeInfo::ModuleEscapeInfo(const IRModule &M) {
 AliasInfo::AliasInfo(const IRModule &M, const IRFunction &Fn,
                      const ModuleEscapeInfo &ModuleEscape)
     : F(&Fn) {
+  telemetry::ScopedPhase Phase("analysis.alias");
+  NumAliasRuns.add();
   NumGlobals = static_cast<uint32_t>(M.globals().size());
   NumFrameSlots = static_cast<uint32_t>(Fn.frameSlots().size());
 

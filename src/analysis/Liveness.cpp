@@ -6,9 +6,18 @@
 
 #include "urcm/analysis/Liveness.h"
 
+#include "urcm/support/Telemetry.h"
+
 using namespace urcm;
 
+URCM_STAT(NumLivenessRuns, "analysis.liveness.runs",
+          "Register liveness problems solved");
+URCM_STAT(NumLivenessIters, "analysis.liveness.iterations",
+          "Backward dataflow passes until fixpoint");
+
 Liveness::Liveness(const IRFunction &F, const CFGInfo &CFG) {
+  telemetry::ScopedPhase Phase("analysis.liveness");
+  NumLivenessRuns.add();
   const uint32_t NumBlocks = F.numBlocks();
   const uint32_t NumRegs = F.numRegs();
   LiveIn.assign(NumBlocks, std::vector<bool>(NumRegs, false));
@@ -38,6 +47,7 @@ Liveness::Liveness(const IRFunction &F, const CFGInfo &CFG) {
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    NumLivenessIters.add();
     const auto &Order = CFG.rpo();
     for (auto It = Order.rbegin(), E = Order.rend(); It != E; ++It) {
       uint32_t Block = *It;

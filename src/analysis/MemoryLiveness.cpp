@@ -6,10 +6,19 @@
 
 #include "urcm/analysis/MemoryLiveness.h"
 
+#include "urcm/support/Telemetry.h"
+
 using namespace urcm;
+
+URCM_STAT(NumMemLivenessRuns, "analysis.memliveness.runs",
+          "Memory liveness problems solved");
+URCM_STAT(NumTrackedLocations, "analysis.memliveness.tracked",
+          "Scalar locations tracked for last-ref/dead-store tagging");
 
 MemoryLiveness::MemoryLiveness(const IRModule &M, const IRFunction &F,
                                const CFGInfo &CFG, const AliasInfo &AA) {
+  telemetry::ScopedPhase Phase("analysis.memliveness");
+  NumMemLivenessRuns.add();
   // Enumerate tracked locations: scalar, non-escaping, non-External
   // objects.
   const uint32_t NumObjects = AA.numObjects();
@@ -29,6 +38,8 @@ MemoryLiveness::MemoryLiveness(const IRModule &M, const IRFunction &F,
       LocIsGlobal.push_back(false);
     }
   }
+
+  NumTrackedLocations.add(NumTracked);
 
   Flags.resize(F.numBlocks());
   for (const auto &B : F.blocks())

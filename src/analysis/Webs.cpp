@@ -6,10 +6,15 @@
 
 #include "urcm/analysis/Webs.h"
 
+#include "urcm/support/Telemetry.h"
+
 #include <map>
 #include <numeric>
 
 using namespace urcm;
+
+URCM_STAT(NumWebsBuilt, "analysis.webs.built",
+          "Value webs constructed (paper Definition 2)");
 
 namespace {
 
@@ -36,6 +41,7 @@ private:
 
 WebAnalysis::WebAnalysis(const IRFunction &F, const CFGInfo &CFG,
                          const ReachingDefs &RD) {
+  telemetry::ScopedPhase Phase("analysis.webs");
   (void)CFG;
   const uint32_t NumDefs = static_cast<uint32_t>(RD.defs().size());
   UnionFind UF(NumDefs);
@@ -88,4 +94,6 @@ WebAnalysis::WebAnalysis(const IRFunction &F, const CFGInfo &CFG,
       continue; // Verifier rejects this; be defensive anyway.
     Webs[WebOfDef[Rec.ReachingDefIds[0]]].Uses.push_back(Rec.Site);
   }
+
+  NumWebsBuilt.add(Webs.size());
 }

@@ -7,12 +7,21 @@
 #include "urcm/codegen/CodeGen.h"
 
 #include "urcm/analysis/CallFrequency.h"
+#include "urcm/support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <map>
 
 using namespace urcm;
+
+URCM_STAT(NumMInsts, "codegen.minsts", "Machine instructions emitted");
+URCM_STAT(NumBypassHints, "codegen.bypass-hints",
+          "Ld/St emitted with the bypass hint bit set");
+URCM_STAT(NumLastRefHints, "codegen.lastref-hints",
+          "Ld/St emitted with the last-reference hint bit set");
+URCM_STAT(NumCodeDeadHints, "codegen.code-dead-hints",
+          "Returns carrying a dead-code-range hint");
 
 namespace {
 
@@ -515,6 +524,22 @@ private:
 
 MachineProgram urcm::generateMachineCode(const IRModule &M,
                                          const CodeGenOptions &Options) {
+  telemetry::ScopedPhase Phase("pass.codegen");
   CodeGenerator Gen(M, Options);
-  return Gen.run();
+  MachineProgram Prog = Gen.run();
+  if (telemetry::enabled()) {
+    uint64_t Bypass = 0, LastRef = 0, CodeDead = 0;
+    for (const MInst &I : Prog.Code) {
+      if (I.isMemAccess()) {
+        Bypass += I.MemInfo.Bypass;
+        LastRef += I.MemInfo.LastRef;
+      }
+      CodeDead += I.CodeDeadHint;
+    }
+    NumMInsts.add(Prog.Code.size());
+    NumBypassHints.add(Bypass);
+    NumLastRefHints.add(LastRef);
+    NumCodeDeadHints.add(CodeDead);
+  }
+  return Prog;
 }

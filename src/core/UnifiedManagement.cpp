@@ -13,11 +13,87 @@
 #include "urcm/analysis/Loops.h"
 #include "urcm/analysis/MemoryLiveness.h"
 #include "urcm/support/StringUtils.h"
+#include "urcm/support/Telemetry.h"
 
 #include <memory>
 #include <unordered_map>
 
 using namespace urcm;
+
+URCM_STAT(NumRefsClassified, "unified.refs",
+          "Memory references classified by the unified pass");
+URCM_STAT(NumUnambiguous, "unified.unambiguous",
+          "References proven unambiguous");
+URCM_STAT(NumAmbiguous, "unified.ambiguous",
+          "References left ambiguous");
+URCM_STAT(NumSpillRefs, "unified.spill-refs",
+          "Spill/reload references from the register allocator");
+URCM_STAT(NumBypass, "unified.bypass",
+          "References marked cache-bypass (UmAm forms)");
+URCM_STAT(NumLastRef, "unified.lastref-tags",
+          "Loads tagged as the last read of their location");
+URCM_STAT(NumDeadStore, "unified.deadstore-tags",
+          "Stores tagged dead-on-arrival");
+
+namespace {
+
+/// Builds the -Rurcm-classify record for one classified reference.
+/// Only called behind a non-null classifySink().
+telemetry::ClassifyRemark
+makeRemark(const IRFunction &F, const Instruction &I,
+           const MemRefInfo &Info, const UnifiedOptions &Options) {
+  telemetry::ClassifyRemark R;
+  R.Function = F.name();
+  R.Line = I.Loc.Line;
+  R.Col = I.Loc.Col;
+  R.Bypass = Info.Bypass;
+  R.LastRef = Info.LastRef;
+  R.AliasSet = Info.AliasSetId;
+
+  // Paper reference forms (section 4.3): bypassing traffic uses the
+  // UmAm forms; cached loads are Am_LOAD, cached stores AmSp_STORE.
+  if (I.isLoad())
+    R.Form = Info.Bypass ? "UmAm_LOAD" : "Am_LOAD";
+  else
+    R.Form = Info.Bypass ? "UmAm_STORE" : "AmSp_STORE";
+
+  switch (Info.Class) {
+  case RefClass::Unambiguous:
+    R.Verdict = "unambiguous";
+    break;
+  case RefClass::Ambiguous:
+    R.Verdict = "ambiguous";
+    break;
+  case RefClass::Spill:
+    R.Verdict = "spill";
+    break;
+  case RefClass::SpillReload:
+    R.Verdict = "spill-reload";
+    break;
+  case RefClass::Unknown:
+    R.Verdict = "unknown";
+    break;
+  }
+
+  if (Info.Bypass)
+    R.Reason = "unambiguous";
+  else if (Info.Class == RefClass::Ambiguous)
+    R.Reason = "ambiguous-alias";
+  else if (Info.Class == RefClass::Spill)
+    R.Reason = "spill";
+  else if (Info.Class == RefClass::SpillReload)
+    R.Reason = "spill-reload";
+  else if (!Options.EnableBypass)
+    R.Reason = "hints-disabled";
+  else
+    R.Reason = "reuse-hot";
+
+  if (Info.LastRef)
+    R.DeadReason = I.isLoad() ? "last-read" : "dead-store";
+  return R;
+}
+
+} // namespace
 
 namespace {
 
@@ -66,6 +142,7 @@ std::string ClassificationStats::str() const {
 
 ClassificationStats
 urcm::applyUnifiedManagement(IRModule &M, const UnifiedOptions &Options) {
+  telemetry::ScopedPhase Phase("pass.unified");
   ClassificationStats Stats;
   ModuleEscapeInfo ModuleEscape(M);
   std::unique_ptr<CallFrequencyEstimate> Frequencies;
@@ -154,8 +231,19 @@ urcm::applyUnifiedManagement(IRModule &M, const UnifiedOptions &Options) {
             ++Stats.DeadStoreTags;
           }
         }
+
+        if (telemetry::RemarkSink *Sink = telemetry::classifySink())
+          Sink->remark(makeRemark(*F, I, Info, Options));
       }
     }
   }
+
+  NumRefsClassified.add(Stats.totalRefs());
+  NumUnambiguous.add(Stats.UnambiguousRefs);
+  NumAmbiguous.add(Stats.AmbiguousRefs);
+  NumSpillRefs.add(Stats.SpillRefs);
+  NumBypass.add(Stats.BypassRefs);
+  NumLastRef.add(Stats.LastRefTags);
+  NumDeadStore.add(Stats.DeadStoreTags);
   return Stats;
 }

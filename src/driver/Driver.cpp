@@ -7,36 +7,59 @@
 #include "urcm/driver/Driver.h"
 
 #include "urcm/ir/Verifier.h"
+#include "urcm/support/Telemetry.h"
 
 using namespace urcm;
+
+URCM_STAT(NumProgramsCompiled, "compile.programs",
+          "End-to-end compilations through the driver");
+
+namespace {
+
+/// Module verification wrapped in its own span so trace views separate
+/// checking time from transformation time.
+bool verifyTimed(IRModule &M, DiagnosticEngine &Diags) {
+  telemetry::ScopedPhase Phase("compile.verify");
+  return verifyModule(M, Diags);
+}
+
+} // namespace
 
 CompileResult urcm::compileProgram(const std::string &Source,
                                    const CompileOptions &Options,
                                    DiagnosticEngine &Diags) {
+  telemetry::ScopedPhase Phase("compile");
+  NumProgramsCompiled.add();
   CompileResult Result;
-  Result.Module = compileToIR(Source, Diags, Options.IRGen);
+  {
+    telemetry::ScopedPhase Frontend("compile.frontend");
+    Result.Module = compileToIR(Source, Diags, Options.IRGen);
+  }
   if (!Result.Module)
     return Result;
   IRModule &M = *Result.Module.IR;
 
-  if (Options.VerifyIR && !verifyModule(M, Diags))
+  if (Options.VerifyIR && !verifyTimed(M, Diags))
     return Result;
 
   if (Options.PromoteLoopScalars) {
+    telemetry::ScopedPhase Promote("pass.promote");
     Result.Promotion = promoteLoopScalars(M);
-    if (Options.VerifyIR && !verifyModule(M, Diags))
-      return Result;
   }
+  if (Options.PromoteLoopScalars && Options.VerifyIR &&
+      !verifyTimed(M, Diags))
+    return Result;
 
   if (Options.RunCleanup) {
+    telemetry::ScopedPhase Cleanup("pass.cleanup");
     Result.Transforms = runCleanupPipeline(M, Options.Transforms);
-    if (Options.VerifyIR && !verifyModule(M, Diags))
-      return Result;
   }
+  if (Options.RunCleanup && Options.VerifyIR && !verifyTimed(M, Diags))
+    return Result;
 
   Result.RegAlloc = allocateRegisters(M, Options.RegAlloc);
 
-  if (Options.VerifyIR && !verifyModule(M, Diags))
+  if (Options.VerifyIR && !verifyTimed(M, Diags))
     return Result;
 
   Result.Static = applyUnifiedManagement(M, Options.Scheme);

@@ -13,6 +13,7 @@
 #include "urcm/analysis/ReachingDefs.h"
 #include "urcm/analysis/Webs.h"
 #include "urcm/support/StringUtils.h"
+#include "urcm/support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -20,6 +21,13 @@
 #include <map>
 
 using namespace urcm;
+
+URCM_STAT(NumRAFunctions, "regalloc.functions", "Functions allocated");
+URCM_STAT(NumRAWebs, "regalloc.webs", "Webs presented to the allocator");
+URCM_STAT(NumRASpilledWebs, "regalloc.spilled-webs", "Webs spilled to memory");
+URCM_STAT(NumRASpillSlots, "regalloc.spill-slots", "Spill slots created");
+URCM_STAT(NumRAIterations, "regalloc.iterations",
+          "Color/spill rounds across all functions");
 
 namespace {
 
@@ -466,14 +474,20 @@ RegAllocStats urcm::allocateRegisters(IRModule &M, IRFunction &F,
 
 RegAllocStats urcm::allocateRegisters(IRModule &M,
                                       const RegAllocOptions &Options) {
+  telemetry::ScopedPhase Phase("pass.regalloc");
   RegAllocStats Total;
   for (const auto &F : M.functions()) {
     RegAllocStats S = allocateRegisters(M, *F, Options);
+    NumRAFunctions.add();
+    NumRAIterations.add(S.Iterations);
     Total.NumWebs += S.NumWebs;
     Total.NumSpilledWebs += S.NumSpilledWebs;
     Total.NumSpillSlots += S.NumSpillSlots;
     Total.NumColorsUsed = std::max(Total.NumColorsUsed, S.NumColorsUsed);
     Total.Iterations = std::max(Total.Iterations, S.Iterations);
   }
+  NumRAWebs.add(Total.NumWebs);
+  NumRASpilledWebs.add(Total.NumSpilledWebs);
+  NumRASpillSlots.add(Total.NumSpillSlots);
   return Total;
 }

@@ -33,6 +33,7 @@
 #include "urcm/sim/Predecode.h"
 #include "urcm/support/IntOps.h"
 #include "urcm/support/StringUtils.h"
+#include "urcm/support/Telemetry.h"
 
 #include <array>
 #include <memory>
@@ -389,27 +390,70 @@ Done:
 
 } // namespace
 
+URCM_STAT(NumSimRuns, "sim.runs", "Simulations executed");
+URCM_STAT(NumSimSteps, "sim.steps", "Machine instructions simulated");
+URCM_STAT(NumSimRefs, "sim.data-refs", "Data references simulated");
+URCM_STAT(NumSimCoherence, "sim.coherence-violations",
+          "Hint-induced coherence violations observed");
+URCM_STAT(NumSimPredecoded, "sim.dispatch.predecoded",
+          "Runs through the predecoded engine");
+URCM_STAT(NumSimSwitch, "sim.dispatch.switch",
+          "Runs through the legacy switch engine");
+URCM_HISTOGRAM(SimStepsPerRun, "sim.steps-per-run",
+               "Steps executed per simulation");
+
+namespace {
+
+/// Folds one finished simulation into the counters; cheap relative to
+/// the run itself, so it sits outside the engines' hot loops.
+void recordRunTelemetry(const SimResult &Result) {
+  if (!telemetry::enabled())
+    return;
+  NumSimRuns.add();
+  NumSimSteps.add(Result.Steps);
+  NumSimRefs.add(Result.Cache.Reads + Result.Cache.Writes +
+                 Result.Cache.BypassReads + Result.Cache.BypassWrites);
+  NumSimCoherence.add(Result.CoherenceViolations);
+  SimStepsPerRun.record(Result.Steps);
+}
+
+} // namespace
+
 SimResult Simulator::run(const PredecodedProgram &Prog) {
+  telemetry::ScopedPhase Phase(
+      "sim.run", URCM_THREADED_DISPATCH ? "threaded" : "switch-dispatch");
+  NumSimPredecoded.add();
   // The paper's canonical data-cache shape gets the specialized model;
   // the switch engine keeps the generic one, so the differential tests
   // cross-check the two implementations. The instruction cache stays
   // generic either way (its per-fetch cost is already a hit in slot 0
   // and it is off in most experiments).
+  SimResult Result;
   if (TwoWayWB1Cache::eligible(Config.Cache))
-    return Config.ModelICache
-               ? runPredecodedImpl<true, TwoWayWB1Cache>(Prog, Config)
-               : runPredecodedImpl<false, TwoWayWB1Cache>(Prog, Config);
-  return Config.ModelICache ? runPredecodedImpl<true, DataCache>(Prog, Config)
-                            : runPredecodedImpl<false, DataCache>(Prog, Config);
+    Result = Config.ModelICache
+                 ? runPredecodedImpl<true, TwoWayWB1Cache>(Prog, Config)
+                 : runPredecodedImpl<false, TwoWayWB1Cache>(Prog, Config);
+  else
+    Result = Config.ModelICache
+                 ? runPredecodedImpl<true, DataCache>(Prog, Config)
+                 : runPredecodedImpl<false, DataCache>(Prog, Config);
+  recordRunTelemetry(Result);
+  return Result;
 }
 
 SimResult Simulator::run(const MachineProgram &Prog) {
   if (Config.Engine == SimEngine::Switch)
     return runSwitch(Prog);
-  return run(predecode(Prog));
+  PredecodedProgram Pre = [&] {
+    telemetry::ScopedPhase Phase("sim.predecode");
+    return predecode(Prog);
+  }();
+  return run(Pre);
 }
 
 SimResult Simulator::runSwitch(const MachineProgram &Prog) {
+  telemetry::ScopedPhase Phase("sim.run", "legacy-switch");
+  NumSimSwitch.add();
   SimResult Result;
   MainMemory Mem(Prog.StackTop + 64);
   DataCache Cache(Config.Cache, Mem);
@@ -590,5 +634,6 @@ SimResult Simulator::runSwitch(const MachineProgram &Prog) {
   Result.Cache = Cache.stats();
   if (ICache)
     Result.ICache = ICache->stats();
+  recordRunTelemetry(Result);
   return Result;
 }

@@ -58,6 +58,7 @@
 #include "urcm/sim/SweepEngine.h"
 
 #include "urcm/sim/TraceStream.h"
+#include "urcm/support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -65,6 +66,21 @@
 #include <unordered_map>
 
 using namespace urcm;
+
+URCM_STAT(NumSweepExperiments, "sweep.experiments",
+          "Sweep experiments executed (compile+simulate+replay)");
+URCM_STAT(NumSweepMemoHits, "sweep.memo-hits",
+          "schedule() calls deduplicated by the experiment memo");
+URCM_STAT(NumSweepPointsReplayed, "sweep.points-replayed",
+          "Sweep points answered by trace replay");
+URCM_STAT(NumSweepPointsReused, "sweep.points-reused",
+          "Sweep points answered by reusing the base run's counters");
+URCM_STAT(NumSweepTraceEvents, "sweep.trace-events",
+          "Trace events generated across all experiments");
+URCM_STAT(NumSweepBytesFreed, "sweep.trace-bytes-freed",
+          "Bytes of materialized trace released after replay");
+URCM_STAT(SweepReplayNs, "sweep.replay-ns",
+          "Nanoseconds spent replaying trace chunks (consumer side)");
 
 namespace {
 
@@ -754,8 +770,10 @@ void SweepEngine::schedule(const std::string &Key,
                            std::vector<SweepPoint> Points, Producer Run) {
   std::lock_guard<std::mutex> Lock(M);
   auto [It, Inserted] = Experiments.try_emplace(Key);
-  if (!Inserted)
+  if (!Inserted) {
+    NumSweepMemoHits.add();
     return;
+  }
   Experiment &E = It->second;
   E.HintGroup = HintGroup;
   E.Base = Base;
@@ -776,6 +794,8 @@ void SweepEngine::run() {
 
   Pool->parallelFor(Pending.size(), [&](size_t I) {
     Experiment &E = *Pending[I];
+    telemetry::ScopedPhase ExpPhase("sweep.experiment");
+    NumSweepExperiments.add();
     SimConfig Config = E.Base;
 
     // A point matching the base run's own cache configuration reuses
@@ -806,15 +826,37 @@ void SweepEngine::run() {
       if (Rest.empty()) {
         E.Result = E.Run(Config); // No replay consumers at all.
       } else {
+        // The span covers the whole streamed pipeline (replay overlaps
+        // generation on this thread); SweepReplayNs meters the replay
+        // kernels' active time alone.
+        telemetry::ScopedPhase Replay("sweep.replay", "streaming");
         SweepPointStream Stream(Rest);
+        // Replay work is interleaved with generation on this thread, so
+        // it is metered by accumulated intervals rather than one span.
+        const bool Metered = telemetry::enabled();
+        uint64_t ReplayNs = 0;
         E.Result = streamTrace(
             Config, E.Run,
             [&](const TraceEvent *Events, size_t Count) {
+              if (!Metered) {
+                Stream.feed(Events, Count);
+                return;
+              }
+              uint64_t T0 = telemetry::nowNanos();
               Stream.feed(Events, Count);
+              ReplayNs += telemetry::nowNanos() - T0;
             },
             /*QueueDepth=*/4, &TraceEvents);
-        if (E.Result.ok())
-          Replayed = Stream.finish();
+        if (E.Result.ok()) {
+          if (Metered) {
+            uint64_t T0 = telemetry::nowNanos();
+            Replayed = Stream.finish();
+            ReplayNs += telemetry::nowNanos() - T0;
+          } else {
+            Replayed = Stream.finish();
+          }
+        }
+        SweepReplayNs.add(ReplayNs);
       }
     } else {
       // Belady MIN needs the whole trace (backward next-use pass):
@@ -829,9 +871,16 @@ void SweepEngine::run() {
       E.Result = E.Run(Config);
       if (E.Result.ok()) {
         TraceEvents = E.Result.Trace.size();
-        if (!Rest.empty())
+        if (!Rest.empty()) {
+          telemetry::ScopedPhase Replay("sweep.replay");
+          uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
           Replayed = replaySweepPoints(E.Result.Trace, Rest);
+          if (T0)
+            SweepReplayNs.add(telemetry::nowNanos() - T0);
+        }
       }
+      NumSweepBytesFreed.add(E.Result.Trace.capacity() *
+                             sizeof(TraceEvent));
       E.Result.Trace.clear();
       E.Result.Trace.shrink_to_fit();
     }
@@ -842,6 +891,9 @@ void SweepEngine::run() {
         uint64_t &Hint = Hints[E.HintGroup];
         Hint = std::max<uint64_t>(Hint, TraceEvents);
       }
+      NumSweepTraceEvents.add(TraceEvents);
+      NumSweepPointsReused.add(ReusedIndex.size());
+      NumSweepPointsReplayed.add(RestIndex.size());
       E.Stats.resize(E.Points.size());
       for (size_t P : ReusedIndex)
         E.Stats[P] = E.Result.Cache;

@@ -6,9 +6,18 @@
 
 #include "urcm/sim/TraceStream.h"
 
+#include "urcm/support/Telemetry.h"
+
 #include <thread>
 
 using namespace urcm;
+
+URCM_STAT(NumTraceChunks, "trace.chunks", "Trace chunks streamed");
+URCM_STAT(NumTraceEvents, "trace.events", "Trace events streamed");
+URCM_STAT(NumProducerStalls, "trace.producer-stalls",
+          "Producer blocked on a full chunk queue");
+URCM_STAT(NumConsumerStalls, "trace.consumer-stalls",
+          "Consumer blocked on an empty chunk queue");
 
 SimResult urcm::streamTrace(
     SimConfig Config,
@@ -22,6 +31,8 @@ SimResult urcm::streamTrace(
   SimResult Result;
   std::exception_ptr ProducerError;
   std::thread Producer([&] {
+    if (telemetry::enabled())
+      telemetry::setThreadName("trace-producer");
     try {
       Result = Produce(Config);
     } catch (...) {
@@ -43,6 +54,12 @@ SimResult urcm::streamTrace(
     }
   }
   Producer.join();
+  if (telemetry::enabled()) {
+    NumTraceChunks.add(Stream.chunkCount());
+    NumTraceEvents.add(Stream.eventCount());
+    NumProducerStalls.add(Stream.producerStalls());
+    NumConsumerStalls.add(Stream.consumerStalls());
+  }
   if (EventCount)
     *EventCount = Stream.eventCount();
   if (ProducerError)

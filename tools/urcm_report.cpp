@@ -10,15 +10,21 @@
 //
 //   ./build/tools/urcm_report report.md
 //
+// Flags: --help, --version, --telemetry (summary on stderr),
+// --telemetry-json=FILE, --trace-out=FILE (Chrome trace-event JSON of
+// the whole grid, compile and simulate phases across the pool).
+//
 //===----------------------------------------------------------------------===//
 
 #include "urcm/driver/Driver.h"
+#include "urcm/support/Telemetry.h"
 #include "urcm/support/ThreadPool.h"
 #include "urcm/workloads/Workloads.h"
 
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -96,13 +102,68 @@ std::vector<WorkloadData> computeAll() {
   return Data;
 }
 
+void usage(std::FILE *To) {
+  std::fprintf(To,
+               "usage: urcm_report [output.md] [--telemetry] "
+               "[--telemetry-json=FILE] [--trace-out=FILE]\n"
+               "       urcm_report --help | --version\n");
+}
+
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream File(Path, std::ios::binary);
+  File << Contents;
+  File.flush();
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc > 1) {
-    Out = std::fopen(argv[1], "w");
+  std::string OutputFile, TraceOut, TelemetryJson;
+  bool TelemetrySummary = false;
+  for (int A = 1; A != argc; ++A) {
+    std::string Arg = argv[A];
+    if (Arg == "--help" || Arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("urcm_report (urcm) 0.3\n");
+      return 0;
+    }
+    if (Arg == "--telemetry") {
+      TelemetrySummary = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Arg.substr(12);
+    } else if (Arg.rfind("--telemetry-json=", 0) == 0) {
+      TelemetryJson = Arg.substr(17);
+    } else if (Arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      usage(stderr);
+      return 2;
+    } else if (OutputFile.empty()) {
+      OutputFile = Arg;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                   Arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (TelemetrySummary || !TraceOut.empty() || !TelemetryJson.empty()) {
+    telemetry::setEnabled(true);
+    telemetry::setThreadName("main");
+  }
+
+  if (!OutputFile.empty()) {
+    Out = std::fopen(OutputFile.c_str(), "w");
     if (!Out) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", OutputFile.c_str());
       return 1;
     }
   }
@@ -182,5 +243,15 @@ int main(int argc, char **argv) {
        "coherence violations (checked per run above).");
   if (Out != stdout)
     std::fclose(Out);
-  return 0;
+
+  int Code = 0;
+  if (TelemetrySummary)
+    std::fprintf(stderr, "%s", telemetry::summaryText().c_str());
+  if (!TelemetryJson.empty() &&
+      !writeFile(TelemetryJson, telemetry::snapshotJSON()))
+    Code = 1;
+  if (!TraceOut.empty() &&
+      !writeFile(TraceOut, telemetry::chromeTraceJSON()))
+    Code = 1;
+  return Code;
 }

@@ -24,6 +24,14 @@
 //   --icache              model the instruction cache too
 //   --dump-ast --dump-ir --dump-asm --stats --compare
 //   --workload=NAME       use a built-in benchmark instead of a file
+//   --sweep=S1,S2,...     replay the run against fully-associative LRU
+//                         caches of the given sizes (hinted and
+//                         conventional) and print a traffic table
+//   --telemetry           print the telemetry summary to stderr on exit
+//   --telemetry-json=F    write the telemetry JSON snapshot to F
+//   --trace-out=F         write a Chrome trace-event file to F
+//   -Rurcm-classify       print per-reference classification remarks
+//   --help --version
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +40,8 @@
 #include "urcm/ir/Interpreter.h"
 #include "urcm/ir/Verifier.h"
 #include "urcm/lang/Sema.h"
+#include "urcm/sim/SweepEngine.h"
+#include "urcm/support/Telemetry.h"
 #include "urcm/workloads/Workloads.h"
 
 #include <cstdio>
@@ -39,6 +49,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace urcm;
 
@@ -54,13 +65,50 @@ struct CliOptions {
   bool DumpAsm = false;
   bool Stats = false;
   bool Compare = false;
+  std::vector<uint32_t> SweepSizes;
+  std::string TraceOut;
+  std::string TelemetryJson;
+  bool TelemetrySummary = false;
+  bool ClassifyRemarks = false;
+
+  bool wantsTelemetry() const {
+    return !TraceOut.empty() || !TelemetryJson.empty() ||
+           TelemetrySummary || ClassifyRemarks;
+  }
 };
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: urcmc <file.mc> [flags] | urcmc --workload=NAME "
-               "[flags]\nsee the header of tools/urcmc.cpp for the flag "
-               "list\n");
+void usage(std::FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: urcmc <file.mc> [flags] | urcmc --workload=NAME [flags]\n"
+      "\n"
+      "compilation:\n"
+      "  --era                scalar locals in memory (Figure-5 codegen)\n"
+      "  --promote            loop promotion of unaliased scalars\n"
+      "  --cleanup            copy-prop + LVN + DCE (--dse adds dead-store "
+      "elim)\n"
+      "  --O1                 --promote + --cleanup\n"
+      "  --scheme=S           conventional|bypass|deadtag|unified|reuse\n"
+      "  --regs=N             allocatable registers (>= 8, default 24)\n"
+      "  --alloc=P            chaitin | usage\n"
+      "simulation:\n"
+      "  --cache-lines=N --assoc=N --line-words=N "
+      "--policy=lru|fifo|random\n"
+      "  --icache             model the instruction cache too\n"
+      "  --sweep=S1,S2,...    replay against fully-associative LRU caches "
+      "of\n"
+      "                       the given line counts (hinted and "
+      "conventional)\n"
+      "inspection:\n"
+      "  --dump-ast --dump-ir --dump-asm --stats --compare\n"
+      "  --workload=NAME      built-in benchmark instead of a file\n"
+      "observability:\n"
+      "  --telemetry          print counter/phase summary to stderr\n"
+      "  --telemetry-json=F   write the telemetry JSON snapshot to F\n"
+      "  --trace-out=F        write Chrome trace-event JSON to F\n"
+      "  -Rurcm-classify      per-reference classification remarks on "
+      "stderr\n"
+      "  --help --version\n");
 }
 
 bool parseFlag(CliOptions &Cli, const std::string &Arg) {
@@ -176,7 +224,91 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
     Cli.WorkloadName = V;
     return true;
   }
+  if (const char *V = Value("--sweep=")) {
+    Cli.SweepSizes.clear();
+    for (const char *P = V; *P;) {
+      char *End = nullptr;
+      long Size = std::strtol(P, &End, 10);
+      if (End == P || Size <= 0)
+        return false;
+      Cli.SweepSizes.push_back(static_cast<uint32_t>(Size));
+      P = *End == ',' ? End + 1 : End;
+      if (End != P && *End != ',')
+        return false;
+    }
+    return !Cli.SweepSizes.empty();
+  }
+  if (const char *V = Value("--trace-out=")) {
+    Cli.TraceOut = V;
+    return !Cli.TraceOut.empty();
+  }
+  if (const char *V = Value("--telemetry-json=")) {
+    Cli.TelemetryJson = V;
+    return !Cli.TelemetryJson.empty();
+  }
+  if (Arg == "--telemetry") {
+    Cli.TelemetrySummary = true;
+    return true;
+  }
   return false;
+}
+
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Contents;
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Replays the compiled program against fully-associative LRU caches of
+/// the requested sizes, hinted and hint-stripped, and prints a traffic
+/// table. One traced simulation serves every row (see SweepEngine.h).
+int runSweep(const CliOptions &Cli, const MachineProgram &Program) {
+  std::vector<SweepPoint> Points;
+  for (uint32_t Size : Cli.SweepSizes) {
+    SweepPoint P;
+    P.Config.NumLines = Size;
+    P.Config.Assoc = Size;
+    P.Config.LineWords = 1;
+    P.Config.Write = WritePolicy::WriteBack;
+    P.Config.Policy = ReplacementPolicy::LRU;
+    P.Policy = TracePolicy::LRU;
+    Points.push_back(P);
+    P.IgnoreHints = true;
+    Points.push_back(P);
+  }
+
+  SweepEngine Engine;
+  auto Prog = std::make_shared<MachineProgram>(Program);
+  Engine.schedule("urcmc-sweep", "urcmc", Cli.Sim, Points,
+                  [Prog](const SimConfig &Config) {
+                    Simulator S(Config);
+                    return S.run(*Prog);
+                  });
+  Engine.run();
+
+  const SimResult &Base = Engine.base("urcmc-sweep");
+  if (!Base.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n", Base.Error.c_str());
+    return 1;
+  }
+  std::printf("%-8s %16s %16s %16s %16s\n", "lines", "hinted-cache",
+              "hinted-bus", "conv-cache", "conv-bus");
+  for (size_t I = 0; I != Cli.SweepSizes.size(); ++I) {
+    const CacheStats &Hinted = Engine.point("urcmc-sweep", 2 * I);
+    const CacheStats &Conv = Engine.point("urcmc-sweep", 2 * I + 1);
+    std::printf(
+        "%-8u %16llu %16llu %16llu %16llu\n", Cli.SweepSizes[I],
+        static_cast<unsigned long long>(Hinted.cacheTraffic()),
+        static_cast<unsigned long long>(Hinted.busTraffic()),
+        static_cast<unsigned long long>(Conv.cacheTraffic()),
+        static_cast<unsigned long long>(Conv.busTraffic()));
+  }
+  return 0;
 }
 
 void printRunReport(const SimResult &R, bool Stats) {
@@ -204,54 +336,9 @@ void printRunReport(const SimResult &R, bool Stats) {
                 static_cast<unsigned long long>(R.CoherenceViolations));
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
-  CliOptions Cli;
-  for (int A = 1; A != argc; ++A) {
-    std::string Arg = argv[A];
-    if (Arg.rfind("--", 0) == 0) {
-      if (!parseFlag(Cli, Arg)) {
-        std::fprintf(stderr, "error: unknown or invalid flag '%s'\n",
-                     Arg.c_str());
-        usage();
-        return 2;
-      }
-    } else if (Cli.InputFile.empty()) {
-      Cli.InputFile = Arg;
-    } else {
-      usage();
-      return 2;
-    }
-  }
-
-  std::string Source;
-  if (!Cli.WorkloadName.empty()) {
-    const Workload *W = findWorkload(Cli.WorkloadName);
-    if (!W) {
-      std::fprintf(stderr, "error: unknown workload '%s' (try: ",
-                   Cli.WorkloadName.c_str());
-      for (const Workload &Known : paperWorkloads())
-        std::fprintf(stderr, "%s ", Known.Name.c_str());
-      std::fprintf(stderr, ")\n");
-      return 2;
-    }
-    Source = W->Source;
-  } else if (!Cli.InputFile.empty()) {
-    std::ifstream In(Cli.InputFile);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n",
-                   Cli.InputFile.c_str());
-      return 2;
-    }
-    std::ostringstream Buffer;
-    Buffer << In.rdbuf();
-    Source = Buffer.str();
-  } else {
-    usage();
-    return 2;
-  }
-
+/// The tool proper, after flag parsing and source loading. Factored out
+/// of main so the telemetry exporters run after every exit path.
+int runTool(const CliOptions &Cli, const std::string &Source) {
   // Textual IR input: parse, verify, interpret.
   if (Cli.InputFile.size() > 3 &&
       Cli.InputFile.compare(Cli.InputFile.size() - 3, 3, ".ir") == 0) {
@@ -330,6 +417,9 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  if (!Cli.SweepSizes.empty())
+    return runSweep(Cli, Compiled.Program);
+
   Simulator S(Cli.Sim);
   SimResult R = S.run(Compiled.Program);
   if (!R.ok()) {
@@ -338,4 +428,87 @@ int main(int argc, char **argv) {
   }
   printRunReport(R, Cli.Stats);
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Cli;
+  for (int A = 1; A != argc; ++A) {
+    std::string Arg = argv[A];
+    if (Arg == "--help" || Arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("urcmc (urcm) 0.3\n");
+      return 0;
+    }
+    if (Arg == "-Rurcm-classify") {
+      Cli.ClassifyRemarks = true;
+      continue;
+    }
+    if (Arg.rfind("-", 0) == 0) {
+      if (!parseFlag(Cli, Arg)) {
+        std::fprintf(stderr, "error: unknown or invalid flag '%s'\n",
+                     Arg.c_str());
+        usage(stderr);
+        return 2;
+      }
+    } else if (Cli.InputFile.empty()) {
+      Cli.InputFile = Arg;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                   Arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  std::string Source;
+  if (!Cli.WorkloadName.empty()) {
+    const Workload *W = findWorkload(Cli.WorkloadName);
+    if (!W) {
+      std::fprintf(stderr, "error: unknown workload '%s' (try: ",
+                   Cli.WorkloadName.c_str());
+      for (const Workload &Known : paperWorkloads())
+        std::fprintf(stderr, "%s ", Known.Name.c_str());
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    Source = W->Source;
+  } else if (!Cli.InputFile.empty()) {
+    std::ifstream In(Cli.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Cli.InputFile.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  } else {
+    std::fprintf(stderr, "error: no input file or --workload\n");
+    usage(stderr);
+    return 2;
+  }
+
+  if (Cli.wantsTelemetry()) {
+    telemetry::setEnabled(true);
+    telemetry::setThreadName("main");
+    if (Cli.ClassifyRemarks)
+      telemetry::enableClassifyCapture(stderr);
+  }
+
+  int Code = runTool(Cli, Source);
+
+  if (Cli.TelemetrySummary)
+    std::fprintf(stderr, "%s", telemetry::summaryText().c_str());
+  if (!Cli.TelemetryJson.empty() &&
+      !writeFile(Cli.TelemetryJson, telemetry::snapshotJSON()))
+    Code = Code == 0 ? 1 : Code;
+  if (!Cli.TraceOut.empty() &&
+      !writeFile(Cli.TraceOut, telemetry::chromeTraceJSON()))
+    Code = Code == 0 ? 1 : Code;
+  return Code;
 }
