@@ -31,6 +31,8 @@
 
 namespace urcm {
 
+class AnalysisManager;
+
 /// How aggressively unambiguous references bypass the cache.
 enum class BypassPolicy {
   /// Bypass every unambiguous reference — the paper's Figure-5 claim
@@ -93,7 +95,15 @@ struct ClassificationStats {
 
 /// Runs the unified-management pass over \p M in place: classifies every
 /// memory reference and sets the bypass / last-reference bits according
-/// to \p Options. Returns the static classification statistics.
+/// to \p Options. Returns the static classification statistics. Alias,
+/// memory-liveness, loop and call-frequency facts come from \p AM; the
+/// pass itself only writes hint bits no analysis reads, so it preserves
+/// every cached result.
+ClassificationStats applyUnifiedManagement(IRModule &M,
+                                           const UnifiedOptions &Options,
+                                           AnalysisManager &AM);
+
+/// Standalone form over a private analysis cache.
 ClassificationStats applyUnifiedManagement(IRModule &M,
                                            const UnifiedOptions &Options);
 

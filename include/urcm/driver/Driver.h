@@ -46,8 +46,15 @@ struct CompileOptions {
   bool PromoteLoopScalars = false;
   RegAllocOptions RegAlloc;
   UnifiedOptions Scheme = UnifiedOptions::unified();
-  /// Run the IR verifier after IRGen and after allocation.
+  /// Pipeline text (urcm/pass/Pipeline.h syntax). When empty, the
+  /// boolean options above resolve to the default pipeline:
+  /// [promote,][cleanup,]regalloc,unified,codegen.
+  std::string Passes;
+  /// Verify the input IR, then re-verify after every pass that did not
+  /// preserve all analyses (pass-manager instrumentation).
   bool VerifyIR = true;
+  /// Print the IR to stderr after every pass.
+  bool PrintAfterAll = false;
   uint64_t GlobalBase = 0x1000;
   uint64_t StackTop = 0x100000;
 };

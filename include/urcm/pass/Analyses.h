@@ -1,0 +1,138 @@
+//===- urcm/pass/Analyses.h - Analysis registrations ------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's analyses registered behind AnalysisManager keys. Each
+/// wrapper names the underlying result type and builds it from the
+/// context; nested Ctx.get<> queries double as dependency edges, so the
+/// manager knows e.g. that dropping the CFG must also drop the dominator
+/// tree that holds a reference into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_PASS_ANALYSES_H
+#define URCM_PASS_ANALYSES_H
+
+#include "urcm/analysis/AliasAnalysis.h"
+#include "urcm/analysis/CFG.h"
+#include "urcm/analysis/CallFrequency.h"
+#include "urcm/analysis/Dominators.h"
+#include "urcm/analysis/Liveness.h"
+#include "urcm/analysis/Loops.h"
+#include "urcm/analysis/MemoryLiveness.h"
+#include "urcm/analysis/ReachingDefs.h"
+#include "urcm/analysis/Webs.h"
+#include "urcm/pass/AnalysisManager.h"
+
+#include <memory>
+
+namespace urcm {
+
+/// Control-flow graph of one function.
+struct CFGAnalysis {
+  using Result = CFGInfo;
+  static inline AnalysisKey Key{"cfg"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    return std::make_unique<CFGInfo>(Ctx.function());
+  }
+};
+
+/// Dominator tree; holds a reference to the cached CFG, which the
+/// dependency edge keeps alive exactly as long as this result.
+struct DominatorTreeAnalysis {
+  using Result = DominatorTree;
+  static inline AnalysisKey Key{"domtree"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const CFGInfo &CFG = Ctx.get<CFGAnalysis>();
+    return std::make_unique<DominatorTree>(Ctx.function(), CFG);
+  }
+};
+
+/// Natural loops + loop-depth reference weights.
+struct LoopAnalysis {
+  using Result = LoopInfo;
+  static inline AnalysisKey Key{"loops"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const CFGInfo &CFG = Ctx.get<CFGAnalysis>();
+    const DominatorTree &DT = Ctx.get<DominatorTreeAnalysis>();
+    return std::make_unique<LoopInfo>(Ctx.function(), CFG, DT);
+  }
+};
+
+/// Per-register liveness.
+struct LivenessAnalysis {
+  using Result = Liveness;
+  static inline AnalysisKey Key{"liveness"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const CFGInfo &CFG = Ctx.get<CFGAnalysis>();
+    return std::make_unique<Liveness>(Ctx.function(), CFG);
+  }
+};
+
+/// Reaching definitions (the def-use substrate for webs).
+struct ReachingDefsAnalysis {
+  using Result = ReachingDefs;
+  static inline AnalysisKey Key{"reaching-defs"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const CFGInfo &CFG = Ctx.get<CFGAnalysis>();
+    return std::make_unique<ReachingDefs>(Ctx.function(), CFG);
+  }
+};
+
+/// Du-chain webs (paper Definition 1's register-side names).
+struct WebsAnalysis {
+  using Result = WebAnalysis;
+  static inline AnalysisKey Key{"webs"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const CFGInfo &CFG = Ctx.get<CFGAnalysis>();
+    const ReachingDefs &RD = Ctx.get<ReachingDefsAnalysis>();
+    return std::make_unique<WebAnalysis>(Ctx.function(), CFG, RD);
+  }
+};
+
+/// Module-level escape facts shared by every function's alias query.
+struct ModuleEscapeAnalysis {
+  using Result = ModuleEscapeInfo;
+  static inline AnalysisKey Key{"module-escape"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    return std::make_unique<ModuleEscapeInfo>(Ctx.module());
+  }
+};
+
+/// Alias partitioning (paper Defs. 1-2: unambiguous vs ambiguous names).
+struct AliasAnalysisInfo {
+  using Result = AliasInfo;
+  static inline AnalysisKey Key{"alias"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const ModuleEscapeInfo &ME = Ctx.getModule<ModuleEscapeAnalysis>();
+    return std::make_unique<AliasInfo>(Ctx.module(), Ctx.function(), ME);
+  }
+};
+
+/// Last-reference / dead-store flags over tracked locations.
+struct MemoryLivenessAnalysis {
+  using Result = MemoryLiveness;
+  static inline AnalysisKey Key{"memory-liveness"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    const CFGInfo &CFG = Ctx.get<CFGAnalysis>();
+    const AliasInfo &AA = Ctx.get<AliasAnalysisInfo>();
+    return std::make_unique<MemoryLiveness>(Ctx.module(), Ctx.function(),
+                                            CFG, AA);
+  }
+};
+
+/// Static call-frequency estimate over the whole module.
+struct CallFrequencyAnalysis {
+  using Result = CallFrequencyEstimate;
+  static inline AnalysisKey Key{"call-frequency"};
+  static std::unique_ptr<Result> run(AnalysisContext &Ctx) {
+    return std::make_unique<CallFrequencyEstimate>(Ctx.module());
+  }
+};
+
+} // namespace urcm
+
+#endif // URCM_PASS_ANALYSES_H

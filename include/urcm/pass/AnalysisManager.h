@@ -1,0 +1,257 @@
+//===- urcm/pass/AnalysisManager.h - Cached analysis results ----*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lazy, cached, invalidation-aware analysis results — the analysis half
+/// of the pass-manager layer (see urcm/pass/Pass.h for the transform
+/// half, and DESIGN.md section 12 for the architecture).
+///
+/// Each analysis registers behind a typed key (a `static inline
+/// AnalysisKey` member of its wrapper in urcm/pass/Analyses.h). Results
+/// are computed on first query, cached per (function, key) — or per
+/// (module, key) for module-level analyses — and returned by const
+/// reference on subsequent queries. Transforms report what they kept
+/// intact through a `PreservedAnalyses` set; everything else is dropped.
+///
+/// Dependency tracking: while an analysis runs, any nested query it makes
+/// through its `AnalysisContext` is recorded as a dependency edge.
+/// Invalidation then propagates transitively, so a result that holds a
+/// reference into another cached result (e.g. `DominatorTree` keeps a
+/// `const CFGInfo &`) can never outlive what it points at. This makes
+/// over-invalidation the only failure mode — and since every analysis
+/// here is deterministic, over-invalidation costs time, never
+/// correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_PASS_ANALYSISMANAGER_H
+#define URCM_PASS_ANALYSISMANAGER_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace urcm {
+
+class IRFunction;
+class IRModule;
+class AnalysisManager;
+
+/// Identity tag for one analysis type. Every analysis wrapper exposes a
+/// `static inline AnalysisKey Key`; the key's address is the identity,
+/// the name is for diagnostics and pipeline text.
+struct AnalysisKey {
+  const char *Name;
+};
+
+/// The set of analyses a transform left intact. Transforms return this
+/// from run(); the manager drops everything not in the set (plus
+/// anything depending on a dropped result).
+class PreservedAnalyses {
+public:
+  /// The transform changed nothing the cache could see.
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.All = true;
+    return PA;
+  }
+  /// The transform may have changed anything: drop every cached result.
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  /// Marks analysis \p A as still valid.
+  template <typename A> PreservedAnalyses &preserve() {
+    Kept.push_back(&A::Key);
+    return *this;
+  }
+
+  bool areAllPreserved() const { return All; }
+  bool isPreserved(const AnalysisKey *Key) const {
+    if (All)
+      return true;
+    for (const AnalysisKey *K : Kept)
+      if (K == Key)
+        return true;
+    return false;
+  }
+
+private:
+  bool All = false;
+  std::vector<const AnalysisKey *> Kept;
+};
+
+namespace pass_detail {
+
+/// Telemetry taps (pass.analysis.{hits,misses,invalidations}); defined
+/// in src/pass/AnalysisManager.cpp so header-only template code does not
+/// need the telemetry machinery.
+void countHit();
+void countMiss();
+void countInvalidations(uint64_t N);
+
+struct ResultHolderBase {
+  virtual ~ResultHolderBase() = default;
+};
+
+template <typename T> struct ResultHolder final : ResultHolderBase {
+  explicit ResultHolder(std::unique_ptr<T> V) : Value(std::move(V)) {}
+  std::unique_ptr<T> Value;
+};
+
+} // namespace pass_detail
+
+/// Handed to an analysis' run(): scopes nested queries to the right
+/// function and records them as dependency edges.
+class AnalysisContext {
+public:
+  const IRModule &module() const { return M; }
+  const IRFunction &function() const {
+    assert(F && "module-level analysis asked for a function");
+    return *F;
+  }
+
+  /// Nested per-function query (same function this analysis runs on).
+  template <typename A> const typename A::Result &get();
+  /// Nested module-level query.
+  template <typename A> const typename A::Result &getModule();
+
+private:
+  friend class AnalysisManager;
+  AnalysisContext(AnalysisManager &AM, const IRModule &M,
+                  const IRFunction *F)
+      : AM(AM), M(M), F(F) {}
+
+  AnalysisManager &AM;
+  const IRModule &M;
+  const IRFunction *F;
+};
+
+/// Caches analysis results for one module and its functions.
+class AnalysisManager {
+public:
+  explicit AnalysisManager(const IRModule &M) : M(M) {}
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// Returns \p A's cached result for \p F, computing it on a miss. The
+  /// reference stays valid until the entry is invalidated.
+  template <typename A> const typename A::Result &get(const IRFunction &F) {
+    return getImpl<A>(&F);
+  }
+
+  /// Module-level analyses (ModuleEscapeInfo, CallFrequencyEstimate).
+  template <typename A> const typename A::Result &getModule() {
+    return getImpl<A>(nullptr);
+  }
+
+  /// Drops every cached result not named in \p PA, plus — transitively —
+  /// every result that depended on a dropped one.
+  void invalidate(const PreservedAnalyses &PA) {
+    invalidateImpl(nullptr, PA);
+  }
+
+  /// A transform mutated \p F: drops \p F's unpreserved results, every
+  /// unpreserved module-level result (the module contains \p F), and all
+  /// transitive dependents — including other functions' results that
+  /// leaned on a dropped module-level analysis.
+  void invalidate(const IRFunction &F, const PreservedAnalyses &PA) {
+    invalidateImpl(&F, PA);
+  }
+
+  /// Drops everything.
+  void clear() {
+    Stats.Invalidations += Cache.size();
+    pass_detail::countInvalidations(Cache.size());
+    Cache.clear();
+  }
+
+  /// Cache-behavior counters, mirrored into telemetry as
+  /// pass.analysis.{hits,misses,invalidations}.
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Invalidations = 0;
+  };
+  const CacheStats &stats() const { return Stats; }
+
+  const IRModule &module() const { return M; }
+
+private:
+  friend class AnalysisContext;
+
+  /// A cache slot: nullptr function means module-level.
+  struct EntryId {
+    const IRFunction *F;
+    const AnalysisKey *Key;
+    bool operator==(const EntryId &RHS) const {
+      return F == RHS.F && Key == RHS.Key;
+    }
+  };
+  struct EntryIdHash {
+    size_t operator()(const EntryId &Id) const {
+      return std::hash<const void *>()(Id.F) * 31 ^
+             std::hash<const void *>()(Id.Key);
+    }
+  };
+  struct Entry {
+    std::unique_ptr<pass_detail::ResultHolderBase> Holder;
+    /// Entries this result queried while being computed.
+    std::vector<EntryId> Deps;
+  };
+
+  template <typename A>
+  const typename A::Result &getImpl(const IRFunction *F) {
+    EntryId Id{F, &A::Key};
+    recordDependency(Id);
+    // unordered_map references are stable across the inserts a nested
+    // A::run may perform, so holding Entry& through the recursion is
+    // safe.
+    Entry &E = Cache[Id];
+    if (!E.Holder) {
+      ++Stats.Misses;
+      pass_detail::countMiss();
+      InFlight.push_back(Id);
+      AnalysisContext Ctx(*this, M, F);
+      auto Value = A::run(Ctx);
+      InFlight.pop_back();
+      E.Holder = std::make_unique<
+          pass_detail::ResultHolder<typename A::Result>>(std::move(Value));
+    } else {
+      ++Stats.Hits;
+      pass_detail::countHit();
+    }
+    return *static_cast<pass_detail::ResultHolder<typename A::Result> &>(
+                *E.Holder)
+                .Value;
+  }
+
+  void recordDependency(const EntryId &Id) {
+    if (InFlight.empty())
+      return;
+    Cache[InFlight.back()].Deps.push_back(Id);
+  }
+
+  void invalidateImpl(const IRFunction *F, const PreservedAnalyses &PA);
+
+  const IRModule &M;
+  std::unordered_map<EntryId, Entry, EntryIdHash> Cache;
+  std::vector<EntryId> InFlight;
+  CacheStats Stats;
+};
+
+template <typename A> const typename A::Result &AnalysisContext::get() {
+  assert(F && "per-function query from a module-level analysis");
+  return AM.get<A>(*F);
+}
+
+template <typename A> const typename A::Result &AnalysisContext::getModule() {
+  return AM.getModule<A>();
+}
+
+} // namespace urcm
+
+#endif // URCM_PASS_ANALYSISMANAGER_H

@@ -1,0 +1,87 @@
+//===- urcm/pass/Pass.h - Pass and PassManager ------------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transform half of the pass-manager layer. A Pass runs over the
+/// module with an AnalysisManager for cached analyses and a
+/// PipelineState carrying options in and statistics/artifacts out; it
+/// returns the PreservedAnalyses contract the manager uses for
+/// invalidation.
+///
+/// PassManager instrumentation replaces the driver's old hand-rolled
+/// verify interleavings: with VerifyEach on, the input module is
+/// verified once up front and again after every pass that did not
+/// preserve all analyses — exactly the points the old if-ladder checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_PASS_PASS_H
+#define URCM_PASS_PASS_H
+
+#include "urcm/pass/AnalysisManager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+class DiagnosticEngine;
+class IRModule;
+struct PipelineState;
+
+/// One pipeline step.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Pipeline-text name ("regalloc", "cleanup", ...).
+  virtual const char *name() const = 0;
+  /// Telemetry span name ("pass.regalloc", ...). String literal: spans
+  /// keep the pointer.
+  virtual const char *phaseName() const = 0;
+
+  /// Runs over \p M. Reads options from and writes results into
+  /// \p State; may set State.Failed to abort the pipeline.
+  virtual PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                                PipelineState &State) = 0;
+};
+
+/// Runs a pass sequence with telemetry spans, verification and
+/// IR-printing instrumentation, and analysis invalidation between steps.
+class PassManager {
+public:
+  struct Instrumentation {
+    /// Verify the input module, then re-verify after every pass that
+    /// did not return PreservedAnalyses::all(). Requires Diags.
+    bool VerifyEach = false;
+    /// Print the IR to stderr after every pass.
+    bool PrintAfterAll = false;
+    DiagnosticEngine *Diags = nullptr;
+  };
+
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+  void setInstrumentation(const Instrumentation &I) { Instr = I; }
+
+  bool empty() const { return Passes.empty(); }
+  size_t size() const { return Passes.size(); }
+
+  /// The canonical pipeline text: pass names joined with commas. Feeding
+  /// this back through parsePassPipeline rebuilds the same pipeline.
+  std::string str() const;
+
+  /// Runs every pass in order. Returns false if verification failed or a
+  /// pass set State.Failed; diagnostics explain why.
+  bool run(IRModule &M, AnalysisManager &AM, PipelineState &State);
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+  Instrumentation Instr;
+};
+
+} // namespace urcm
+
+#endif // URCM_PASS_PASS_H

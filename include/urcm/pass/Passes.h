@@ -1,0 +1,72 @@
+//===- urcm/pass/Passes.h - Concrete pipeline passes ------------*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PipelineState plus factories for every registered pass. The state is
+/// the one bag a pipeline reads its options from and writes its results
+/// into; the driver populates it from CompileOptions and harvests it
+/// into CompileResult.
+///
+/// PreservedAnalyses contracts (see DESIGN.md section 12):
+///   verify    all        (read-only)
+///   promote   none/all   (none when it promoted: CFG edges change)
+///   cleanup   cfg+domtree+loops / all (rewrites insts, never edges)
+///   copyprop, lvn, dce, dse — same contract as cleanup, single-shot
+///   regalloc  cfg+domtree+loops      (renames registers, adds spills)
+///   unified   all        (only sets MemInfo hint bits)
+///   codegen   all        (reads the module, emits the program)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_PASS_PASSES_H
+#define URCM_PASS_PASSES_H
+
+#include "urcm/codegen/CodeGen.h"
+#include "urcm/core/UnifiedManagement.h"
+#include "urcm/pass/Pass.h"
+#include "urcm/regalloc/RegAlloc.h"
+#include "urcm/transforms/LoopPromotion.h"
+#include "urcm/transforms/Transforms.h"
+
+#include <memory>
+
+namespace urcm {
+
+/// Options in, statistics and artifacts out.
+struct PipelineState {
+  // Inputs (populated by the driver from CompileOptions).
+  TransformOptions Transforms;
+  RegAllocOptions RegAlloc;
+  UnifiedOptions Scheme = UnifiedOptions::unified();
+  CodeGenOptions CodeGen;
+  DiagnosticEngine *Diags = nullptr;
+
+  // Outputs.
+  LoopPromotionStats Promotion;
+  TransformStats Cleanup;
+  RegAllocStats Alloc;
+  ClassificationStats Static;
+  MachineProgram Program;
+  bool CodeGenRan = false;
+
+  /// Set by a pass to abort the pipeline (diagnostics explain why).
+  bool Failed = false;
+};
+
+std::unique_ptr<Pass> createVerifyPass();
+std::unique_ptr<Pass> createPromotePass();
+std::unique_ptr<Pass> createCleanupPass();
+std::unique_ptr<Pass> createCopyPropPass();
+std::unique_ptr<Pass> createValueNumberingPass();
+std::unique_ptr<Pass> createDCEPass();
+std::unique_ptr<Pass> createDSEPass();
+std::unique_ptr<Pass> createRegAllocPass();
+std::unique_ptr<Pass> createUnifiedManagementPass();
+std::unique_ptr<Pass> createCodeGenPass();
+
+} // namespace urcm
+
+#endif // URCM_PASS_PASSES_H

@@ -1,0 +1,40 @@
+//===- urcm/pass/Pipeline.h - Textual pipeline descriptions -----*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline text syntax: comma-separated pass names, e.g.
+///
+///   promote,cleanup,regalloc,unified,codegen
+///
+/// Known names: verify, promote, cleanup, copyprop, lvn, dce, dse,
+/// regalloc, unified, codegen. `urcmc --passes=...` feeds user text
+/// here; `urcmc --print-pipeline` prints the canonical text the current
+/// flags resolve to (PassManager::str() round-trips).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_PASS_PIPELINE_H
+#define URCM_PASS_PIPELINE_H
+
+#include "urcm/pass/Pass.h"
+
+#include <string>
+
+namespace urcm {
+
+/// Appends the passes named in \p Text to \p PM. On failure returns
+/// false and sets \p Error to the offending name.
+bool parsePassPipeline(PassManager &PM, const std::string &Text,
+                       std::string &Error);
+
+/// The text the driver's boolean options resolve to: the Figure-5
+/// baseline is "regalloc,unified,codegen"; --promote and --cleanup
+/// prepend their passes.
+std::string defaultPipelineText(bool Promote, bool Cleanup);
+
+} // namespace urcm
+
+#endif // URCM_PASS_PIPELINE_H

@@ -33,6 +33,8 @@
 
 namespace urcm {
 
+class AnalysisManager;
+
 /// Which allocation algorithm to run.
 enum class RegAllocPolicy { ChaitinBriggs, UsageCount };
 
@@ -56,11 +58,21 @@ struct RegAllocStats {
 
 /// Allocates registers for \p F in place. Returns statistics. Asserts
 /// that allocation converged (it always does: spill temps have minimal
-/// live ranges, so the graph eventually colors).
+/// live ranges, so the graph eventually colors). Liveness, reaching
+/// defs, webs and loop weights come from \p AM; each mutation round
+/// invalidates them while preserving block structure (CFG, dominators,
+/// loops), which allocation never changes.
 RegAllocStats allocateRegisters(IRModule &M, IRFunction &F,
-                                const RegAllocOptions &Options);
+                                const RegAllocOptions &Options,
+                                AnalysisManager &AM);
 
 /// Runs allocation over every function in \p M; returns summed stats.
+RegAllocStats allocateRegisters(IRModule &M, const RegAllocOptions &Options,
+                                AnalysisManager &AM);
+
+/// Standalone forms that run over a private analysis cache.
+RegAllocStats allocateRegisters(IRModule &M, IRFunction &F,
+                                const RegAllocOptions &Options);
 RegAllocStats allocateRegisters(IRModule &M, const RegAllocOptions &Options);
 
 } // namespace urcm

@@ -34,6 +34,8 @@
 
 namespace urcm {
 
+class AnalysisManager;
+
 /// Promotion statistics.
 struct LoopPromotionStats {
   uint64_t PromotedLocations = 0;
@@ -43,10 +45,16 @@ struct LoopPromotionStats {
 };
 
 /// Runs scalar loop promotion over \p F until no further promotion is
-/// possible (bounded).
-LoopPromotionStats promoteLoopScalars(IRModule &M, IRFunction &F);
+/// possible (bounded). Loops, CFG and alias facts come from \p AM; each
+/// successful round invalidates \p F's cached results (the CFG changed).
+LoopPromotionStats promoteLoopScalars(IRModule &M, IRFunction &F,
+                                      AnalysisManager &AM);
 
-/// Module-wide convenience.
+/// Module-wide form over a shared analysis cache.
+LoopPromotionStats promoteLoopScalars(IRModule &M, AnalysisManager &AM);
+
+/// Standalone forms that run over a private analysis cache.
+LoopPromotionStats promoteLoopScalars(IRModule &M, IRFunction &F);
 LoopPromotionStats promoteLoopScalars(IRModule &M);
 
 } // namespace urcm

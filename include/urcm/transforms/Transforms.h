@@ -33,6 +33,9 @@
 
 namespace urcm {
 
+class AnalysisManager;
+class MemoryLiveness;
+
 /// Statistics returned by the cleanup pipeline.
 struct TransformStats {
   uint64_t CopiesPropagated = 0;
@@ -53,6 +56,11 @@ uint64_t eliminateDeadCode(IRFunction &F);
 /// read afterwards. Returns the number of stores removed.
 uint64_t eliminateDeadStores(IRModule &M, IRFunction &F);
 
+/// Same, against caller-provided memory liveness (typically the
+/// AnalysisManager's cached result).
+uint64_t eliminateDeadStores(IRModule &M, IRFunction &F,
+                             const MemoryLiveness &ML);
+
 /// Pass-pipeline knobs.
 struct TransformOptions {
   bool CopyPropagation = true;
@@ -68,6 +76,15 @@ struct TransformOptions {
 };
 
 /// Runs the enabled passes to a fixed point over the whole module.
+/// Alias and memory-liveness facts come from \p AM; every sub-pass that
+/// changes a function invalidates its cached results (block structure —
+/// CFG, dominators, loops — is preserved: these passes rewrite
+/// instructions, never edges).
+TransformStats runCleanupPipeline(IRModule &M,
+                                  const TransformOptions &Options,
+                                  AnalysisManager &AM);
+
+/// Standalone form over a private analysis cache.
 TransformStats runCleanupPipeline(IRModule &M,
                                   const TransformOptions &Options);
 

@@ -32,6 +32,8 @@
 
 namespace urcm {
 
+class AliasInfo;
+
 /// Value-numbering statistics.
 struct ValueNumberingStats {
   uint64_t RedundantComputations = 0;
@@ -40,6 +42,11 @@ struct ValueNumberingStats {
 
 /// Runs local value numbering over \p F.
 ValueNumberingStats numberValues(IRModule &M, IRFunction &F);
+
+/// Same, against caller-provided alias facts (typically the
+/// AnalysisManager's cached result).
+ValueNumberingStats numberValues(IRModule &M, IRFunction &F,
+                                 const AliasInfo &AA);
 
 /// Module-wide convenience.
 ValueNumberingStats numberValues(IRModule &M);

@@ -37,6 +37,19 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default -j"$(nproc)"
 
+echo "== pass pipeline: golden text + verify-each smoke =="
+# The printed pipeline is an output format (DESIGN.md §12): the driver
+# must resolve the boolean options to exactly these texts.
+got=$(./build/tools/urcmc --print-pipeline)
+[ "$got" = "regalloc,unified,codegen" ] || {
+  echo "default pipeline drifted: $got" >&2; exit 1; }
+got=$(./build/tools/urcmc --O1 --print-pipeline)
+[ "$got" = "promote,cleanup,regalloc,unified,codegen" ] || {
+  echo "--O1 pipeline drifted: $got" >&2; exit 1; }
+for w in Bubble Intmm Puzzle Queen Sieve Towers; do
+  ./build/tools/urcmc --workload="$w" --O1 --verify-each >/dev/null
+done
+
 if [ "$RUN_SAN" = 1 ]; then
   for preset in asan-ubsan asan-ubsan-threaded; do
     echo "== sanitizers: $preset =="

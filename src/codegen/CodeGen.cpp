@@ -524,7 +524,7 @@ private:
 
 MachineProgram urcm::generateMachineCode(const IRModule &M,
                                          const CodeGenOptions &Options) {
-  telemetry::ScopedPhase Phase("pass.codegen");
+  // The pass manager provides the "pass.codegen" span.
   CodeGenerator Gen(M, Options);
   MachineProgram Prog = Gen.run();
   if (telemetry::enabled()) {

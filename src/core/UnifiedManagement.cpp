@@ -7,15 +7,13 @@
 #include "urcm/core/UnifiedManagement.h"
 
 #include "urcm/analysis/AliasAnalysis.h"
-#include "urcm/analysis/CFG.h"
 #include "urcm/analysis/CallFrequency.h"
-#include "urcm/analysis/Dominators.h"
 #include "urcm/analysis/Loops.h"
 #include "urcm/analysis/MemoryLiveness.h"
+#include "urcm/pass/Analyses.h"
 #include "urcm/support/StringUtils.h"
 #include "urcm/support/Telemetry.h"
 
-#include <memory>
 #include <unordered_map>
 
 using namespace urcm;
@@ -99,15 +97,11 @@ namespace {
 
 /// Loop-weighted reference weight per abstract object, used by the
 /// ReuseAware bypass policy: hot locations (reused inside loops) stay
-/// cached, cold ones bypass.
+/// cached, cold ones bypass. Loop weights come from the caller's cached
+/// LoopInfo rather than a private CFG + dominators + loops rebuild.
 std::unordered_map<uint32_t, double>
-computeReuseWeights(const IRFunction &F, const CFGInfo &CFG,
+computeReuseWeights(const IRFunction &F, const LoopInfo &LI,
                     const AliasInfo &AA, double FunctionFrequency) {
-  CFGInfo LocalCFG(F);
-  DominatorTree DT(F, LocalCFG);
-  LoopInfo LI(F, LocalCFG, DT);
-  (void)CFG;
-
   std::unordered_map<uint32_t, double> Weight;
   for (const auto &B : F.blocks()) {
     double W = LI.refWeight(B->id()) * FunctionFrequency;
@@ -142,21 +136,25 @@ std::string ClassificationStats::str() const {
 
 ClassificationStats
 urcm::applyUnifiedManagement(IRModule &M, const UnifiedOptions &Options) {
-  telemetry::ScopedPhase Phase("pass.unified");
+  AnalysisManager AM(M);
+  return applyUnifiedManagement(M, Options, AM);
+}
+
+ClassificationStats
+urcm::applyUnifiedManagement(IRModule &M, const UnifiedOptions &Options,
+                             AnalysisManager &AM) {
   ClassificationStats Stats;
-  ModuleEscapeInfo ModuleEscape(M);
-  std::unique_ptr<CallFrequencyEstimate> Frequencies;
-  if (Options.Policy == BypassPolicy::ReuseAware)
-    Frequencies = std::make_unique<CallFrequencyEstimate>(M);
 
   for (const auto &F : M.functions()) {
-    CFGInfo CFG(*F);
-    AliasInfo AA(M, *F, ModuleEscape);
-    MemoryLiveness ML(M, *F, CFG, AA);
+    const AliasInfo &AA = AM.get<AliasAnalysisInfo>(*F);
+    const MemoryLiveness &ML = AM.get<MemoryLivenessAnalysis>(*F);
     std::unordered_map<uint32_t, double> ReuseWeight;
-    if (Options.Policy == BypassPolicy::ReuseAware)
-      ReuseWeight = computeReuseWeights(*F, CFG, AA,
-                                        Frequencies->frequency(F->id()));
+    if (Options.Policy == BypassPolicy::ReuseAware) {
+      const CallFrequencyEstimate &Frequencies =
+          AM.getModule<CallFrequencyAnalysis>();
+      ReuseWeight = computeReuseWeights(*F, AM.get<LoopAnalysis>(*F), AA,
+                                        Frequencies.frequency(F->id()));
+    }
 
     auto ShouldBypass = [&](const Instruction &I) {
       if (!Options.EnableBypass)

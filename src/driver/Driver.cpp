@@ -6,24 +6,14 @@
 
 #include "urcm/driver/Driver.h"
 
-#include "urcm/ir/Verifier.h"
+#include "urcm/pass/Passes.h"
+#include "urcm/pass/Pipeline.h"
 #include "urcm/support/Telemetry.h"
 
 using namespace urcm;
 
 URCM_STAT(NumProgramsCompiled, "compile.programs",
           "End-to-end compilations through the driver");
-
-namespace {
-
-/// Module verification wrapped in its own span so trace views separate
-/// checking time from transformation time.
-bool verifyTimed(IRModule &M, DiagnosticEngine &Diags) {
-  telemetry::ScopedPhase Phase("compile.verify");
-  return verifyModule(M, Diags);
-}
-
-} // namespace
 
 CompileResult urcm::compileProgram(const std::string &Source,
                                    const CompileOptions &Options,
@@ -39,36 +29,47 @@ CompileResult urcm::compileProgram(const std::string &Source,
     return Result;
   IRModule &M = *Result.Module.IR;
 
-  if (Options.VerifyIR && !verifyTimed(M, Diags))
+  // The pipeline is declarative from here on: resolve the pass text,
+  // hand verification/printing to the pass-manager instrumentation and
+  // analysis reuse to the manager's cache.
+  PassManager PM;
+  std::string Text =
+      Options.Passes.empty()
+          ? defaultPipelineText(Options.PromoteLoopScalars,
+                                Options.RunCleanup)
+          : Options.Passes;
+  std::string Error;
+  if (!parsePassPipeline(PM, Text, Error)) {
+    Diags.error(SourceLoc(), "invalid pass pipeline: " + Error);
     return Result;
-
-  if (Options.PromoteLoopScalars) {
-    telemetry::ScopedPhase Promote("pass.promote");
-    Result.Promotion = promoteLoopScalars(M);
   }
-  if (Options.PromoteLoopScalars && Options.VerifyIR &&
-      !verifyTimed(M, Diags))
+
+  PassManager::Instrumentation Instr;
+  Instr.VerifyEach = Options.VerifyIR;
+  Instr.PrintAfterAll = Options.PrintAfterAll;
+  Instr.Diags = &Diags;
+  PM.setInstrumentation(Instr);
+
+  PipelineState State;
+  State.Transforms = Options.Transforms;
+  State.RegAlloc = Options.RegAlloc;
+  State.Scheme = Options.Scheme;
+  State.CodeGen.Hints = Options.Scheme;
+  State.CodeGen.GlobalBase = Options.GlobalBase;
+  State.CodeGen.StackTop = Options.StackTop;
+  State.Diags = &Diags;
+
+  AnalysisManager AM(M);
+  bool Ok = PM.run(M, AM, State);
+
+  Result.Promotion = State.Promotion;
+  Result.Transforms = State.Cleanup;
+  Result.RegAlloc = State.Alloc;
+  Result.Static = State.Static;
+  if (!Ok)
     return Result;
 
-  if (Options.RunCleanup) {
-    telemetry::ScopedPhase Cleanup("pass.cleanup");
-    Result.Transforms = runCleanupPipeline(M, Options.Transforms);
-  }
-  if (Options.RunCleanup && Options.VerifyIR && !verifyTimed(M, Diags))
-    return Result;
-
-  Result.RegAlloc = allocateRegisters(M, Options.RegAlloc);
-
-  if (Options.VerifyIR && !verifyTimed(M, Diags))
-    return Result;
-
-  Result.Static = applyUnifiedManagement(M, Options.Scheme);
-
-  CodeGenOptions CG;
-  CG.Hints = Options.Scheme;
-  CG.GlobalBase = Options.GlobalBase;
-  CG.StackTop = Options.StackTop;
-  Result.Program = generateMachineCode(M, CG);
+  Result.Program = std::move(State.Program);
   Result.Program.NumAllocatableRegs = Options.RegAlloc.NumColors;
   Result.Ok = true;
   return Result;

@@ -1,0 +1,69 @@
+//===- AnalysisManager.cpp - Cached analysis results ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/pass/AnalysisManager.h"
+
+#include "urcm/support/Telemetry.h"
+
+using namespace urcm;
+
+URCM_STAT(NumAnalysisHits, "pass.analysis.hits",
+          "Analysis queries answered from the cache");
+URCM_STAT(NumAnalysisMisses, "pass.analysis.misses",
+          "Analysis queries that computed a fresh result");
+URCM_STAT(NumAnalysisInvalidations, "pass.analysis.invalidations",
+          "Cached analysis results dropped by invalidation");
+
+void pass_detail::countHit() { NumAnalysisHits.add(); }
+void pass_detail::countMiss() { NumAnalysisMisses.add(); }
+void pass_detail::countInvalidations(uint64_t N) {
+  NumAnalysisInvalidations.add(N);
+}
+
+void AnalysisManager::invalidateImpl(const IRFunction *F,
+                                     const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved() || Cache.empty())
+    return;
+
+  // Seed: unpreserved entries of the mutated function, plus unpreserved
+  // module-level entries (the module contains the mutated function).
+  // F == nullptr means a module-wide invalidation.
+  std::vector<EntryId> Dead;
+  auto IsDead = [&](const EntryId &Id) {
+    for (const EntryId &D : Dead)
+      if (D == Id)
+        return true;
+    return false;
+  };
+  for (const auto &[Id, E] : Cache) {
+    bool InScope = F == nullptr || Id.F == nullptr || Id.F == F;
+    if (InScope && !PA.isPreserved(Id.Key))
+      Dead.push_back(Id);
+  }
+
+  // Propagate: anything that depended on a dead entry dies too, even if
+  // nominally preserved — its result may hold references into the dead
+  // one (e.g. DominatorTree into CFGInfo).
+  bool Changed = !Dead.empty();
+  while (Changed) {
+    Changed = false;
+    for (const auto &[Id, E] : Cache) {
+      if (IsDead(Id))
+        continue;
+      for (const EntryId &Dep : E.Deps)
+        if (IsDead(Dep)) {
+          Dead.push_back(Id);
+          Changed = true;
+          break;
+        }
+    }
+  }
+
+  for (const EntryId &Id : Dead)
+    Cache.erase(Id);
+  Stats.Invalidations += Dead.size();
+  pass_detail::countInvalidations(Dead.size());
+}

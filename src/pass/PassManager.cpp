@@ -1,0 +1,71 @@
+//===- PassManager.cpp - Pass sequencing and instrumentation -------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/pass/Pass.h"
+
+#include "urcm/ir/Verifier.h"
+#include "urcm/pass/Passes.h"
+#include "urcm/support/Telemetry.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace urcm;
+
+URCM_STAT(NumPassRuns, "pass.runs", "Passes executed by the pass manager");
+
+std::string PassManager::str() const {
+  std::string Text;
+  for (const auto &P : Passes) {
+    if (!Text.empty())
+      Text += ',';
+    Text += P->name();
+  }
+  return Text;
+}
+
+namespace {
+
+/// Module verification in its own span so trace views separate checking
+/// time from transformation time.
+bool verifyTimed(const IRModule &M, DiagnosticEngine &Diags) {
+  telemetry::ScopedPhase Phase("compile.verify");
+  return verifyModule(M, Diags);
+}
+
+} // namespace
+
+bool PassManager::run(IRModule &M, AnalysisManager &AM,
+                      PipelineState &State) {
+  assert((!Instr.VerifyEach || Instr.Diags) &&
+         "VerifyEach instrumentation needs a DiagnosticEngine");
+
+  if (Instr.VerifyEach && !verifyTimed(M, *Instr.Diags))
+    return false;
+
+  for (const auto &P : Passes) {
+    PreservedAnalyses PA;
+    {
+      telemetry::ScopedPhase Span(P->phaseName());
+      PA = P->run(M, AM, State);
+    }
+    NumPassRuns.add();
+    if (State.Failed)
+      return false;
+    AM.invalidate(PA);
+
+    if (Instr.PrintAfterAll) {
+      std::fprintf(stderr, "; IR after %s\n%s", P->name(),
+                   printIR(M).c_str());
+    }
+    // Re-verify exactly where the old driver did: after every pass that
+    // could have changed the module.
+    if (Instr.VerifyEach && !PA.areAllPreserved() &&
+        !verifyTimed(M, *Instr.Diags))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,225 @@
+//===- Passes.cpp - Concrete pipeline passes -----------------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/pass/Passes.h"
+
+#include "urcm/ir/Verifier.h"
+#include "urcm/pass/Analyses.h"
+#include "urcm/transforms/ValueNumbering.h"
+
+#include <cassert>
+
+using namespace urcm;
+
+namespace {
+
+/// The contract shared by every pass that rewrites instructions without
+/// touching block structure: edges, dominators and loops survive.
+PreservedAnalyses preserveCFG() {
+  PreservedAnalyses PA;
+  PA.preserve<CFGAnalysis>()
+      .preserve<DominatorTreeAnalysis>()
+      .preserve<LoopAnalysis>();
+  return PA;
+}
+
+class VerifyPass final : public Pass {
+public:
+  const char *name() const override { return "verify"; }
+  const char *phaseName() const override { return "pass.verify"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &,
+                        PipelineState &State) override {
+    assert(State.Diags && "verify pass needs a DiagnosticEngine");
+    if (!verifyModule(M, *State.Diags))
+      State.Failed = true;
+    return PreservedAnalyses::all();
+  }
+};
+
+class PromotePass final : public Pass {
+public:
+  const char *name() const override { return "promote"; }
+  const char *phaseName() const override { return "pass.promote"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    LoopPromotionStats S = promoteLoopScalars(M, AM);
+    State.Promotion.PromotedLocations += S.PromotedLocations;
+    State.Promotion.RewrittenRefs += S.RewrittenRefs;
+    State.Promotion.PreheadersCreated += S.PreheadersCreated;
+    State.Promotion.ExitStoresInserted += S.ExitStoresInserted;
+    // Promotion splits edges and adds preheaders: CFG-derived results
+    // are gone too.
+    return S.PreheadersCreated == 0 ? PreservedAnalyses::all()
+                                    : PreservedAnalyses::none();
+  }
+};
+
+class CleanupPass final : public Pass {
+public:
+  const char *name() const override { return "cleanup"; }
+  const char *phaseName() const override { return "pass.cleanup"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    TransformStats S = runCleanupPipeline(M, State.Transforms, AM);
+    uint64_t Changes = S.CopiesPropagated + S.RedundantComputations +
+                       S.ForwardedLoads + S.DeadInstsRemoved +
+                       S.DeadStoresRemoved;
+    State.Cleanup.CopiesPropagated += S.CopiesPropagated;
+    State.Cleanup.RedundantComputations += S.RedundantComputations;
+    State.Cleanup.ForwardedLoads += S.ForwardedLoads;
+    State.Cleanup.DeadInstsRemoved += S.DeadInstsRemoved;
+    State.Cleanup.DeadStoresRemoved += S.DeadStoresRemoved;
+    return Changes == 0 ? PreservedAnalyses::all() : preserveCFG();
+  }
+};
+
+/// Single-shot variants of the cleanup sub-passes, for hand-written
+/// --passes= pipelines.
+class CopyPropPass final : public Pass {
+public:
+  const char *name() const override { return "copyprop"; }
+  const char *phaseName() const override { return "pass.copyprop"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    uint64_t Changes = 0;
+    for (const auto &F : M.functions()) {
+      uint64_t N = propagateCopies(*F);
+      if (N != 0)
+        AM.invalidate(*F, preserveCFG());
+      Changes += N;
+    }
+    State.Cleanup.CopiesPropagated += Changes;
+    return Changes == 0 ? PreservedAnalyses::all() : preserveCFG();
+  }
+};
+
+class ValueNumberingPass final : public Pass {
+public:
+  const char *name() const override { return "lvn"; }
+  const char *phaseName() const override { return "pass.lvn"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    uint64_t Changes = 0;
+    for (const auto &F : M.functions()) {
+      ValueNumberingStats S =
+          numberValues(M, *F, AM.get<AliasAnalysisInfo>(*F));
+      uint64_t N = S.RedundantComputations + S.ForwardedLoads;
+      if (N != 0)
+        AM.invalidate(*F, preserveCFG());
+      State.Cleanup.RedundantComputations += S.RedundantComputations;
+      State.Cleanup.ForwardedLoads += S.ForwardedLoads;
+      Changes += N;
+    }
+    return Changes == 0 ? PreservedAnalyses::all() : preserveCFG();
+  }
+};
+
+class DCEPass final : public Pass {
+public:
+  const char *name() const override { return "dce"; }
+  const char *phaseName() const override { return "pass.dce"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    uint64_t Changes = 0;
+    for (const auto &F : M.functions()) {
+      uint64_t N = eliminateDeadCode(*F);
+      if (N != 0)
+        AM.invalidate(*F, preserveCFG());
+      Changes += N;
+    }
+    State.Cleanup.DeadInstsRemoved += Changes;
+    return Changes == 0 ? PreservedAnalyses::all() : preserveCFG();
+  }
+};
+
+class DSEPass final : public Pass {
+public:
+  const char *name() const override { return "dse"; }
+  const char *phaseName() const override { return "pass.dse"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    uint64_t Changes = 0;
+    for (const auto &F : M.functions()) {
+      uint64_t N = eliminateDeadStores(
+          M, *F, AM.get<MemoryLivenessAnalysis>(*F));
+      if (N != 0)
+        AM.invalidate(*F, preserveCFG());
+      Changes += N;
+    }
+    State.Cleanup.DeadStoresRemoved += Changes;
+    return Changes == 0 ? PreservedAnalyses::all() : preserveCFG();
+  }
+};
+
+class RegAllocPass final : public Pass {
+public:
+  const char *name() const override { return "regalloc"; }
+  const char *phaseName() const override { return "pass.regalloc"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    State.Alloc = allocateRegisters(M, State.RegAlloc, AM);
+    // Registers are renamed and spill code inserted; block structure is
+    // untouched.
+    return preserveCFG();
+  }
+};
+
+class UnifiedManagementPass final : public Pass {
+public:
+  const char *name() const override { return "unified"; }
+  const char *phaseName() const override { return "pass.unified"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &AM,
+                        PipelineState &State) override {
+    State.Static = applyUnifiedManagement(M, State.Scheme, AM);
+    // Only MemInfo hint bits change; no analysis reads them.
+    return PreservedAnalyses::all();
+  }
+};
+
+class CodeGenPass final : public Pass {
+public:
+  const char *name() const override { return "codegen"; }
+  const char *phaseName() const override { return "pass.codegen"; }
+  PreservedAnalyses run(IRModule &M, AnalysisManager &,
+                        PipelineState &State) override {
+    State.Program = generateMachineCode(M, State.CodeGen);
+    State.CodeGenRan = true;
+    return PreservedAnalyses::all();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> urcm::createVerifyPass() {
+  return std::make_unique<VerifyPass>();
+}
+std::unique_ptr<Pass> urcm::createPromotePass() {
+  return std::make_unique<PromotePass>();
+}
+std::unique_ptr<Pass> urcm::createCleanupPass() {
+  return std::make_unique<CleanupPass>();
+}
+std::unique_ptr<Pass> urcm::createCopyPropPass() {
+  return std::make_unique<CopyPropPass>();
+}
+std::unique_ptr<Pass> urcm::createValueNumberingPass() {
+  return std::make_unique<ValueNumberingPass>();
+}
+std::unique_ptr<Pass> urcm::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}
+std::unique_ptr<Pass> urcm::createDSEPass() {
+  return std::make_unique<DSEPass>();
+}
+std::unique_ptr<Pass> urcm::createRegAllocPass() {
+  return std::make_unique<RegAllocPass>();
+}
+std::unique_ptr<Pass> urcm::createUnifiedManagementPass() {
+  return std::make_unique<UnifiedManagementPass>();
+}
+std::unique_ptr<Pass> urcm::createCodeGenPass() {
+  return std::make_unique<CodeGenPass>();
+}

@@ -1,0 +1,77 @@
+//===- Pipeline.cpp - Textual pipeline descriptions ----------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/pass/Pipeline.h"
+
+#include "urcm/pass/Passes.h"
+
+using namespace urcm;
+
+namespace {
+
+std::unique_ptr<Pass> createPassByName(const std::string &Name) {
+  if (Name == "verify")
+    return createVerifyPass();
+  if (Name == "promote")
+    return createPromotePass();
+  if (Name == "cleanup")
+    return createCleanupPass();
+  if (Name == "copyprop")
+    return createCopyPropPass();
+  if (Name == "lvn")
+    return createValueNumberingPass();
+  if (Name == "dce")
+    return createDCEPass();
+  if (Name == "dse")
+    return createDSEPass();
+  if (Name == "regalloc")
+    return createRegAllocPass();
+  if (Name == "unified")
+    return createUnifiedManagementPass();
+  if (Name == "codegen")
+    return createCodeGenPass();
+  return nullptr;
+}
+
+} // namespace
+
+bool urcm::parsePassPipeline(PassManager &PM, const std::string &Text,
+                             std::string &Error) {
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Name = Text.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Name.empty()) {
+      Error = "empty pass name";
+      return false;
+    }
+    std::unique_ptr<Pass> P = createPassByName(Name);
+    if (!P) {
+      Error = "unknown pass '" + Name + "'";
+      return false;
+    }
+    PM.add(std::move(P));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (PM.empty()) {
+    Error = "empty pipeline";
+    return false;
+  }
+  return true;
+}
+
+std::string urcm::defaultPipelineText(bool Promote, bool Cleanup) {
+  std::string Text;
+  if (Promote)
+    Text += "promote,";
+  if (Cleanup)
+    Text += "cleanup,";
+  Text += "regalloc,unified,codegen";
+  return Text;
+}

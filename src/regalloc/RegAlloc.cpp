@@ -7,11 +7,11 @@
 #include "urcm/regalloc/RegAlloc.h"
 
 #include "urcm/analysis/CFG.h"
-#include "urcm/analysis/Dominators.h"
 #include "urcm/analysis/Liveness.h"
 #include "urcm/analysis/Loops.h"
 #include "urcm/analysis/ReachingDefs.h"
 #include "urcm/analysis/Webs.h"
+#include "urcm/pass/Analyses.h"
 #include "urcm/support/StringUtils.h"
 #include "urcm/support/Telemetry.h"
 
@@ -64,8 +64,9 @@ private:
 
 class Allocator {
 public:
-  Allocator(IRModule &M, IRFunction &F, const RegAllocOptions &Options)
-      : M(M), F(F), Options(Options) {}
+  Allocator(IRModule &M, IRFunction &F, const RegAllocOptions &Options,
+            AnalysisManager &AM)
+      : M(M), F(F), Options(Options), AM(AM) {}
 
   RegAllocStats run() {
     assert(Options.NumColors >= 8 &&
@@ -78,12 +79,10 @@ public:
       renameWebs();
       Stats.NumWebs = F.numRegs();
 
-      CFGInfo CFG(F);
-      Liveness LV(F, CFG);
-      DominatorTree DT(F, CFG);
-      LoopInfo LI(F, CFG, DT);
+      const Liveness &LV = AM.get<LivenessAnalysis>(F);
+      const LoopInfo &LI = AM.get<LoopAnalysis>(F);
 
-      InterferenceGraph IG = buildInterference(CFG, LV);
+      InterferenceGraph IG = buildInterference(LV);
       std::vector<double> Cost = computeCosts(LI);
       std::vector<int32_t> Color =
           Options.Policy == RegAllocPolicy::ChaitinBriggs
@@ -97,6 +96,7 @@ public:
 
       if (Spilled.empty()) {
         uint32_t Used = rewriteToColors(Color);
+        AM.invalidate(F, keepBlockStructure());
         Stats.NumColorsUsed = Used;
         Stats.NumSpillSlots = countSpillSlots();
         return Stats;
@@ -104,6 +104,7 @@ public:
 
       Stats.NumSpilledWebs += static_cast<uint32_t>(Spilled.size());
       insertSpillCode(Spilled);
+      AM.invalidate(F, keepBlockStructure());
     }
     assert(false && "register allocation did not converge");
     return Stats;
@@ -114,10 +115,19 @@ private:
   // Web renaming: after this, virtual register == web id.
   //===--------------------------------------------------------------------===
 
+  /// Allocation renames registers and inserts spill code but never
+  /// touches block structure.
+  static PreservedAnalyses keepBlockStructure() {
+    PreservedAnalyses PA;
+    PA.preserve<CFGAnalysis>()
+        .preserve<DominatorTreeAnalysis>()
+        .preserve<LoopAnalysis>();
+    return PA;
+  }
+
   void renameWebs() {
-    CFGInfo CFG(F);
-    ReachingDefs RD(F, CFG);
-    WebAnalysis WA(F, CFG, RD);
+    const ReachingDefs &RD = AM.get<ReachingDefsAnalysis>(F);
+    const WebAnalysis &WA = AM.get<WebsAnalysis>(F);
     const auto &Webs = WA.webs();
 
     // Def-site (block, index) -> def id.
@@ -179,14 +189,14 @@ private:
 
     F.setNumRegs(static_cast<uint32_t>(Webs.size()));
     IsSpillTemp = std::move(NewIsSpillTemp);
+    AM.invalidate(F, keepBlockStructure());
   }
 
   //===--------------------------------------------------------------------===
   // Interference
   //===--------------------------------------------------------------------===
 
-  InterferenceGraph buildInterference(const CFGInfo &CFG,
-                                      const Liveness &LV) {
+  InterferenceGraph buildInterference(const Liveness &LV) {
     InterferenceGraph IG(F.numRegs());
 
     // Parameters are all defined at entry: they interfere pairwise when
@@ -460,6 +470,7 @@ private:
   [[maybe_unused]] IRModule &M;
   IRFunction &F;
   const RegAllocOptions &Options;
+  AnalysisManager &AM;
   std::vector<bool> IsSpillTemp;
   uint32_t NextSpillName = 0;
 };
@@ -467,17 +478,30 @@ private:
 } // namespace
 
 RegAllocStats urcm::allocateRegisters(IRModule &M, IRFunction &F,
-                                      const RegAllocOptions &Options) {
-  Allocator A(M, F, Options);
+                                      const RegAllocOptions &Options,
+                                      AnalysisManager &AM) {
+  Allocator A(M, F, Options, AM);
   return A.run();
+}
+
+RegAllocStats urcm::allocateRegisters(IRModule &M, IRFunction &F,
+                                      const RegAllocOptions &Options) {
+  AnalysisManager AM(M);
+  return allocateRegisters(M, F, Options, AM);
 }
 
 RegAllocStats urcm::allocateRegisters(IRModule &M,
                                       const RegAllocOptions &Options) {
-  telemetry::ScopedPhase Phase("pass.regalloc");
+  AnalysisManager AM(M);
+  return allocateRegisters(M, Options, AM);
+}
+
+RegAllocStats urcm::allocateRegisters(IRModule &M,
+                                      const RegAllocOptions &Options,
+                                      AnalysisManager &AM) {
   RegAllocStats Total;
   for (const auto &F : M.functions()) {
-    RegAllocStats S = allocateRegisters(M, *F, Options);
+    RegAllocStats S = allocateRegisters(M, *F, Options, AM);
     NumRAFunctions.add();
     NumRAIterations.add(S.Iterations);
     Total.NumWebs += S.NumWebs;

@@ -8,8 +8,8 @@
 
 #include "urcm/analysis/AliasAnalysis.h"
 #include "urcm/analysis/CFG.h"
-#include "urcm/analysis/Dominators.h"
 #include "urcm/analysis/Loops.h"
+#include "urcm/pass/Analyses.h"
 
 #include <algorithm>
 #include <map>
@@ -35,15 +35,14 @@ struct Location {
 
 class Promoter {
 public:
-  Promoter(IRModule &M, IRFunction &F) : M(M), F(F) {}
+  Promoter(IRModule &M, IRFunction &F, AnalysisManager &AM)
+      : M(M), F(F), AM(AM) {}
 
   /// Attempts one promotion round; returns true if anything changed.
   bool runOnce(LoopPromotionStats &Stats) {
-    CFGInfo CFG(F);
-    DominatorTree DT(F, CFG);
-    LoopInfo LI(F, CFG, DT);
-    ModuleEscapeInfo ME(M);
-    AliasInfo AA(M, F, ME);
+    const CFGInfo &CFG = AM.get<CFGAnalysis>(F);
+    const LoopInfo &LI = AM.get<LoopAnalysis>(F);
+    const AliasInfo &AA = AM.get<AliasAnalysisInfo>(F);
 
     // Prefer inner loops: process deeper headers first so values hoist
     // level by level.
@@ -56,8 +55,11 @@ public:
               });
 
     for (const LoopInfoEntry *L : Loops)
-      if (promoteLoop(*L, CFG, AA, Stats))
-        return true; // CFG changed; recompute analyses.
+      if (promoteLoop(*L, CFG, AA, Stats)) {
+        // The CFG changed: every cached result for F is stale.
+        AM.invalidate(F, PreservedAnalyses::none());
+        return true;
+      }
     return false;
   }
 
@@ -200,13 +202,15 @@ private:
 
   IRModule &M;
   IRFunction &F;
+  AnalysisManager &AM;
 };
 
 } // namespace
 
-LoopPromotionStats urcm::promoteLoopScalars(IRModule &M, IRFunction &F) {
+LoopPromotionStats urcm::promoteLoopScalars(IRModule &M, IRFunction &F,
+                                            AnalysisManager &AM) {
   LoopPromotionStats Stats;
-  Promoter P(M, F);
+  Promoter P(M, F, AM);
   // Each successful round mutates the CFG; bound the work generously.
   for (unsigned Round = 0; Round != 64; ++Round)
     if (!P.runOnce(Stats))
@@ -214,14 +218,25 @@ LoopPromotionStats urcm::promoteLoopScalars(IRModule &M, IRFunction &F) {
   return Stats;
 }
 
-LoopPromotionStats urcm::promoteLoopScalars(IRModule &M) {
+LoopPromotionStats urcm::promoteLoopScalars(IRModule &M,
+                                            AnalysisManager &AM) {
   LoopPromotionStats Total;
   for (const auto &F : M.functions()) {
-    LoopPromotionStats S = promoteLoopScalars(M, *F);
+    LoopPromotionStats S = promoteLoopScalars(M, *F, AM);
     Total.PromotedLocations += S.PromotedLocations;
     Total.RewrittenRefs += S.RewrittenRefs;
     Total.PreheadersCreated += S.PreheadersCreated;
     Total.ExitStoresInserted += S.ExitStoresInserted;
   }
   return Total;
+}
+
+LoopPromotionStats urcm::promoteLoopScalars(IRModule &M, IRFunction &F) {
+  AnalysisManager AM(M);
+  return promoteLoopScalars(M, F, AM);
+}
+
+LoopPromotionStats urcm::promoteLoopScalars(IRModule &M) {
+  AnalysisManager AM(M);
+  return promoteLoopScalars(M, AM);
 }

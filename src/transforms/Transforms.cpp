@@ -9,6 +9,7 @@
 #include "urcm/analysis/AliasAnalysis.h"
 #include "urcm/analysis/CFG.h"
 #include "urcm/analysis/MemoryLiveness.h"
+#include "urcm/pass/Analyses.h"
 #include "urcm/transforms/ValueNumbering.h"
 
 #include <algorithm>
@@ -138,7 +139,12 @@ uint64_t urcm::eliminateDeadStores(IRModule &M, IRFunction &F) {
   CFGInfo CFG(F);
   AliasInfo AA(M, F, ME);
   MemoryLiveness ML(M, F, CFG, AA);
+  return eliminateDeadStores(M, F, ML);
+}
 
+uint64_t urcm::eliminateDeadStores(IRModule &M, IRFunction &F,
+                                   const MemoryLiveness &ML) {
+  (void)M;
   uint64_t Removed = 0;
   for (const auto &B : F.blocks()) {
     auto &Insts = B->insts();
@@ -163,29 +169,47 @@ uint64_t urcm::eliminateDeadStores(IRModule &M, IRFunction &F) {
 //===----------------------------------------------------------------------===//
 
 TransformStats urcm::runCleanupPipeline(IRModule &M,
-                                        const TransformOptions &Options) {
+                                        const TransformOptions &Options,
+                                        AnalysisManager &AM) {
+  // These passes rewrite instructions but never block structure, so the
+  // CFG and everything derived purely from it survive each step.
+  PreservedAnalyses KeepCFG;
+  KeepCFG.preserve<CFGAnalysis>()
+      .preserve<DominatorTreeAnalysis>()
+      .preserve<LoopAnalysis>();
+
   TransformStats Stats;
   for (uint32_t Round = 0; Round != Options.MaxRounds; ++Round) {
     uint64_t Progress = 0;
     for (const auto &F : M.functions()) {
       if (Options.CopyPropagation) {
         uint64_t N = propagateCopies(*F);
+        if (N != 0)
+          AM.invalidate(*F, KeepCFG);
         Stats.CopiesPropagated += N;
         Progress += N;
       }
       if (Options.ValueNumbering) {
-        ValueNumberingStats VN = numberValues(M, *F);
+        ValueNumberingStats VN =
+            numberValues(M, *F, AM.get<AliasAnalysisInfo>(*F));
+        if (VN.RedundantComputations + VN.ForwardedLoads != 0)
+          AM.invalidate(*F, KeepCFG);
         Stats.RedundantComputations += VN.RedundantComputations;
         Stats.ForwardedLoads += VN.ForwardedLoads;
         Progress += VN.RedundantComputations + VN.ForwardedLoads;
       }
       if (Options.DeadCodeElimination) {
         uint64_t N = eliminateDeadCode(*F);
+        if (N != 0)
+          AM.invalidate(*F, KeepCFG);
         Stats.DeadInstsRemoved += N;
         Progress += N;
       }
       if (Options.DeadStoreElimination) {
-        uint64_t N = eliminateDeadStores(M, *F);
+        uint64_t N = eliminateDeadStores(
+            M, *F, AM.get<MemoryLivenessAnalysis>(*F));
+        if (N != 0)
+          AM.invalidate(*F, KeepCFG);
         Stats.DeadStoresRemoved += N;
         Progress += N;
       }
@@ -194,4 +218,10 @@ TransformStats urcm::runCleanupPipeline(IRModule &M,
       break;
   }
   return Stats;
+}
+
+TransformStats urcm::runCleanupPipeline(IRModule &M,
+                                        const TransformOptions &Options) {
+  AnalysisManager AM(M);
+  return runCleanupPipeline(M, Options, AM);
 }

@@ -366,9 +366,14 @@ private:
 } // namespace
 
 ValueNumberingStats urcm::numberValues(IRModule &M, IRFunction &F) {
-  ValueNumberingStats Stats;
   ModuleEscapeInfo ME(M);
   AliasInfo AA(M, F, ME);
+  return numberValues(M, F, AA);
+}
+
+ValueNumberingStats urcm::numberValues(IRModule &M, IRFunction &F,
+                                       const AliasInfo &AA) {
+  ValueNumberingStats Stats;
   BlockNumberer BN(M, F, AA, Stats);
   for (const auto &B : F.blocks())
     BN.run(*B);

@@ -1,0 +1,397 @@
+//===- passmanager_test.cpp - Pass manager and analysis cache tests ------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the pass-manager layer: lazy analysis caching, dependency-aware
+// invalidation, PreservedAnalyses contracts, pipeline text parsing, and
+// the equivalence of the declarative driver pipeline with explicit
+// --passes= text (including fuzzed verify insertions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/pass/Analyses.h"
+#include "urcm/pass/Passes.h"
+#include "urcm/pass/Pipeline.h"
+
+#include "urcm/driver/Driver.h"
+#include "urcm/support/Telemetry.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace urcm;
+
+namespace {
+
+CompiledModule lower(const std::string &Source) {
+  DiagnosticEngine Diags;
+  CompiledModule Module = compileToIR(Source, Diags, IRGenOptions());
+  EXPECT_TRUE(static_cast<bool>(Module)) << Diags.str();
+  return Module;
+}
+
+const std::string &towersSource() {
+  static const std::string Source = findWorkload("Towers")->Source;
+  return Source;
+}
+
+/// Two functions so module-level sharing is observable.
+CompiledModule twoFunctionModule() {
+  return lower("int inc(int x) { return x + 1; }\n"
+               "void main() {\n"
+               "  int i;\n"
+               "  int s = 0;\n"
+               "  for (i = 0; i < 10; i = i + 1) { s = s + inc(i); }\n"
+               "  print(s);\n"
+               "}\n");
+}
+
+/// Restores the global telemetry state on scope exit.
+struct TelemetryGuard {
+  explicit TelemetryGuard(bool Enable) {
+    telemetry::setClassifySink(nullptr);
+    telemetry::setEnabled(Enable);
+    telemetry::reset();
+  }
+  ~TelemetryGuard() {
+    telemetry::setClassifySink(nullptr);
+    telemetry::setEnabled(false);
+    telemetry::reset();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Analysis caching
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManager, SecondQueryHitsCache) {
+  auto Module = twoFunctionModule();
+  IRFunction &F = *Module.IR->functions().front();
+  AnalysisManager AM(*Module.IR);
+
+  const CFGInfo &First = AM.get<CFGAnalysis>(F);
+  const CFGInfo &Second = AM.get<CFGAnalysis>(F);
+  EXPECT_EQ(&First, &Second);
+  EXPECT_EQ(AM.stats().Misses, 1u);
+  EXPECT_EQ(AM.stats().Hits, 1u);
+}
+
+TEST(AnalysisManager, TelemetryCountersObserveCacheBehavior) {
+  TelemetryGuard Guard(true);
+  auto Module = twoFunctionModule();
+  IRFunction &F = *Module.IR->functions().front();
+  AnalysisManager AM(*Module.IR);
+  AM.get<CFGAnalysis>(F);
+  AM.get<CFGAnalysis>(F);
+  AM.invalidate(F, PreservedAnalyses::none());
+
+  std::string JSON = telemetry::snapshotJSON();
+  EXPECT_NE(JSON.find("\"pass.analysis.hits\": 1"), std::string::npos)
+      << JSON;
+  EXPECT_NE(JSON.find("\"pass.analysis.misses\": 1"), std::string::npos)
+      << JSON;
+  EXPECT_NE(JSON.find("\"pass.analysis.invalidations\": 1"),
+            std::string::npos)
+      << JSON;
+}
+
+TEST(AnalysisManager, NestedQueriesAreSharedAndCounted) {
+  auto Module = twoFunctionModule();
+  IRFunction &F = *Module.IR->functions().front();
+  AnalysisManager AM(*Module.IR);
+
+  // LoopInfo pulls in CFG and the dominator tree: three misses.
+  AM.get<LoopAnalysis>(F);
+  EXPECT_EQ(AM.stats().Misses, 3u);
+
+  // Both prerequisites are now warm.
+  AM.get<DominatorTreeAnalysis>(F);
+  AM.get<CFGAnalysis>(F);
+  EXPECT_EQ(AM.stats().Misses, 3u);
+  // The LoopInfo computation itself performed two nested queries (CFG
+  // hit once inside the domtree run).
+  EXPECT_GE(AM.stats().Hits, 2u);
+}
+
+TEST(AnalysisManager, InvalidationForcesRecompute) {
+  auto Module = twoFunctionModule();
+  IRFunction &F = *Module.IR->functions().front();
+  AnalysisManager AM(*Module.IR);
+
+  AM.get<CFGAnalysis>(F);
+  AM.invalidate(F, PreservedAnalyses::none());
+  EXPECT_EQ(AM.stats().Invalidations, 1u);
+  AM.get<CFGAnalysis>(F);
+  EXPECT_EQ(AM.stats().Misses, 2u);
+}
+
+TEST(AnalysisManager, PreservedAnalysesSurviveInvalidation) {
+  auto Module = twoFunctionModule();
+  IRFunction &F = *Module.IR->functions().front();
+  AnalysisManager AM(*Module.IR);
+
+  AM.get<CFGAnalysis>(F);
+  AM.get<LivenessAnalysis>(F);
+
+  PreservedAnalyses PA;
+  PA.preserve<CFGAnalysis>();
+  AM.invalidate(F, PA);
+
+  uint64_t MissesBefore = AM.stats().Misses;
+  AM.get<CFGAnalysis>(F); // Survived: hit.
+  EXPECT_EQ(AM.stats().Misses, MissesBefore);
+  AM.get<LivenessAnalysis>(F); // Dropped: recomputed.
+  EXPECT_EQ(AM.stats().Misses, MissesBefore + 1);
+}
+
+TEST(AnalysisManager, DependentDiesWithItsInput) {
+  auto Module = twoFunctionModule();
+  IRFunction &F = *Module.IR->functions().front();
+  AnalysisManager AM(*Module.IR);
+
+  AM.get<DominatorTreeAnalysis>(F); // Holds a reference into the CFG.
+
+  // Nominally preserve the domtree but not the CFG: the domtree must
+  // die anyway, or it would dangle.
+  PreservedAnalyses PA;
+  PA.preserve<DominatorTreeAnalysis>();
+  AM.invalidate(F, PA);
+
+  uint64_t MissesBefore = AM.stats().Misses;
+  AM.get<DominatorTreeAnalysis>(F);
+  EXPECT_EQ(AM.stats().Misses, MissesBefore + 2); // CFG + domtree.
+}
+
+TEST(AnalysisManager, ModuleAnalysisSharedAcrossFunctions) {
+  auto Module = twoFunctionModule();
+  ASSERT_GE(Module.IR->functions().size(), 2u);
+  IRFunction &F1 = *Module.IR->functions()[0];
+  IRFunction &F2 = *Module.IR->functions()[1];
+  AnalysisManager AM(*Module.IR);
+
+  AM.get<AliasAnalysisInfo>(F1); // Computes module escape + alias(F1).
+  uint64_t MissesAfterFirst = AM.stats().Misses;
+  EXPECT_EQ(MissesAfterFirst, 2u);
+
+  AM.get<AliasAnalysisInfo>(F2); // Escape facts are warm.
+  EXPECT_EQ(AM.stats().Misses, MissesAfterFirst + 1);
+  EXPECT_GE(AM.stats().Hits, 1u);
+}
+
+TEST(AnalysisManager, MutatingOneFunctionDropsCrossFunctionAliasFacts) {
+  auto Module = twoFunctionModule();
+  IRFunction &F1 = *Module.IR->functions()[0];
+  IRFunction &F2 = *Module.IR->functions()[1];
+  AnalysisManager AM(*Module.IR);
+
+  AM.get<AliasAnalysisInfo>(F1);
+  AM.get<AliasAnalysisInfo>(F2);
+
+  // Mutating F1 stales the module-escape facts, and with them every
+  // function's alias result.
+  AM.invalidate(F1, PreservedAnalyses::none());
+  uint64_t MissesBefore = AM.stats().Misses;
+  AM.get<AliasAnalysisInfo>(F2);
+  EXPECT_EQ(AM.stats().Misses, MissesBefore + 2); // escape + alias(F2).
+}
+
+TEST(AnalysisManager, ModuleWideInvalidationRespectsPreservation) {
+  auto Module = twoFunctionModule();
+  IRFunction &F1 = *Module.IR->functions()[0];
+  AnalysisManager AM(*Module.IR);
+
+  AM.get<LoopAnalysis>(F1);
+  PreservedAnalyses PA;
+  PA.preserve<CFGAnalysis>()
+      .preserve<DominatorTreeAnalysis>()
+      .preserve<LoopAnalysis>();
+  AM.invalidate(PA);
+
+  uint64_t MissesBefore = AM.stats().Misses;
+  AM.get<LoopAnalysis>(F1);
+  EXPECT_EQ(AM.stats().Misses, MissesBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline text
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, DefaultTextMatchesDriverOptions) {
+  EXPECT_EQ(defaultPipelineText(false, false), "regalloc,unified,codegen");
+  EXPECT_EQ(defaultPipelineText(true, true),
+            "promote,cleanup,regalloc,unified,codegen");
+  EXPECT_EQ(defaultPipelineText(false, true),
+            "cleanup,regalloc,unified,codegen");
+}
+
+TEST(Pipeline, ParseRoundTripsThroughStr) {
+  PassManager PM;
+  std::string Error;
+  ASSERT_TRUE(parsePassPipeline(
+      PM, "verify,promote,cleanup,copyprop,lvn,dce,dse,regalloc,unified,"
+          "codegen",
+      Error))
+      << Error;
+  EXPECT_EQ(PM.str(), "verify,promote,cleanup,copyprop,lvn,dce,dse,"
+                      "regalloc,unified,codegen");
+  EXPECT_EQ(PM.size(), 10u);
+}
+
+TEST(Pipeline, ParseRejectsBadText) {
+  std::string Error;
+  {
+    PassManager PM;
+    EXPECT_FALSE(parsePassPipeline(PM, "regalloc,bogus", Error));
+    EXPECT_NE(Error.find("bogus"), std::string::npos);
+  }
+  {
+    PassManager PM;
+    EXPECT_FALSE(parsePassPipeline(PM, "", Error));
+  }
+  {
+    PassManager PM;
+    EXPECT_FALSE(parsePassPipeline(PM, "regalloc,,codegen", Error));
+  }
+}
+
+TEST(Pipeline, DriverRejectsInvalidPipeline) {
+  CompileOptions Options;
+  Options.Passes = "no-such-pass";
+  DiagnosticEngine Diags;
+  CompileResult R = compileProgram(towersSource(), Options, Diags);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(Diags.str().find("invalid pass pipeline"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compiles and simulates, returning (IR text, asm text, output).
+struct PipelineArtifacts {
+  std::string IR;
+  std::string Asm;
+  std::vector<int64_t> Output;
+};
+
+PipelineArtifacts artifactsFor(const CompileOptions &Options) {
+  PipelineArtifacts A;
+  DiagnosticEngine Diags;
+  CompileResult R = compileProgram(towersSource(), Options, Diags);
+  EXPECT_TRUE(R.Ok) << Diags.str();
+  if (!R.Ok)
+    return A;
+  A.IR = printIR(*R.Module.IR);
+  A.Asm = R.Program.str();
+  Simulator S((SimConfig()));
+  SimResult Run = S.run(R.Program);
+  EXPECT_TRUE(Run.ok()) << Run.Error;
+  A.Output = Run.Output;
+  return A;
+}
+
+} // namespace
+
+TEST(PassPipeline, ExplicitTextMatchesDefaultOptions) {
+  CompileOptions Defaults;
+  Defaults.PromoteLoopScalars = true;
+  Defaults.RunCleanup = true;
+  PipelineArtifacts Implicit = artifactsFor(Defaults);
+
+  CompileOptions Explicit = Defaults;
+  Explicit.Passes = "promote,cleanup,regalloc,unified,codegen";
+  PipelineArtifacts Textual = artifactsFor(Explicit);
+
+  EXPECT_EQ(Implicit.IR, Textual.IR);
+  EXPECT_EQ(Implicit.Asm, Textual.Asm);
+  EXPECT_EQ(Implicit.Output, Textual.Output);
+}
+
+TEST(PassPipeline, FuzzedVerifyInsertionsAreTransparent) {
+  CompileOptions Defaults;
+  Defaults.PromoteLoopScalars = true;
+  Defaults.RunCleanup = true;
+  PipelineArtifacts Reference = artifactsFor(Defaults);
+
+  const char *Stages[] = {"promote", "cleanup", "regalloc", "unified",
+                          "codegen"};
+  uint64_t Rng = 0x9e3779b97f4a7c15ull; // Deterministic.
+  for (int Round = 0; Round != 8; ++Round) {
+    std::string Text;
+    for (const char *Stage : Stages) {
+      Rng = Rng * 6364136223846793005ull + 1442695040888963407ull;
+      if ((Rng >> 33) & 1)
+        Text += "verify,";
+      Text += Stage;
+      Text += ',';
+    }
+    Text += "verify";
+
+    CompileOptions Permuted = Defaults;
+    Permuted.Passes = Text;
+    PipelineArtifacts Got = artifactsFor(Permuted);
+    EXPECT_EQ(Reference.IR, Got.IR) << "pipeline: " << Text;
+    EXPECT_EQ(Reference.Asm, Got.Asm) << "pipeline: " << Text;
+    EXPECT_EQ(Reference.Output, Got.Output) << "pipeline: " << Text;
+  }
+}
+
+TEST(PassPipeline, SplitCleanupMatchesFixpointOutput) {
+  // The single-shot sub-passes applied a few times behave like the
+  // fixpoint cleanup pass as far as program semantics go.
+  CompileOptions Split;
+  Split.Passes = "copyprop,lvn,dce,copyprop,lvn,dce,regalloc,unified,"
+                 "codegen";
+  PipelineArtifacts A = artifactsFor(Split);
+  CompileOptions Fixpoint;
+  Fixpoint.RunCleanup = true;
+  PipelineArtifacts B = artifactsFor(Fixpoint);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST(PassPipeline, VerifyEachStaysGreenOverPaperBenchmarks) {
+  for (const Workload &W : paperWorkloads()) {
+    CompileOptions Options;
+    Options.PromoteLoopScalars = true;
+    Options.RunCleanup = true;
+    Options.VerifyIR = true;
+    Options.Passes = "verify,promote,verify,cleanup,verify,regalloc,"
+                     "verify,unified,verify,codegen,verify";
+    DiagnosticEngine Diags;
+    CompileResult R = compileProgram(W.Source, Options, Diags);
+    EXPECT_TRUE(R.Ok) << W.Name << ": " << Diags.str();
+    if (!R.Ok)
+      continue;
+    Simulator S((SimConfig()));
+    SimResult Run = S.run(R.Program);
+    EXPECT_TRUE(Run.ok()) << W.Name << ": " << Run.Error;
+    // ExpectedOutput is a known-correct prefix of the print stream.
+    ASSERT_GE(Run.Output.size(), W.ExpectedOutput.size()) << W.Name;
+    for (size_t I = 0; I != W.ExpectedOutput.size(); ++I)
+      EXPECT_EQ(Run.Output[I], W.ExpectedOutput[I]) << W.Name;
+  }
+}
+
+TEST(PassPipeline, CompileSharesAnalysesAcrossPhases) {
+  TelemetryGuard Guard(true);
+  CompileOptions Options;
+  Options.PromoteLoopScalars = true;
+  Options.RunCleanup = true;
+  DiagnosticEngine Diags;
+  CompileResult R = compileProgram(towersSource(), Options, Diags);
+  ASSERT_TRUE(R.Ok) << Diags.str();
+
+  // The acceptance bar for the refactor: analyses are demonstrably
+  // reused across phases in a realistic compile.
+  std::string JSON = telemetry::snapshotJSON();
+  size_t Pos = JSON.find("\"pass.analysis.hits\": ");
+  ASSERT_NE(Pos, std::string::npos) << JSON;
+  long Hits = std::atol(JSON.c_str() + Pos + 22);
+  EXPECT_GT(Hits, 0) << JSON;
+}

@@ -132,7 +132,7 @@ int main(int argc, char **argv) {
       return 0;
     }
     if (Arg == "--version") {
-      std::printf("urcm_report (urcm) 0.3\n");
+      std::printf("urcm_report (urcm) 0.4\n");
       return 0;
     }
     if (Arg == "--telemetry") {

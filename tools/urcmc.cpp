@@ -24,6 +24,13 @@
 //   --icache              model the instruction cache too
 //   --dump-ast --dump-ir --dump-asm --stats --compare
 //   --workload=NAME       use a built-in benchmark instead of a file
+//   --passes=P1,P2,...    run an explicit pass pipeline instead of the
+//                         default (names: verify promote cleanup copyprop
+//                         lvn dce dse regalloc unified codegen)
+//   --print-pipeline      print the canonical pipeline text and exit
+//   --verify-each         verify after every mutating pass (the default)
+//   --no-verify           skip IR verification
+//   --print-after-all     print the IR after every pass to stderr
 //   --sweep=S1,S2,...     replay the run against fully-associative LRU
 //                         caches of the given sizes (hinted and
 //                         conventional) and print a traffic table
@@ -37,6 +44,7 @@
 
 #include "urcm/driver/Driver.h"
 #include "urcm/ir/IRParser.h"
+#include "urcm/pass/Pipeline.h"
 #include "urcm/ir/Interpreter.h"
 #include "urcm/ir/Verifier.h"
 #include "urcm/lang/Sema.h"
@@ -65,6 +73,7 @@ struct CliOptions {
   bool DumpAsm = false;
   bool Stats = false;
   bool Compare = false;
+  bool PrintPipeline = false;
   std::vector<uint32_t> SweepSizes;
   std::string TraceOut;
   std::string TelemetryJson;
@@ -91,6 +100,16 @@ void usage(std::FILE *Out) {
       "  --scheme=S           conventional|bypass|deadtag|unified|reuse\n"
       "  --regs=N             allocatable registers (>= 8, default 24)\n"
       "  --alloc=P            chaitin | usage\n"
+      "pipeline:\n"
+      "  --passes=P1,P2,...   explicit pass pipeline (verify promote "
+      "cleanup\n"
+      "                       copyprop lvn dce dse regalloc unified "
+      "codegen)\n"
+      "  --print-pipeline     print the canonical pipeline text and exit\n"
+      "  --verify-each        verify after every mutating pass (default "
+      "on)\n"
+      "  --no-verify          skip IR verification\n"
+      "  --print-after-all    print the IR after every pass to stderr\n"
       "simulation:\n"
       "  --cache-lines=N --assoc=N --line-words=N "
       "--policy=lru|fifo|random\n"
@@ -250,7 +269,46 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
     Cli.TelemetrySummary = true;
     return true;
   }
+  if (const char *V = Value("--passes=")) {
+    Cli.Compile.Passes = V;
+    return !Cli.Compile.Passes.empty();
+  }
+  if (Arg == "--print-pipeline") {
+    Cli.PrintPipeline = true;
+    return true;
+  }
+  if (Arg == "--verify-each") {
+    Cli.Compile.VerifyIR = true;
+    return true;
+  }
+  if (Arg == "--no-verify") {
+    Cli.Compile.VerifyIR = false;
+    return true;
+  }
+  if (Arg == "--print-after-all") {
+    Cli.Compile.PrintAfterAll = true;
+    return true;
+  }
   return false;
+}
+
+/// Resolves the current flags to a pipeline and prints its canonical
+/// text (PassManager::str() round-trips through parsePassPipeline).
+int printPipeline(const CliOptions &Cli) {
+  PassManager PM;
+  std::string Text =
+      Cli.Compile.Passes.empty()
+          ? defaultPipelineText(Cli.Compile.PromoteLoopScalars,
+                                Cli.Compile.RunCleanup)
+          : Cli.Compile.Passes;
+  std::string Error;
+  if (!parsePassPipeline(PM, Text, Error)) {
+    std::fprintf(stderr, "error: invalid pass pipeline: %s\n",
+                 Error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", PM.str().c_str());
+  return 0;
 }
 
 bool writeFile(const std::string &Path, const std::string &Contents) {
@@ -441,7 +499,7 @@ int main(int argc, char **argv) {
       return 0;
     }
     if (Arg == "--version") {
-      std::printf("urcmc (urcm) 0.3\n");
+      std::printf("urcmc (urcm) 0.4\n");
       return 0;
     }
     if (Arg == "-Rurcm-classify") {
@@ -464,6 +522,11 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  // --print-pipeline needs no input: it reports what the flags resolve
+  // to, so review scripts can pin the pipeline without compiling.
+  if (Cli.PrintPipeline)
+    return printPipeline(Cli);
 
   std::string Source;
   if (!Cli.WorkloadName.empty()) {
