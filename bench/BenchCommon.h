@@ -211,32 +211,8 @@ inline const SimResult &singleRun(const std::string &WorkloadName,
 // Scheme-pair sweeps (compile once, serve both schemes from one trace).
 //===----------------------------------------------------------------------===//
 
-/// True if \p A and \p B are the same instruction stream once the hint
-/// bits are ignored: the per-reference bypass/last-reference bits, and
-/// the code-dead bit on Ret with its dead-region payload in Imm/Target
-/// (Ret's control flow uses the return-address register; the payload
-/// only feeds the I-cache reclaim hint).
-inline bool sameStreamModuloHints(const MachineProgram &A,
-                                  const MachineProgram &B) {
-  if (A.Code.size() != B.Code.size() || A.EntryIndex != B.EntryIndex)
-    return false;
-  for (size_t I = 0; I != A.Code.size(); ++I) {
-    MInst X = A.Code[I];
-    MInst Y = B.Code[I];
-    if (X.Op == MOpcode::Ret && (X.CodeDeadHint || Y.CodeDeadHint)) {
-      X.CodeDeadHint = Y.CodeDeadHint = false;
-      X.Imm = Y.Imm = 0;
-      X.Target = Y.Target = 0;
-    }
-    if (X.Op != Y.Op || X.Rd != Y.Rd || X.Rs1 != Y.Rs1 ||
-        X.Rs2 != Y.Rs2 || X.Imm != Y.Imm || X.UseImm != Y.UseImm ||
-        X.Target != Y.Target || X.CodeDeadHint != Y.CodeDeadHint ||
-        X.MemInfo.Class != Y.MemInfo.Class ||
-        X.MemInfo.AliasSetId != Y.MemInfo.AliasSetId)
-      return false;
-  }
-  return true;
-}
+// The stream-equality precondition for hint-stripped replay lives in
+// the codegen library: sameStreamModuloHints (urcm/codegen/MachineIR.h).
 
 inline std::string pairSweepKey(const std::string &Name,
                                 const CompileOptions &Options) {

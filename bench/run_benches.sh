@@ -17,6 +17,28 @@ set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_sweep.json}
+
+# Wall times from an unoptimized build are not a perf trajectory: refuse
+# debug trees (override with URCM_BENCH_ALLOW_DEBUG=1 for local
+# spelunking — the stamped build_type still exposes it downstream).
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${URCM_BENCH_ALLOW_DEBUG:-0}" = 1 ]; then
+      echo "run_benches: WARNING: benchmarking a '$BUILD_TYPE' build;" \
+           "timings are not comparable to the committed trajectory" >&2
+    else
+      echo "run_benches: refusing to benchmark build tree '$BUILD_DIR'" \
+           "with CMAKE_BUILD_TYPE='$BUILD_TYPE' (need Release or" \
+           "RelWithDebInfo; configure with 'cmake --preset default' or" \
+           "set URCM_BENCH_ALLOW_DEBUG=1 to override)" >&2
+      exit 1
+    fi
+    ;;
+esac
+
 if [ "$#" -gt 2 ]; then
   shift 2
   BENCHES=("$@")
@@ -36,6 +58,7 @@ else
     cache_occupancy
     memory_access_time
     reuse_threshold_sweep
+    sharded_replay
   )
 fi
 
@@ -63,8 +86,9 @@ done
 
 # Merge: google-benchmark JSON shape (context + concatenated benchmark
 # rows; row names are globally unique exhibit labels) plus a wall-time
-# map for the trajectory comparison.
-python3 - "$JSON_DIR" "$OUT" <<'PY'
+# map for the trajectory comparison and the provenance stamp ("which
+# build type produced these numbers" — asserted by check.sh --bench).
+python3 - "$JSON_DIR" "$OUT" "$BUILD_TYPE" <<'PY'
 import json, pathlib, sys
 
 json_dir, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
@@ -73,7 +97,8 @@ for line in (json_dir / "walltimes.txt").read_text().splitlines():
     name, seconds = line.split()
     walltimes[name] = float(seconds)
 
-merged = {"context": None, "benchmarks": [], "wall_time_s": walltimes,
+merged = {"context": None, "build_type": sys.argv[3],
+          "benchmarks": [], "wall_time_s": walltimes,
           "total_wall_time_s": round(sum(walltimes.values()), 3)}
 for name in walltimes:
     data = json.loads((json_dir / f"{name}.json").read_text())

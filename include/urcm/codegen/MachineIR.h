@@ -167,6 +167,20 @@ struct MachineProgram {
   std::string str() const;
 };
 
+/// True if \p A and \p B are the same instruction stream once the hint
+/// bits are ignored: the per-reference bypass/last-reference bits, and
+/// the code-dead bit on Ret with its dead-region payload in Imm/Target
+/// (Ret's control flow uses the return-address register; the payload
+/// only feeds the I-cache reclaim hint).
+///
+/// This is the soundness precondition for serving the conventional
+/// scheme from a unified-scheme trace with the hints stripped (see
+/// urcm/sim/SweepEngine.h's SweepPoint::IgnoreHints): when it holds,
+/// the two compilations execute the same references in the same order,
+/// so a hint-free replay of one *is* a run of the other.
+bool sameStreamModuloHints(const MachineProgram &A,
+                           const MachineProgram &B);
+
 } // namespace urcm
 
 #endif // URCM_CODEGEN_MACHINEIR_H

@@ -178,6 +178,17 @@ public:
   /// base are empty.
   void run();
 
+  /// Intra-experiment sharding for trace replay (urcm/sim/
+  /// ShardedReplay.h): 1 — the default — replays each experiment
+  /// sequentially (the differential oracle the sharded path is tested
+  /// against); 0 means "auto" (the pool width, so a lone experiment
+  /// still saturates the machine); N > 1 shards each experiment's
+  /// replay N ways. Counters are bit-identical in every mode. Set
+  /// before run(); shard units fan out through nested parallelFor, so
+  /// shards and experiments share the same pool.
+  void setShards(uint32_t Request) { Shards = Request; }
+  uint32_t shards() const { return Shards; }
+
   bool done(const std::string &Key) const;
 
   /// The base functional run (trace dropped). Valid after run().
@@ -203,6 +214,7 @@ private:
   const Experiment &finished(const std::string &Key) const;
 
   ThreadPool *Pool;
+  uint32_t Shards = 1;
   mutable std::mutex M;
   std::map<std::string, Experiment> Experiments;
   /// Largest trace length seen per hint group (reserve hint source).

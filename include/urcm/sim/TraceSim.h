@@ -68,16 +68,35 @@ public:
   /// \p NextUses is required for TracePolicy::MIN (see
   /// computeNextLineUses; it must have been computed with this config's
   /// line size) and ignored otherwise.
+  ///
+  /// \p ShardDiv > 1 puts the replayer in set-shard mode: the caller
+  /// feeds only the trace subsequence whose events map to cache sets of
+  /// one residue class mod ShardDiv, and the replayer compacts those
+  /// sets to globalSet / ShardDiv so it allocates 1/ShardDiv of the
+  /// line state. Replacement state is strictly per-set for LRU and
+  /// FIFO, so summing shard counters reproduces the sequential replay
+  /// bit for bit; Random (shared RNG sequence across sets) and MIN
+  /// (global trace indexes) are not shardable.
   TraceReplayer(const CacheConfig &Config, TracePolicy Policy,
                 std::shared_ptr<const std::vector<uint64_t>> NextUses =
-                    nullptr)
+                    nullptr,
+                uint32_t ShardDiv = 1)
       : Config(Config), Geometry(Config), Policy(Policy),
         NextUses(std::move(NextUses)), Rng(Config.Seed),
-        Lines(Config.NumLines) {
+        ShardDiv(ShardDiv),
+        Lines(ShardDiv == 1
+                  ? size_t(Config.NumLines)
+                  : size_t((Config.NumLines / Config.Assoc + ShardDiv -
+                            1) /
+                           ShardDiv) *
+                        Config.Assoc) {
     assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
            "associativity must divide the line count");
     assert((Policy != TracePolicy::MIN || this->NextUses) &&
            "MIN needs the next-use index (computeNextLineUses)");
+    assert((ShardDiv == 1 || (Policy != TracePolicy::MIN &&
+                              Policy != TracePolicy::Random)) &&
+           "only set-local policies (LRU/FIFO) can replay set shards");
   }
 
   /// Processes trace event \p E, which sits at position \p Index of the
@@ -136,7 +155,7 @@ public:
         ++Stats.ReadHits;
       L->LastUsed = ++Tick;
     } else {
-      uint32_t Set = Geometry.setOf(LA);
+      uint32_t Set = localSetOf(LA);
       L = chooseVictim(Set);
       if (L->Valid)
         evict(*L);
@@ -169,8 +188,15 @@ public:
   }
 
 private:
-  ReplayLine *find(uint64_t LA) {
+  /// The index of LA's set within this replayer's line array: the
+  /// global set index, compacted by the shard divisor in shard mode.
+  uint32_t localSetOf(uint64_t LA) const {
     uint32_t Set = Geometry.setOf(LA);
+    return ShardDiv == 1 ? Set : Set / ShardDiv;
+  }
+
+  ReplayLine *find(uint64_t LA) {
+    uint32_t Set = localSetOf(LA);
     ReplayLine *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
     for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
       if (Base[Way].Valid && Base[Way].Tag == LA)
@@ -241,6 +267,7 @@ private:
   TracePolicy Policy;
   std::shared_ptr<const std::vector<uint64_t>> NextUses;
   SplitMix64 Rng;
+  uint32_t ShardDiv;
   std::vector<ReplayLine> Lines;
   CacheStats Stats;
   uint64_t Tick = 0;

@@ -15,17 +15,31 @@
 ///    degrades gracefully to near-serial execution);
 ///  * exceptions from tasks are captured and rethrown on the caller.
 ///
-/// parallelFor must not be called from inside a pool task (the nested
-/// call would deadlock waiting for workers that are all busy in the
-/// outer loop); the sweep engine only fans out from the main thread.
+/// parallelFor may be called from inside a pool task (the sharded
+/// replay engine fans out per-shard work from within an experiment
+/// task). Nesting cannot deadlock: the caller drains its own index
+/// space, so it only ever waits on indexes that some thread is
+/// *actively* executing, never on queued-but-unclaimed work; when every
+/// worker is busy the nested loop simply degrades to serial execution
+/// on the calling thread. Idle workers that pick up a nested job's
+/// helper tasks late find the index space exhausted and return.
+///
+/// Small work items can be batched with the grain-size parameter: a
+/// grain of G hands out indexes G at a time, so dispatch overhead (one
+/// atomic fetch_add plus one mutex round-trip per batch) amortizes over
+/// G body calls. The shared cursor is padded to the destructive-
+/// interference stride so concurrent claimers do not drag the job's
+/// cold fields (limit, body pointer) into their ping-ponging line.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef URCM_SUPPORT_THREADPOOL_H
 #define URCM_SUPPORT_THREADPOOL_H
 
+#include "urcm/support/CacheAlign.h"
 #include "urcm/support/Telemetry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -74,19 +88,37 @@ public:
   /// Runs Body(0), ..., Body(N-1), possibly concurrently, and returns
   /// once every call has finished. The first exception thrown by any
   /// call is rethrown here (remaining indexes still run to completion).
-  void parallelFor(size_t N, const std::function<void(size_t)> &Body) {
+  /// \p Grain batches indexes: each claim hands a thread up to Grain
+  /// consecutive indexes, so bodies much cheaper than a dispatch should
+  /// pass a grain that makes a batch worth one atomic claim.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                   size_t Grain = 1) {
+    if (Grain == 0)
+      Grain = 1;
     if (N == 0)
       return;
-    if (N == 1) { // Nothing to overlap; skip the queue round-trip.
-      Body(0);
+    if (N <= Grain) { // One batch; skip the queue round-trip.
+      std::exception_ptr First;
+      for (size_t I = 0; I != N; ++I) {
+        try {
+          Body(I);
+        } catch (...) {
+          if (!First)
+            First = std::current_exception();
+        }
+      }
+      if (First)
+        std::rethrow_exception(First);
       return;
     }
 
     auto Job = std::make_shared<ParallelJob>();
     Job->Limit = N;
+    Job->Grain = Grain;
     Job->Body = &Body;
 
-    size_t Helpers = std::min<size_t>(Workers.size(), N - 1);
+    const size_t Batches = (N + Grain - 1) / Grain;
+    size_t Helpers = std::min<size_t>(Workers.size(), Batches - 1);
     {
       std::lock_guard<std::mutex> Lock(M);
       for (size_t I = 0; I != Helpers; ++I)
@@ -95,7 +127,7 @@ public:
     WakeWorkers.notify_all();
 
     // The caller works too; drain() returns when the index space is
-    // exhausted (other workers may still be finishing their last index).
+    // exhausted (other workers may still be finishing their last batch).
     Job->drain();
     std::unique_lock<std::mutex> Lock(Job->DoneM);
     Job->DoneCV.wait(Lock, [&] { return Job->Done == N; });
@@ -111,8 +143,11 @@ public:
 
 private:
   struct ParallelJob {
-    std::atomic<size_t> Next{0};
-    size_t Limit = 0;
+    /// The claim cursor every participating thread hammers; keep it off
+    /// the line holding the read-only job fields below.
+    alignas(DestructiveInterferenceSize) std::atomic<size_t> Next{0};
+    alignas(DestructiveInterferenceSize) size_t Limit = 0;
+    size_t Grain = 1;
     const std::function<void(size_t)> *Body = nullptr;
     std::mutex DoneM;
     std::condition_variable DoneCV;
@@ -121,20 +156,24 @@ private:
 
     void drain() {
       for (;;) {
-        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-        if (I >= Limit)
+        const size_t Begin = Next.fetch_add(Grain, std::memory_order_relaxed);
+        if (Begin >= Limit)
           return;
+        const size_t End = std::min(Begin + Grain, Limit);
         std::exception_ptr E;
-        try {
-          (*Body)(I);
-        } catch (...) {
-          E = std::current_exception();
+        for (size_t I = Begin; I != End; ++I) {
+          try {
+            (*Body)(I);
+          } catch (...) {
+            if (!E)
+              E = std::current_exception();
+          }
         }
         {
           std::lock_guard<std::mutex> Lock(DoneM);
           if (E && !Error)
             Error = E;
-          ++Done;
+          Done += End - Begin;
           if (Done == Limit)
             DoneCV.notify_all();
         }

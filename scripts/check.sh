@@ -61,6 +61,21 @@ if [ "$RUN_SAN" = 1 ]; then
                                                   || echo build-asan-threaded)" \
       -j"$(nproc)" --output-on-failure
   done
+
+  echo "== sanitizers: tsan (parallel sim suites) =="
+  # TSan over the suites that exercise the thread pool, the SPSC trace
+  # stream, and the sharded replay engine; the full suite under TSan is
+  # disproportionately slow and the remaining suites are single-threaded.
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$(nproc)" --target \
+    support_test tracesim_test sweepengine_test shardedreplay_test
+  # Only these four binaries exist in the tsan tree, so invoke them
+  # directly rather than through ctest's discovery (which would trip
+  # over the unbuilt suites).
+  for t in support_test tracesim_test sweepengine_test shardedreplay_test; do
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ./build-tsan/tests/"$t" || { echo "tsan: $t failed" >&2; exit 1; }
+  done
 fi
 
 if [ "$RUN_TELEMETRY" = 1 ]; then
@@ -83,12 +98,21 @@ if [ "$RUN_BENCH" = 1 ]; then
 import json, sys
 
 base_path, new_path = sys.argv[1], sys.argv[2]
+fresh = json.load(open(new_path))
+# Provenance gate: the trajectory is only meaningful from an optimized
+# build (run_benches.sh refuses others, but a hand-edited or stale JSON
+# must not slip through either).
+build_type = fresh.get("build_type")
+if build_type not in ("Release", "RelWithDebInfo"):
+    print(f"bench JSON stamped with build_type={build_type!r}; "
+          "rerun from a Release/RelWithDebInfo tree")
+    sys.exit(1)
 try:
     base = json.load(open(base_path))["wall_time_s"]
 except FileNotFoundError:
     print(f"no committed {base_path}; nothing to diff against")
     sys.exit(0)
-new = json.load(open(new_path))["wall_time_s"]
+new = fresh["wall_time_s"]
 
 THRESHOLD = 1.25  # generous: single-core wall times carry ~15% noise
 regressed = []

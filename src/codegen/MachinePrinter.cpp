@@ -205,3 +205,25 @@ std::string MachineProgram::str() const {
   }
   return Out;
 }
+
+bool urcm::sameStreamModuloHints(const MachineProgram &A,
+                                 const MachineProgram &B) {
+  if (A.Code.size() != B.Code.size() || A.EntryIndex != B.EntryIndex)
+    return false;
+  for (size_t I = 0; I != A.Code.size(); ++I) {
+    MInst X = A.Code[I];
+    MInst Y = B.Code[I];
+    if (X.Op == MOpcode::Ret && (X.CodeDeadHint || Y.CodeDeadHint)) {
+      X.CodeDeadHint = Y.CodeDeadHint = false;
+      X.Imm = Y.Imm = 0;
+      X.Target = Y.Target = 0;
+    }
+    if (X.Op != Y.Op || X.Rd != Y.Rd || X.Rs1 != Y.Rs1 ||
+        X.Rs2 != Y.Rs2 || X.Imm != Y.Imm || X.UseImm != Y.UseImm ||
+        X.Target != Y.Target || X.CodeDeadHint != Y.CodeDeadHint ||
+        X.MemInfo.Class != Y.MemInfo.Class ||
+        X.MemInfo.AliasSetId != Y.MemInfo.AliasSetId)
+      return false;
+  }
+  return true;
+}

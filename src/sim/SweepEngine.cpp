@@ -57,6 +57,9 @@
 
 #include "urcm/sim/SweepEngine.h"
 
+#include "ReplayKernels.h"
+
+#include "urcm/sim/ShardedReplay.h"
 #include "urcm/sim/TraceStream.h"
 #include "urcm/support/Telemetry.h"
 
@@ -82,529 +85,6 @@ URCM_STAT(NumSweepBytesFreed, "sweep.trace-bytes-freed",
 URCM_STAT(SweepReplayNs, "sweep.replay-ns",
           "Nanoseconds spent replaying trace chunks (consumer side)");
 
-namespace {
-
-/// computeNextLineUses for an IgnoreHints replay: bypassed events count
-/// as through-cache accesses there, so the next-use index must include
-/// them.
-std::shared_ptr<const std::vector<uint64_t>>
-computeNextLineUsesUnhinted(const std::vector<TraceEvent> &Trace,
-                            uint32_t LineWords) {
-  CacheConfig Geo;
-  Geo.LineWords = LineWords;
-  CacheGeometry G(Geo);
-  auto Next = std::make_shared<std::vector<uint64_t>>(
-      Trace.size(), std::numeric_limits<uint64_t>::max());
-  std::unordered_map<uint64_t, uint64_t> NextOfLine;
-  for (uint64_t Index = Trace.size(); Index-- > 0;) {
-    uint64_t LA = G.lineAddr(Trace[Index].Addr);
-    auto It = NextOfLine.find(LA);
-    if (It != NextOfLine.end())
-      (*Next)[Index] = It->second;
-    NextOfLine[LA] = Index;
-  }
-  return Next;
-}
-
-/// True if \p P can be served by the specialized two-way LRU kernel
-/// below.
-bool lruTwoWayEligible(const SweepPoint &P) {
-  return P.Policy == TracePolicy::LRU &&
-         P.Config.Write == WritePolicy::WriteBack &&
-         P.Config.LineWords == 1 && P.Config.Assoc == 2 &&
-         P.Config.NumLines >= 2 &&
-         (P.Config.NumLines & (P.Config.NumLines - 1)) == 0;
-}
-
-/// Specialized lock-step replay for two-way LRU write-back caches with
-/// one-word lines and power-of-two line counts — the paper's preferred
-/// data-cache shape and by far the hottest sweep configuration.
-/// Counters are bit-identical to TraceReplayer; the win is the state
-/// encoding: each set is a two-entry move-to-front list of tag words
-/// (bit 63 = dirty, all-ones = invalid), so the common case — a hit on
-/// the most recent way — is one load and one compare, with no tick
-/// bookkeeping (for two ways, position *is* recency).
-///
-/// Invariants: among valid ways of a set, slot 0 is the more recently
-/// used; invalid ways can sit in either slot (an access always leaves
-/// the touched line in slot 0, and dead-tag/bypass frees invalidate in
-/// place). Victim choice matches DataCache::chooseVictim: an invalid
-/// way first, else the LRU way (slot 1).
-class LRUTwoWayStream {
-  static constexpr uint64_t DirtyBit = uint64_t(1) << 63;
-  static constexpr uint64_t TagMask = ~DirtyBit;
-  static constexpr uint64_t Invalid = ~uint64_t(0);
-
-  struct Way2Cache {
-    uint64_t SetMask;
-    bool Hinted;
-    std::vector<uint64_t> Tags;
-    CacheStats St;
-  };
-  std::vector<Way2Cache> Caches;
-
-public:
-  explicit LRUTwoWayStream(const std::vector<SweepPoint> &Points) {
-    Caches.reserve(Points.size());
-    for (const SweepPoint &P : Points) {
-      assert(lruTwoWayEligible(P));
-      Caches.push_back({uint64_t(P.Config.NumLines / 2) - 1,
-                        !P.IgnoreHints,
-                        std::vector<uint64_t>(P.Config.NumLines, Invalid),
-                        CacheStats()});
-    }
-  }
-
-  void feed(const TraceEvent *Events, size_t Count) {
-    // Configuration-major: each cache streams the whole chunk with its
-    // tag pointer, set mask, and counters held in registers, and the
-    // chunk itself stays hot across passes. Caches are mutually
-    // independent, so the interchange cannot change any counter.
-    for (Way2Cache &C : Caches) {
-      uint64_t *const Tags = C.Tags.data();
-      const uint64_t SetMask = C.SetMask;
-      const bool Hinted = C.Hinted;
-      CacheStats St = C.St;
-      for (const TraceEvent *E = Events, *End = Events + Count; E != End;
-           ++E) {
-        const uint64_t A = E->Addr;
-        const bool W = E->IsWrite;
-        uint64_t *P = Tags + ((A & SetMask) << 1);
-        if (__builtin_expect(!(E->Info.Bypass & Hinted), 1)) {
-          uint64_t T0 = P[0];
-          if (W)
-            ++St.Writes;
-          else
-            ++St.Reads;
-          if ((T0 & TagMask) == A) {
-            if (W) {
-              ++St.WriteHits;
-              P[0] = T0 | DirtyBit;
-            } else {
-              ++St.ReadHits;
-            }
-          } else if (uint64_t T1 = P[1]; (T1 & TagMask) == A) {
-            if (W) {
-              ++St.WriteHits;
-              T1 |= DirtyBit;
-            } else {
-              ++St.ReadHits;
-            }
-            P[1] = T0;
-            P[0] = T1;
-          } else {
-            // Miss. One-word write-allocate skips the fetch (the store
-            // overwrites the whole line).
-            ++St.Fills;
-            if (!W)
-              ++St.FillWords;
-            uint64_t NewTag = W ? A | DirtyBit : A;
-            if (T0 == Invalid) {
-              P[0] = NewTag;
-            } else {
-              if (T1 != Invalid) {
-                ++St.Evictions;
-                if (T1 & DirtyBit) {
-                  ++St.WriteBacks;
-                  ++St.WriteBackWords;
-                }
-              }
-              P[1] = T0;
-              P[0] = NewTag;
-            }
-          }
-          if (E->Info.LastRef & Hinted) {
-            // The accessed line sits in slot 0 after every path above.
-            ++St.DeadFrees;
-            if (P[0] & DirtyBit)
-              ++St.DeadWriteBacksAvoided;
-            P[0] = Invalid;
-          }
-        } else if (W) {
-          ++St.BypassWrites;
-        } else {
-          // Bypass read: a resident line migrates to the register file
-          // (dirty lines write back first) and frees its slot.
-          uint64_t T0 = P[0], T1 = P[1];
-          uint64_t *Slot = (T0 & TagMask) == A   ? &P[0]
-                           : (T1 & TagMask) == A ? &P[1]
-                                                 : nullptr;
-          if (Slot) {
-            ++St.BypassHitMigrations;
-            ++St.DeadFrees;
-            if (*Slot & DirtyBit) {
-              ++St.WriteBacks;
-              ++St.WriteBackWords;
-              ++St.Evictions;
-            }
-            *Slot = Invalid;
-          } else {
-            ++St.BypassReads;
-          }
-        }
-      }
-      C.St = St;
-    }
-  }
-
-  std::vector<CacheStats> finish() {
-    std::vector<CacheStats> Out;
-    Out.reserve(Caches.size());
-    for (Way2Cache &C : Caches) {
-      for (uint64_t T : C.Tags)
-        if (T != Invalid && (T & DirtyBit))
-          ++C.St.FlushWriteBackWords;
-      Out.push_back(C.St);
-    }
-    return Out;
-  }
-};
-
-/// The general lock-step walk: one TraceReplayer per point, advanced a
-/// chunk at a time (a running event index supplies MIN's
-/// future-knowledge lookups, so batch callers that feed the whole trace
-/// as one chunk see the original indexes).
-class GenericMultiStream {
-  std::vector<SweepPoint> Points;
-  std::vector<TraceReplayer> Replayers;
-  std::vector<TraceEvent> Stripped; // Per-chunk scratch (hints cleared).
-  bool AnyUnhinted = false;
-  uint64_t RunningIndex = 0;
-
-public:
-  /// \p FullTrace is required when any point uses TracePolicy::MIN.
-  GenericMultiStream(std::vector<SweepPoint> PointsIn,
-                     const std::vector<TraceEvent> *FullTrace)
-      : Points(std::move(PointsIn)) {
-    // MIN points with the same line size and hint view share one
-    // next-use index.
-    std::map<std::pair<uint32_t, bool>,
-             std::shared_ptr<const std::vector<uint64_t>>>
-        NextUses;
-    Replayers.reserve(Points.size());
-    for (const SweepPoint &P : Points) {
-      AnyUnhinted |= P.IgnoreHints;
-      std::shared_ptr<const std::vector<uint64_t>> Next;
-      if (P.Policy == TracePolicy::MIN) {
-        assert(FullTrace && "MIN points require the materialized trace");
-        auto &Slot = NextUses[{P.Config.LineWords, P.IgnoreHints}];
-        if (!Slot)
-          Slot = P.IgnoreHints ? computeNextLineUsesUnhinted(
-                                     *FullTrace, P.Config.LineWords)
-                               : computeNextLineUses(*FullTrace,
-                                                     P.Config.LineWords);
-        Next = Slot;
-      }
-      Replayers.emplace_back(P.Config, P.Policy, std::move(Next));
-    }
-  }
-
-  void feed(const TraceEvent *Events, size_t Count) {
-    // Configuration-major: each replayer streams the whole chunk before
-    // the next starts, keeping its cache state hot. The replayers are
-    // mutually independent, so the counters equal per-point replayTrace
-    // calls. IgnoreHints points see the chunk with its hint bits
-    // cleared (stripped once per chunk, not per point).
-    const uint64_t Base = RunningIndex;
-    RunningIndex += Count;
-    if (AnyUnhinted) {
-      Stripped.assign(Events, Events + Count);
-      for (TraceEvent &E : Stripped) {
-        E.Info.Bypass = false;
-        E.Info.LastRef = false;
-      }
-    }
-    const size_t N = Points.size();
-    for (size_t P = 0; P != N; ++P) {
-      const TraceEvent *Src =
-          Points[P].IgnoreHints && AnyUnhinted ? Stripped.data() : Events;
-      TraceReplayer &R = Replayers[P];
-      for (size_t K = 0; K != Count; ++K)
-        R.step(Src[K], Base + K);
-    }
-  }
-
-  std::vector<CacheStats> finish() {
-    std::vector<CacheStats> Out;
-    Out.reserve(Replayers.size());
-    for (TraceReplayer &R : Replayers)
-      Out.push_back(R.finish());
-    return Out;
-  }
-};
-
-constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
-
-/// Fenwick tree of 0/1 flags over a growable 1-based position domain.
-/// ensure() extends the domain geometrically, preserving the set flags
-/// (an O(domain) rebuild per doubling — amortized constant per
-/// position, and zero rebuilds when the final domain is reserved up
-/// front, as the batch wrappers do).
-class BitTree {
-public:
-  uint64_t total() const { return Total; }
-
-  /// Grows the domain so position \p N is addressable.
-  void ensure(uint64_t N) {
-    if (N < Tree.size())
-      return;
-    uint64_t NewDomain =
-        std::max<uint64_t>(N, Tree.empty() ? 64 : 2 * (Tree.size() - 1));
-    Flags.resize(NewDomain + 1, 0);
-    Tree.assign(NewDomain + 1, 0);
-    LogN = 0;
-    while ((uint64_t(1) << (LogN + 1)) <= NewDomain)
-      ++LogN;
-    // Linear Fenwick rebuild: by the time position I propagates to its
-    // parent, every child range of I has already folded into Tree[I].
-    for (uint64_t I = 1; I <= NewDomain; ++I) {
-      Tree[I] += Flags[I];
-      uint64_t J = I + (I & (~I + 1));
-      if (J <= NewDomain)
-        Tree[J] += Tree[I];
-    }
-  }
-
-  void set(uint64_t I) {
-    Flags[I] = 1;
-    ++Total;
-    for (; I < Tree.size(); I += I & (~I + 1))
-      ++Tree[I];
-  }
-
-  void clear(uint64_t I) {
-    Flags[I] = 0;
-    --Total;
-    for (; I < Tree.size(); I += I & (~I + 1))
-      --Tree[I];
-  }
-
-  /// Number of set flags at positions <= I.
-  uint64_t prefix(uint64_t I) const {
-    uint64_t Sum = 0;
-    for (; I > 0; I -= I & (~I + 1))
-      Sum += Tree[I];
-    return Sum;
-  }
-
-  /// Smallest position whose prefix is >= K (the K-th set flag);
-  /// requires 1 <= K <= total().
-  uint64_t select(uint64_t K) const {
-    uint64_t Pos = 0;
-    for (uint32_t Bit = LogN + 1; Bit-- > 0;) {
-      uint64_t Next = Pos + (uint64_t(1) << Bit);
-      if (Next < Tree.size() && Tree[Next] < K) {
-        Pos = Next;
-        K -= Tree[Next];
-      }
-    }
-    return Pos + 1;
-  }
-
-private:
-  std::vector<uint32_t> Tree;
-  std::vector<uint8_t> Flags;
-  uint64_t Total = 0;
-  uint32_t LogN = 0;
-};
-
-/// Chunk-fed form of the hole-extended Mattson sweep (see the file
-/// comment for the update rules). One instance per hint view.
-class StackDistanceStream {
-  /// DirtyMin = smallest tracked-or-not capacity whose copy of the line
-  /// is dirty (Never when clean in every size).
-  struct LineState {
-    uint64_t Ts;
-    uint64_t DirtyMin;
-  };
-
-  std::vector<uint32_t> NumLines;
-  bool IgnoreHints;
-  std::vector<CacheStats> Stats;
-  BitTree All;   // Valid lines and holes.
-  BitTree Holes; // Holes only.
-  std::unordered_map<uint64_t, LineState> Lines;
-  std::vector<uint64_t> AddrOfTs;
-  uint64_t NextTs = 0;
-
-  // 0-based stack depth: number of entries more recent than Ts.
-  uint64_t depthOf(uint64_t Ts) const {
-    return All.total() - All.prefix(Ts);
-  }
-
-public:
-  StackDistanceStream(std::vector<uint32_t> NumLinesIn, bool IgnoreHints)
-      : NumLines(std::move(NumLinesIn)), IgnoreHints(IgnoreHints),
-        Stats(NumLines.size()) {}
-
-  /// Pre-sizes the timestamp domain (each event consumes at most one
-  /// fresh timestamp).
-  void reserve(uint64_t ExpectedEvents) {
-    All.ensure(ExpectedEvents + 1);
-    Holes.ensure(ExpectedEvents + 1);
-    if (AddrOfTs.size() < ExpectedEvents + 2)
-      AddrOfTs.resize(ExpectedEvents + 2, 0);
-  }
-
-  void feed(const TraceEvent *Events, size_t Count) {
-    const size_t NumSizes = NumLines.size();
-    if (NumSizes == 0)
-      return;
-    // Grow the timestamp domain ahead of the chunk.
-    All.ensure(NextTs + Count + 1);
-    Holes.ensure(NextTs + Count + 1);
-    if (AddrOfTs.size() < NextTs + Count + 2)
-      AddrOfTs.resize(
-          std::max<uint64_t>(NextTs + Count + 2, 2 * AddrOfTs.size()), 0);
-
-    for (const TraceEvent *EP = Events, *EEnd = Events + Count;
-         EP != EEnd; ++EP) {
-      const TraceEvent &E = *EP;
-      const uint64_t LA = E.Addr; // One-word lines: address == line addr.
-      const bool Bypass = !IgnoreHints && E.Info.Bypass;
-      const bool LastRef = !IgnoreHints && E.Info.LastRef;
-      auto It = Lines.find(LA);
-
-      if (Bypass) {
-        if (E.IsWrite) {
-          // UmAm_STORE: straight to memory in every size.
-          for (CacheStats &St : Stats)
-            ++St.BypassWrites;
-          continue;
-        }
-        if (It == Lines.end()) {
-          for (CacheStats &St : Stats)
-            ++St.BypassReads;
-          continue;
-        }
-        // UmAm_LOAD: sizes holding the line migrate-and-free it (dirty
-        // copies are written back first, see DataCache::read); the rest
-        // read memory directly.
-        const uint64_t D = depthOf(It->second.Ts);
-        const uint64_t DirtyMin = It->second.DirtyMin;
-        for (size_t K = 0; K != NumSizes; ++K) {
-          CacheStats &St = Stats[K];
-          const uint64_t S = NumLines[K];
-          if (S > D) {
-            ++St.BypassHitMigrations;
-            ++St.DeadFrees;
-            if (DirtyMin <= S) {
-              ++St.WriteBacks;
-              ++St.WriteBackWords;
-              ++St.Evictions;
-            }
-          } else {
-            ++St.BypassReads;
-          }
-        }
-        // The entry becomes a hole in place: every size that held the
-        // line gains a free slot at its stack position.
-        Holes.set(It->second.Ts);
-        Lines.erase(It);
-        continue;
-      }
-
-      // Through-cache access. All queries run against the pre-access
-      // stack; mutations follow after the stats loop.
-      const uint64_t D = It == Lines.end() ? Never : depthOf(It->second.Ts);
-      const uint64_t TotalBefore = All.total();
-      uint64_t HoleTs = 0;
-      uint64_t PHole = Never; // 0-based depth of the topmost hole.
-      if (Holes.total() > 0) {
-        HoleTs = Holes.select(Holes.total());
-        PHole = depthOf(HoleTs);
-      }
-      // Sizes up to EvictMax miss with a full window and no hole in it:
-      // they evict their own LRU victim, the entry at stack position S.
-      const uint64_t EvictMax = std::min({D, PHole, TotalBefore});
-
-      for (size_t K = 0; K != NumSizes; ++K) {
-        CacheStats &St = Stats[K];
-        const uint64_t S = NumLines[K];
-        if (E.IsWrite)
-          ++St.Writes;
-        else
-          ++St.Reads;
-        if (D != Never && S > D) {
-          if (E.IsWrite)
-            ++St.WriteHits;
-          else
-            ++St.ReadHits;
-          continue;
-        }
-        ++St.Fills;
-        if (!E.IsWrite)
-          ++St.FillWords; // One-word write-allocate skips the fetch.
-        if (S <= EvictMax) {
-          const uint64_t VictimTs = All.select(TotalBefore - S + 1);
-          ++St.Evictions;
-          if (Lines.find(AddrOfTs[VictimTs])->second.DirtyMin <= S) {
-            ++St.WriteBacks;
-            ++St.WriteBackWords;
-          }
-        }
-      }
-
-      // Stack update.
-      const uint64_t NewTs = ++NextTs;
-      AddrOfTs[NewTs] = LA;
-      if (It != Lines.end()) {
-        const uint64_t OldTs = It->second.Ts;
-        All.clear(OldTs);
-        if (PHole != Never && HoleTs > OldTs) {
-          // The topmost hole moves down into the vacated slot: sizes in
-          // (PHole, D] missed and consumed their free slot; hitting
-          // sizes keep theirs.
-          Holes.clear(HoleTs);
-          All.clear(HoleTs);
-          Holes.set(OldTs);
-          All.set(OldTs);
-        }
-        It->second.Ts = NewTs;
-        if (E.IsWrite)
-          It->second.DirtyMin = 1;
-        else if (It->second.DirtyMin != Never)
-          It->second.DirtyMin = std::max(It->second.DirtyMin, D + 1);
-      } else {
-        // Miss everywhere: the topmost hole (if any) is consumed.
-        if (PHole != Never) {
-          Holes.clear(HoleTs);
-          All.clear(HoleTs);
-        }
-        Lines.emplace(LA, LineState{NewTs, E.IsWrite ? 1 : Never});
-      }
-      All.set(NewTs);
-
-      if (LastRef) {
-        // The line (now on top, resident in every size) is freed; dirty
-        // copies are dropped without write-back.
-        const LineState &LS = Lines.find(LA)->second;
-        for (size_t K = 0; K != NumSizes; ++K) {
-          ++Stats[K].DeadFrees;
-          if (LS.DirtyMin <= NumLines[K])
-            ++Stats[K].DeadWriteBacksAvoided;
-        }
-        Holes.set(NewTs);
-        Lines.erase(LA);
-      }
-    }
-  }
-
-  std::vector<CacheStats> finish() {
-    // End of program: flush the remaining dirty lines of every size.
-    for (const auto &[Addr, LS] : Lines) {
-      if (LS.DirtyMin == Never)
-        continue;
-      const uint64_t P = depthOf(LS.Ts);
-      for (size_t K = 0; K != NumLines.size(); ++K)
-        if (NumLines[K] > P && LS.DirtyMin <= NumLines[K])
-          ++Stats[K].FlushWriteBackWords;
-    }
-    return Stats;
-  }
-};
-
-} // namespace
 
 //===----------------------------------------------------------------------===//
 // SweepPointStream: the dispatching stream over all kernels.
@@ -614,11 +94,11 @@ struct SweepPointStream::Impl {
   std::vector<SweepPoint> Points;
   bool UseStack = false;
   // Stack mode: one stream per hint view ([0] hinted, [1] stripped).
-  std::unique_ptr<StackDistanceStream> Stack[2];
+  std::unique_ptr<detail::StackDistanceStream> Stack[2];
   std::vector<size_t> StackIdx[2];
   // Kernel mode: the specialized two-way kernel plus the generic walk.
-  std::unique_ptr<LRUTwoWayStream> Fast;
-  std::unique_ptr<GenericMultiStream> Slow;
+  std::unique_ptr<detail::LRUTwoWayStream> Fast;
+  std::unique_ptr<detail::GenericMultiStream> Slow;
   std::vector<size_t> FastIdx, SlowIdx;
 };
 
@@ -648,7 +128,7 @@ SweepPointStream::SweepPointStream(
       Sizes.reserve(P->StackIdx[View].size());
       for (size_t I : P->StackIdx[View])
         Sizes.push_back(Pts[I].Config.NumLines);
-      P->Stack[View] = std::make_unique<StackDistanceStream>(
+      P->Stack[View] = std::make_unique<detail::StackDistanceStream>(
           std::move(Sizes), View == 1);
     }
     return;
@@ -659,7 +139,7 @@ SweepPointStream::SweepPointStream(
   // general per-event machinery.
   std::vector<SweepPoint> Fast, Slow;
   for (size_t I = 0; I != Pts.size(); ++I) {
-    if (lruTwoWayEligible(Pts[I])) {
+    if (detail::lruTwoWayEligible(Pts[I])) {
       P->FastIdx.push_back(I);
       Fast.push_back(Pts[I]);
     } else {
@@ -668,10 +148,10 @@ SweepPointStream::SweepPointStream(
     }
   }
   if (!Fast.empty())
-    P->Fast = std::make_unique<LRUTwoWayStream>(Fast);
+    P->Fast = std::make_unique<detail::LRUTwoWayStream>(Fast);
   if (!Slow.empty())
     P->Slow =
-        std::make_unique<GenericMultiStream>(std::move(Slow), FullTrace);
+        std::make_unique<detail::GenericMultiStream>(std::move(Slow), FullTrace);
 }
 
 SweepPointStream::~SweepPointStream() = default;
@@ -740,7 +220,7 @@ std::vector<CacheStats>
 urcm::sweepLRUStackDistance(const std::vector<TraceEvent> &Trace,
                             const std::vector<uint32_t> &NumLines,
                             bool IgnoreHints) {
-  StackDistanceStream Stream(NumLines, IgnoreHints);
+  detail::StackDistanceStream Stream(NumLines, IgnoreHints);
   Stream.reserve(Trace.size());
   Stream.feed(Trace.data(), Trace.size());
   return Stream.finish();
@@ -792,6 +272,8 @@ void SweepEngine::run() {
         Pending.push_back(&E);
   }
 
+  const uint32_t EffShards = resolveShardCount(Shards, *Pool);
+
   Pool->parallelFor(Pending.size(), [&](size_t I) {
     Experiment &E = *Pending[I];
     telemetry::ScopedPhase ExpPhase("sweep.experiment");
@@ -828,35 +310,55 @@ void SweepEngine::run() {
       } else {
         // The span covers the whole streamed pipeline (replay overlaps
         // generation on this thread); SweepReplayNs meters the replay
-        // kernels' active time alone.
-        telemetry::ScopedPhase Replay("sweep.replay", "streaming");
-        SweepPointStream Stream(Rest);
+        // kernels' active time alone. With sharding, feed() is the
+        // cheap demux (overlapping generation) and finish() fans the
+        // replay units out across the pool via nested parallelFor.
+        telemetry::ScopedPhase Replay(
+            "sweep.replay", EffShards > 1 ? "sharded" : "streaming");
+        uint64_t SizeHint = 0;
+        {
+          std::lock_guard<std::mutex> Lock(M);
+          auto It = Hints.find(E.HintGroup);
+          if (It != Hints.end())
+            SizeHint = It->second;
+        }
         // Replay work is interleaved with generation on this thread, so
         // it is metered by accumulated intervals rather than one span.
-        const bool Metered = telemetry::enabled();
-        uint64_t ReplayNs = 0;
-        E.Result = streamTrace(
-            Config, E.Run,
-            [&](const TraceEvent *Events, size_t Count) {
-              if (!Metered) {
+        auto StreamInto = [&](auto &Stream) {
+          if (SizeHint)
+            Stream.reserve(SizeHint);
+          const bool Metered = telemetry::enabled();
+          uint64_t ReplayNs = 0;
+          E.Result = streamTrace(
+              Config, E.Run,
+              [&](const TraceEvent *Events, size_t Count) {
+                if (!Metered) {
+                  Stream.feed(Events, Count);
+                  return;
+                }
+                uint64_t T0 = telemetry::nowNanos();
                 Stream.feed(Events, Count);
-                return;
-              }
+                ReplayNs += telemetry::nowNanos() - T0;
+              },
+              /*QueueDepth=*/4, &TraceEvents);
+          if (E.Result.ok()) {
+            if (Metered) {
               uint64_t T0 = telemetry::nowNanos();
-              Stream.feed(Events, Count);
+              Replayed = Stream.finish();
               ReplayNs += telemetry::nowNanos() - T0;
-            },
-            /*QueueDepth=*/4, &TraceEvents);
-        if (E.Result.ok()) {
-          if (Metered) {
-            uint64_t T0 = telemetry::nowNanos();
-            Replayed = Stream.finish();
-            ReplayNs += telemetry::nowNanos() - T0;
-          } else {
-            Replayed = Stream.finish();
+            } else {
+              Replayed = Stream.finish();
+            }
           }
+          SweepReplayNs.add(ReplayNs);
+        };
+        if (EffShards > 1) {
+          ShardedSweepStream Stream(Rest, EffShards, Pool);
+          StreamInto(Stream);
+        } else {
+          SweepPointStream Stream(Rest);
+          StreamInto(Stream);
         }
-        SweepReplayNs.add(ReplayNs);
       }
     } else {
       // Belady MIN needs the whole trace (backward next-use pass):
@@ -874,7 +376,11 @@ void SweepEngine::run() {
         if (!Rest.empty()) {
           telemetry::ScopedPhase Replay("sweep.replay");
           uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
-          Replayed = replaySweepPoints(E.Result.Trace, Rest);
+          Replayed =
+              EffShards > 1
+                  ? replaySweepPointsSharded(E.Result.Trace, Rest,
+                                             EffShards, Pool)
+                  : replaySweepPoints(E.Result.Trace, Rest);
           if (T0)
             SweepReplayNs.add(telemetry::nowNanos() - T0);
         }

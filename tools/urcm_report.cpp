@@ -17,6 +17,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "urcm/driver/Driver.h"
+#include "urcm/sim/ShardedReplay.h"
+#include "urcm/sim/SweepEngine.h"
 #include "urcm/support/Telemetry.h"
 #include "urcm/support/ThreadPool.h"
 #include "urcm/workloads/Workloads.h"
@@ -24,6 +26,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -48,17 +51,6 @@ CacheConfig paperCache() {
   C.NumLines = 128;
   C.Assoc = 2;
   C.LineWords = 1;
-  return C;
-}
-
-SchemeComparison fig5(const Workload &W) {
-  CompileOptions Options;
-  Options.IRGen.ScalarLocalsInMemory = true;
-  SchemeComparison C = compareSchemes(W.Source, Options, paperCache());
-  if (!C.ok()) {
-    std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), C.Error.c_str());
-    std::exit(1);
-  }
   return C;
 }
 
@@ -88,12 +80,91 @@ struct WorkloadData {
   SimResult CompleteUnified;
 };
 
-std::vector<WorkloadData> computeAll() {
+/// The Figure-5 comparisons, by pair-replay on the sweep engine: each
+/// workload is compiled under both schemes, the streams are verified
+/// identical modulo hint bits (the soundness precondition — abort
+/// rather than print numbers that mean something else), and ONE traced
+/// unified run serves both sides: the unified counters replay the trace
+/// as recorded, the conventional counters replay it with the hints
+/// stripped. Counters are bit-identical to running each scheme live
+/// (asserted by tests/sweepengine_test.cpp), and \p Shards spreads each
+/// replay across the pool without changing a single bit (the merge
+/// invariant, tests/shardedreplay_test.cpp).
+void computeFig5(std::vector<WorkloadData> &Data, uint32_t Shards) {
+  const std::vector<Workload> &Workloads = paperWorkloads();
+  SweepEngine Engine;
+  Engine.setShards(Shards);
+  for (size_t I = 0; I != Workloads.size(); ++I) {
+    const Workload &W = Workloads[I];
+    std::vector<SweepPoint> Points(2);
+    Points[0].Config = Points[1].Config = paperCache();
+    Points[1].IgnoreHints = true;
+    SimConfig Base;
+    Base.Cache = paperCache();
+    Engine.schedule(
+        W.Name, W.Name, Base, std::move(Points),
+        [&Data, I, &W](const SimConfig &Sim) {
+          CompileOptions Options;
+          Options.IRGen.ScalarLocalsInMemory = true;
+          CompileOptions Unified = Options;
+          Unified.Scheme = UnifiedOptions::unified();
+          CompileOptions Conventional = Options;
+          Conventional.Scheme = UnifiedOptions::conventional();
+          DiagnosticEngine DiagsUni, DiagsConv;
+          CompileResult U = compileProgram(W.Source, Unified, DiagsUni);
+          CompileResult C =
+              compileProgram(W.Source, Conventional, DiagsConv);
+          if (!U.Ok || !C.Ok) {
+            std::fprintf(stderr, "%s: compilation failed\n%s%s\n",
+                         W.Name.c_str(), DiagsUni.str().c_str(),
+                         DiagsConv.str().c_str());
+            std::exit(1);
+          }
+          if (!sameStreamModuloHints(U.Program, C.Program)) {
+            std::fprintf(stderr,
+                         "%s: scheme instruction streams diverge; "
+                         "hint-stripped replay would be unsound\n",
+                         W.Name.c_str());
+            std::exit(1);
+          }
+          Data[I].Fig5.StaticStats = U.Static;
+          Simulator S(Sim);
+          SimResult R = S.run(U.Program);
+          if (!R.ok()) {
+            std::fprintf(stderr, "%s: %s\n", W.Name.c_str(),
+                         R.Error.c_str());
+            std::exit(1);
+          }
+          if (R.CoherenceViolations != 0) {
+            std::fprintf(stderr, "%s: coherence violations detected\n",
+                         W.Name.c_str());
+            std::exit(1);
+          }
+          return R;
+        });
+  }
+  Engine.run();
+  for (size_t I = 0; I != Workloads.size(); ++I) {
+    const Workload &W = Workloads[I];
+    SchemeComparison &C = Data[I].Fig5;
+    const SimResult &Base = Engine.base(W.Name);
+    C.Unified = Base;
+    C.Unified.Cache = Engine.point(W.Name, 0);
+    C.Conventional = Base;
+    C.Conventional.Cache = Engine.point(W.Name, 1);
+    // A hint-free run of the same stream reports no hint activity.
+    C.Conventional.Refs.Bypassed = 0;
+    C.Conventional.Refs.LastRefTagged = 0;
+    C.Conventional.BypassTransitions = 0;
+  }
+}
+
+std::vector<WorkloadData> computeAll(uint32_t Shards) {
   const std::vector<Workload> &Workloads = paperWorkloads();
   std::vector<WorkloadData> Data(Workloads.size());
+  computeFig5(Data, Shards);
   ThreadPool::global().parallelFor(Workloads.size(), [&](size_t I) {
     const Workload &W = Workloads[I];
-    Data[I].Fig5 = fig5(W);
     Data[I].EraBaseline =
         runSystem(W, true, false, UnifiedOptions::conventional());
     Data[I].CompleteUnified =
@@ -106,7 +177,13 @@ void usage(std::FILE *To) {
   std::fprintf(To,
                "usage: urcm_report [output.md] [--telemetry] "
                "[--telemetry-json=FILE] [--trace-out=FILE]\n"
-               "       urcm_report --help | --version\n");
+               "                   [--shards=N|auto]\n"
+               "       urcm_report --help | --version\n"
+               "  --shards=N|auto  replay each workload's trace with "
+               "N-way set sharding\n"
+               "                   (auto = thread-pool width; output is "
+               "bit-identical\n"
+               "                   for every value; default 1)\n");
 }
 
 bool writeFile(const std::string &Path, const std::string &Contents) {
@@ -125,6 +202,7 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
 int main(int argc, char **argv) {
   std::string OutputFile, TraceOut, TelemetryJson;
   bool TelemetrySummary = false;
+  uint32_t Shards = 1;
   for (int A = 1; A != argc; ++A) {
     std::string Arg = argv[A];
     if (Arg == "--help" || Arg == "-h") {
@@ -141,6 +219,23 @@ int main(int argc, char **argv) {
       TraceOut = Arg.substr(12);
     } else if (Arg.rfind("--telemetry-json=", 0) == 0) {
       TelemetryJson = Arg.substr(17);
+    } else if (Arg.rfind("--shards=", 0) == 0) {
+      std::string Value = Arg.substr(9);
+      if (Value == "auto") {
+        Shards = 0; // Resolved to the pool width by the engine.
+      } else {
+        char *End = nullptr;
+        unsigned long Parsed = std::strtoul(Value.c_str(), &End, 10);
+        if (Value.empty() || *End != '\0' || Parsed == 0 ||
+            Parsed > 1u << 20) {
+          std::fprintf(stderr,
+                       "error: --shards expects a positive count or "
+                       "'auto', got '%s'\n",
+                       Value.c_str());
+          return 2;
+        }
+        Shards = static_cast<uint32_t>(Parsed);
+      }
     } else if (Arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       usage(stderr);
@@ -168,7 +263,7 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::vector<WorkloadData> Data = computeAll();
+  std::vector<WorkloadData> Data = computeAll(Shards);
 
   line("# URCM reproduction report");
   line("");

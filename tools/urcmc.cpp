@@ -75,6 +75,8 @@ struct CliOptions {
   bool Compare = false;
   bool PrintPipeline = false;
   std::vector<uint32_t> SweepSizes;
+  /// Intra-trace replay sharding for --sweep: 1 sequential, 0 auto.
+  uint32_t Shards = 1;
   std::string TraceOut;
   std::string TelemetryJson;
   bool TelemetrySummary = false;
@@ -118,6 +120,10 @@ void usage(std::FILE *Out) {
       "of\n"
       "                       the given line counts (hinted and "
       "conventional)\n"
+      "  --shards=N|auto      parallelize each sweep replay N ways "
+      "(auto =\n"
+      "                       thread-pool width; results bit-identical; "
+      "default 1)\n"
       "inspection:\n"
       "  --dump-ast --dump-ir --dump-asm --stats --compare\n"
       "  --workload=NAME      built-in benchmark instead of a file\n"
@@ -257,6 +263,18 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
     }
     return !Cli.SweepSizes.empty();
   }
+  if (const char *V = Value("--shards=")) {
+    if (std::strcmp(V, "auto") == 0) {
+      Cli.Shards = 0; // Resolved to the pool width by the engine.
+      return true;
+    }
+    char *End = nullptr;
+    long N = std::strtol(V, &End, 10);
+    if (End == V || *End != '\0' || N <= 0 || N > (1 << 20))
+      return false;
+    Cli.Shards = static_cast<uint32_t>(N);
+    return true;
+  }
   if (const char *V = Value("--trace-out=")) {
     Cli.TraceOut = V;
     return !Cli.TraceOut.empty();
@@ -341,6 +359,7 @@ int runSweep(const CliOptions &Cli, const MachineProgram &Program) {
   }
 
   SweepEngine Engine;
+  Engine.setShards(Cli.Shards);
   auto Prog = std::make_shared<MachineProgram>(Program);
   Engine.schedule("urcmc-sweep", "urcmc", Cli.Sim, Points,
                   [Prog](const SimConfig &Config) {
