@@ -59,6 +59,7 @@ else
     memory_access_time
     reuse_threshold_sweep
     sharded_replay
+    trace_store
   )
 fi
 

@@ -50,6 +50,8 @@
 
 namespace urcm {
 
+class DiagnosticEngine;
+
 /// One sweep point: a cache geometry plus the replacement policy to
 /// replay it under (TracePolicy adds Belady MIN to the hardware set).
 ///
@@ -168,9 +170,16 @@ public:
   /// similar trace lengths (e.g. the workload name): the first run in a
   /// group sizes later runs' trace reservations. Re-scheduling an
   /// existing \p Key is a no-op (the points must match).
+  ///
+  /// \p ContentHash is the experiment's traceContentHash
+  /// (urcm/sim/TraceStore.h) — the fingerprint of the compiled program
+  /// plus simulation inputs that keys its trace in the persistent
+  /// store. Zero (the default) opts this experiment out of the store
+  /// even when a store directory is configured (callers that cannot
+  /// hash — e.g. the producer compiles lazily — simply never touch it).
   void schedule(const std::string &Key, const std::string &HintGroup,
                 const SimConfig &Base, std::vector<SweepPoint> Points,
-                Producer Run);
+                Producer Run, uint64_t ContentHash = 0);
 
   /// Runs every pending experiment (parallel across experiments) and
   /// returns when all are done. Base runs that fail (as reported by
@@ -189,6 +198,24 @@ public:
   void setShards(uint32_t Request) { Shards = Request; }
   uint32_t shards() const { return Shards; }
 
+  /// Enables the persistent trace store (urcm/sim/TraceStore.h) under
+  /// \p Dir — empty disables (the default). With a store configured,
+  /// every experiment scheduled with a non-zero content hash first
+  /// consults `<Dir>/<hash>.urctrc`: on a hit the whole experiment is
+  /// served by decoding the stored trace into the replay pipeline (the
+  /// Simulator is never invoked — the base result comes from the stored
+  /// summary); on a miss the live run tees its trace into the store for
+  /// the next process. Store problems (unwritable dir, corrupt or stale
+  /// files) are reported to \p Diags (when non-null; rejected files
+  /// surface as errors, see TraceStoreReader) and the experiment falls
+  /// back to live simulation — the store can slow an experiment down,
+  /// never fail it. Set before run(); \p Diags must outlive run().
+  void setTraceStore(std::string Dir, DiagnosticEngine *Diags = nullptr) {
+    StoreDir = std::move(Dir);
+    StoreDiags = Diags;
+  }
+  const std::string &traceStoreDir() const { return StoreDir; }
+
   bool done(const std::string &Key) const;
 
   /// The base functional run (trace dropped). Valid after run().
@@ -206,6 +233,7 @@ private:
     SimConfig Base;
     std::vector<SweepPoint> Points;
     Producer Run;
+    uint64_t ContentHash = 0;
     SimResult Result;
     std::vector<CacheStats> Stats;
     bool Done = false;
@@ -213,8 +241,20 @@ private:
 
   const Experiment &finished(const std::string &Key) const;
 
+  /// Serves \p E entirely from the trace store. True on success; false
+  /// (missing/rejected file, decode failure) means run the live path.
+  bool serveFromStore(Experiment &E, const std::vector<SweepPoint> &Rest,
+                      uint32_t EffShards, uint64_t &TraceEvents,
+                      std::vector<CacheStats> &Replayed);
+
+  /// Forwards diagnostics collected during store I/O to the configured
+  /// sink under the engine lock (experiments run in parallel).
+  void forwardStoreDiags(const DiagnosticEngine &Local);
+
   ThreadPool *Pool;
   uint32_t Shards = 1;
+  std::string StoreDir;
+  DiagnosticEngine *StoreDiags = nullptr;
   mutable std::mutex M;
   std::map<std::string, Experiment> Experiments;
   /// Largest trace length seen per hint group (reserve hint source).

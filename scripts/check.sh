@@ -9,8 +9,11 @@
 #   4. opt-in (--telemetry): run an instrumented Towers sweep and
 #      validate the telemetry snapshot against docs/telemetry_schema.json
 #      plus the Chrome trace export's structure
+#   5. opt-in (--store): persistent trace-store smoke — record a sweep
+#      cold, replay it warm (byte-identical output, Simulator provably
+#      not invoked), and corrupt the store file to prove the fallback
 #
-# Usage: scripts/check.sh [--bench] [--telemetry] [--skip-sanitizers]
+# Usage: scripts/check.sh [--bench] [--telemetry] [--store] [--skip-sanitizers]
 #
 # Wall-time caveat: single-core CI boxes show +/-15% run-to-run noise,
 # so the bench diff only *flags* regressions past a generous threshold;
@@ -21,13 +24,15 @@ cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_TELEMETRY=0
+RUN_STORE=0
 RUN_SAN=1
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
     --telemetry) RUN_TELEMETRY=1 ;;
+    --store) RUN_STORE=1 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
-    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--skip-sanitizers]" >&2
+    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--store] [--skip-sanitizers]" >&2
        exit 2 ;;
   esac
 done
@@ -68,11 +73,13 @@ if [ "$RUN_SAN" = 1 ]; then
   # disproportionately slow and the remaining suites are single-threaded.
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j"$(nproc)" --target \
-    support_test tracesim_test sweepengine_test shardedreplay_test
-  # Only these four binaries exist in the tsan tree, so invoke them
+    support_test tracesim_test sweepengine_test shardedreplay_test \
+    tracestore_test
+  # Only these five binaries exist in the tsan tree, so invoke them
   # directly rather than through ctest's discovery (which would trip
   # over the unbuilt suites).
-  for t in support_test tracesim_test sweepengine_test shardedreplay_test; do
+  for t in support_test tracesim_test sweepengine_test shardedreplay_test \
+           tracestore_test; do
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ./build-tsan/tests/"$t" || { echo "tsan: $t failed" >&2; exit 1; }
   done
@@ -87,6 +94,11 @@ if [ "$RUN_TELEMETRY" = 1 ]; then
   python3 scripts/validate_telemetry.py snapshot "$TELEMETRY_DIR/telemetry.json"
   python3 scripts/validate_telemetry.py trace "$TELEMETRY_DIR/trace.json"
   rm -rf "$TELEMETRY_DIR"
+fi
+
+if [ "$RUN_STORE" = 1 ]; then
+  echo "== trace-store smoke: record cold, replay warm, corrupt, fall back =="
+  scripts/store_smoke.sh build
 fi
 
 if [ "$RUN_BENCH" = 1 ]; then

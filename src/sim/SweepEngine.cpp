@@ -60,7 +60,9 @@
 #include "ReplayKernels.h"
 
 #include "urcm/sim/ShardedReplay.h"
+#include "urcm/sim/TraceStore.h"
 #include "urcm/sim/TraceStream.h"
+#include "urcm/support/Diagnostics.h"
 #include "urcm/support/Telemetry.h"
 
 #include <algorithm>
@@ -247,7 +249,8 @@ SweepEngine &SweepEngine::global() {
 void SweepEngine::schedule(const std::string &Key,
                            const std::string &HintGroup,
                            const SimConfig &Base,
-                           std::vector<SweepPoint> Points, Producer Run) {
+                           std::vector<SweepPoint> Points, Producer Run,
+                           uint64_t ContentHash) {
   std::lock_guard<std::mutex> Lock(M);
   auto [It, Inserted] = Experiments.try_emplace(Key);
   if (!Inserted) {
@@ -259,6 +262,99 @@ void SweepEngine::schedule(const std::string &Key,
   E.Base = Base;
   E.Points = std::move(Points);
   E.Run = std::move(Run);
+  E.ContentHash = ContentHash;
+}
+
+void SweepEngine::forwardStoreDiags(const DiagnosticEngine &Local) {
+  if (!StoreDiags || Local.diagnostics().empty())
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  for (const Diagnostic &D : Local.diagnostics())
+    StoreDiags->report(D.Severity, D.Loc, D.Message);
+}
+
+bool SweepEngine::serveFromStore(Experiment &E,
+                                 const std::vector<SweepPoint> &Rest,
+                                 uint32_t EffShards,
+                                 uint64_t &TraceEvents,
+                                 std::vector<CacheStats> &Replayed) {
+  DiagnosticEngine OpenDiags;
+  TraceStoreReader Reader;
+  const std::string Path = traceStorePath(StoreDir, E.ContentHash);
+  const TraceStoreReader::OpenStatus Status =
+      Reader.open(Path, E.ContentHash, OpenDiags);
+  forwardStoreDiags(OpenDiags);
+  if (Status != TraceStoreReader::OpenStatus::Ok)
+    return false;
+
+  // Warm hit: the base result is the stored summary and every replay
+  // point is fed from decoded chunks — the Simulator is never invoked
+  // (no sim.run span on this path; asserted by tests and check.sh).
+  telemetry::ScopedPhase Serve("sweep.store-serve",
+                               EffShards > 1 ? "sharded" : "streaming");
+  bool Ok = true;
+  if (!Rest.empty() && SweepPointStream::streamable(Rest)) {
+    // Same shape as the live streaming path: decode overlaps replay
+    // through the recycled-buffer SPSC pipeline, peak memory O(chunk).
+    auto ServeInto = [&](auto &Stream) {
+      Stream.reserve(Reader.eventCount());
+      const bool Metered = telemetry::enabled();
+      uint64_t ReplayNs = 0;
+      Ok = streamStoredTrace(
+          Reader, [&](const TraceEvent *Events, size_t Count) {
+            if (!Metered) {
+              Stream.feed(Events, Count);
+              return;
+            }
+            uint64_t T0 = telemetry::nowNanos();
+            Stream.feed(Events, Count);
+            ReplayNs += telemetry::nowNanos() - T0;
+          });
+      if (Ok) {
+        uint64_t T0 = Metered ? telemetry::nowNanos() : 0;
+        Replayed = Stream.finish();
+        if (T0)
+          ReplayNs += telemetry::nowNanos() - T0;
+      }
+      SweepReplayNs.add(ReplayNs);
+    };
+    if (EffShards > 1) {
+      ShardedSweepStream Stream(Rest, EffShards, Pool);
+      ServeInto(Stream);
+    } else {
+      SweepPointStream Stream(Rest);
+      ServeInto(Stream);
+    }
+  } else if (!Rest.empty()) {
+    // Belady MIN: materialize the decoded trace for its backward
+    // next-use pass, exactly as the live path materializes its own.
+    std::vector<TraceEvent> Trace;
+    Ok = Reader.readAll(Trace);
+    if (Ok) {
+      telemetry::ScopedPhase Replay("sweep.replay");
+      uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
+      Replayed = EffShards > 1 ? replaySweepPointsSharded(Trace, Rest,
+                                                          EffShards, Pool)
+                               : replaySweepPoints(Trace, Rest);
+      if (T0)
+        SweepReplayNs.add(telemetry::nowNanos() - T0);
+      NumSweepBytesFreed.add(Trace.capacity() * sizeof(TraceEvent));
+    }
+  }
+  if (!Ok) {
+    // Decode failed after a fully-validated open: the file changed
+    // under us. The replay consumers saw a prefix, so their state is
+    // unusable — report, discard, and let the caller run live.
+    DiagnosticEngine Local;
+    Local.error({}, "trace store: decode failed mid-stream for '" + Path +
+                        "'; falling back to live simulation");
+    forwardStoreDiags(Local);
+    Replayed.clear();
+    return false;
+  }
+  E.Result = Reader.summary();
+  TraceEvents = Reader.eventCount();
+  return true;
 }
 
 void SweepEngine::run() {
@@ -300,13 +396,41 @@ void SweepEngine::run() {
 
     uint64_t TraceEvents = 0;
     std::vector<CacheStats> Replayed;
-    if (SweepPointStream::streamable(Rest)) {
+    const bool StoreEnabled = !StoreDir.empty() && E.ContentHash != 0;
+    const bool Served =
+        StoreEnabled &&
+        serveFromStore(E, Rest, EffShards, TraceEvents, Replayed);
+
+    // On a store miss the live run tees its trace into a writer so the
+    // next process (or a rerun) is served warm. The writer observes; it
+    // can never fail the experiment (open failure leaves it closed and
+    // every call below a no-op).
+    TraceStoreWriter Writer;
+    if (!Served && StoreEnabled) {
+      DiagnosticEngine WriterDiags;
+      Writer.open(StoreDir, E.ContentHash, WriterDiags);
+      forwardStoreDiags(WriterDiags);
+    }
+
+    if (Served) {
+      // Nothing to simulate: base result and points came from the store.
+    } else if (SweepPointStream::streamable(Rest)) {
       // Streaming mode: replay overlaps generation chunk by chunk and
       // the trace is never materialized — peak trace memory drops from
       // O(trace) to O(chunk), which is what lets the sweep methodology
       // scale to much larger workloads.
       if (Rest.empty()) {
-        E.Result = E.Run(Config); // No replay consumers at all.
+        if (Writer.isOpen()) {
+          // No replay consumers, but the trace is still worth
+          // recording: stream it straight into the store.
+          TraceRecordSink Record(Writer);
+          Config.Sink = &Record;
+          E.Result = E.Run(Config);
+          Config.Sink = nullptr;
+          TraceEvents = Writer.eventCount();
+        } else {
+          E.Result = E.Run(Config); // No replay consumers at all.
+        }
       } else {
         // The span covers the whole streamed pipeline (replay overlaps
         // generation on this thread); SweepReplayNs meters the replay
@@ -324,6 +448,14 @@ void SweepEngine::run() {
         }
         // Replay work is interleaved with generation on this thread, so
         // it is metered by accumulated intervals rather than one span.
+        // Recording rides the producer thread: the tap sees each chunk
+        // before it is queued for replay, so a store miss costs one
+        // encode pass overlapped with replay, not an extra trace walk.
+        std::function<void(const TraceEvent *, size_t)> RecordTap;
+        if (Writer.isOpen())
+          RecordTap = [&Writer](const TraceEvent *Events, size_t Count) {
+            Writer.append(Events, Count);
+          };
         auto StreamInto = [&](auto &Stream) {
           if (SizeHint)
             Stream.reserve(SizeHint);
@@ -340,7 +472,7 @@ void SweepEngine::run() {
                 Stream.feed(Events, Count);
                 ReplayNs += telemetry::nowNanos() - T0;
               },
-              /*QueueDepth=*/4, &TraceEvents);
+              /*QueueDepth=*/4, &TraceEvents, RecordTap);
           if (E.Result.ok()) {
             if (Metered) {
               uint64_t T0 = telemetry::nowNanos();
@@ -373,6 +505,8 @@ void SweepEngine::run() {
       E.Result = E.Run(Config);
       if (E.Result.ok()) {
         TraceEvents = E.Result.Trace.size();
+        if (Writer.isOpen())
+          Writer.append(E.Result.Trace.data(), E.Result.Trace.size());
         if (!Rest.empty()) {
           telemetry::ScopedPhase Replay("sweep.replay");
           uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
@@ -389,6 +523,16 @@ void SweepEngine::run() {
                              sizeof(TraceEvent));
       E.Result.Trace.clear();
       E.Result.Trace.shrink_to_fit();
+    }
+
+    if (Writer.isOpen()) {
+      if (E.Result.ok()) {
+        DiagnosticEngine CommitDiags;
+        Writer.commit(E.Result, CommitDiags);
+        forwardStoreDiags(CommitDiags);
+      } else {
+        Writer.discard(); // Never publish a failed run's trace.
+      }
     }
 
     if (E.Result.ok()) {

@@ -19,9 +19,12 @@
 #include "urcm/driver/Driver.h"
 #include "urcm/sim/ShardedReplay.h"
 #include "urcm/sim/SweepEngine.h"
+#include "urcm/sim/TraceStore.h"
 #include "urcm/support/Telemetry.h"
 #include "urcm/support/ThreadPool.h"
 #include "urcm/workloads/Workloads.h"
+
+#include <memory>
 
 #include <cmath>
 #include <cstdarg>
@@ -54,23 +57,6 @@ CacheConfig paperCache() {
   return C;
 }
 
-SimResult runSystem(const Workload &W, bool Era, bool Promote,
-                    const UnifiedOptions &Scheme) {
-  CompileOptions Options;
-  Options.IRGen.ScalarLocalsInMemory = Era;
-  Options.PromoteLoopScalars = Promote;
-  Options.Scheme = Scheme;
-  SimConfig Sim;
-  Sim.Cache = paperCache();
-  DiagnosticEngine Diags;
-  SimResult R = compileAndRun(W.Source, Options, Sim, Diags);
-  if (!R.ok()) {
-    std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), R.Error.c_str());
-    std::exit(1);
-  }
-  return R;
-}
-
 /// Everything the report needs for one workload. Computed once per
 /// workload up front (in parallel) so the tables below are lookups;
 /// fig5 in particular feeds two tables.
@@ -80,20 +66,132 @@ struct WorkloadData {
   SimResult CompleteUnified;
 };
 
-/// The Figure-5 comparisons, by pair-replay on the sweep engine: each
-/// workload is compiled under both schemes, the streams are verified
-/// identical modulo hint bits (the soundness precondition — abort
-/// rather than print numbers that mean something else), and ONE traced
-/// unified run serves both sides: the unified counters replay the trace
-/// as recorded, the conventional counters replay it with the hints
-/// stripped. Counters are bit-identical to running each scheme live
-/// (asserted by tests/sweepengine_test.cpp), and \p Shards spreads each
-/// replay across the pool without changing a single bit (the merge
-/// invariant, tests/shardedreplay_test.cpp).
-void computeFig5(std::vector<WorkloadData> &Data, uint32_t Shards) {
+/// The per-workload compiled programs. Compilation is hoisted out of
+/// the engine's producer closures so the trace-store content hash is
+/// known *before* the experiments run — with a warm store the producers
+/// (and the Simulator inside them) are never invoked, but compilation
+/// still happens: it is cheap, and StaticStats feeds the static table
+/// regardless of how the dynamic counters are served.
+struct Prepared {
+  std::shared_ptr<MachineProgram> Fig5Unified;
+  std::shared_ptr<MachineProgram> EraBaseline;
+  std::shared_ptr<MachineProgram> CompleteUnified;
+};
+
+MachineProgram compileOrDie(const Workload &W,
+                            const CompileOptions &Options,
+                            ClassificationStats *Static = nullptr) {
+  DiagnosticEngine Diags;
+  CompileResult R = compileProgram(W.Source, Options, Diags);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s: compilation failed\n%s\n", W.Name.c_str(),
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  if (Static)
+    *Static = R.Static;
+  return std::move(R.Program);
+}
+
+/// Compiles every program the report simulates (in parallel across
+/// workloads). The Figure-5 soundness precondition is checked here:
+/// both schemes' instruction streams must be identical modulo hint
+/// bits, or hint-stripped replay would print numbers that mean
+/// something else — abort rather than do that.
+std::vector<Prepared> compileAll(std::vector<WorkloadData> &Data) {
   const std::vector<Workload> &Workloads = paperWorkloads();
+  std::vector<Prepared> Programs(Workloads.size());
+  ThreadPool::global().parallelFor(Workloads.size(), [&](size_t I) {
+    const Workload &W = Workloads[I];
+    CompileOptions Era;
+    Era.IRGen.ScalarLocalsInMemory = true;
+    CompileOptions Unified = Era;
+    Unified.Scheme = UnifiedOptions::unified();
+    CompileOptions Conventional = Era;
+    Conventional.Scheme = UnifiedOptions::conventional();
+    MachineProgram U =
+        compileOrDie(W, Unified, &Data[I].Fig5.StaticStats);
+    MachineProgram C = compileOrDie(W, Conventional);
+    if (!sameStreamModuloHints(U, C)) {
+      std::fprintf(stderr,
+                   "%s: scheme instruction streams diverge; "
+                   "hint-stripped replay would be unsound\n",
+                   W.Name.c_str());
+      std::exit(1);
+    }
+    Programs[I].Fig5Unified =
+        std::make_shared<MachineProgram>(std::move(U));
+
+    CompileOptions Baseline = Era;
+    Baseline.Scheme = UnifiedOptions::conventional();
+    Programs[I].EraBaseline =
+        std::make_shared<MachineProgram>(compileOrDie(W, Baseline));
+
+    CompileOptions Complete;
+    Complete.PromoteLoopScalars = true;
+    Complete.Scheme = UnifiedOptions::reuseAware();
+    Programs[I].CompleteUnified =
+        std::make_shared<MachineProgram>(compileOrDie(W, Complete));
+  });
+  return Programs;
+}
+
+/// Schedules one plain run (no sweep points — the experiment exists for
+/// its base counters, and for the store: warm runs serve it from the
+/// recorded summary without simulating).
+void scheduleRun(SweepEngine &Engine, const std::string &Key,
+                 const std::string &HintGroup,
+                 std::shared_ptr<MachineProgram> Prog) {
+  SimConfig Sim;
+  Sim.Cache = paperCache();
+  uint64_t Hash = Engine.traceStoreDir().empty()
+                      ? 0
+                      : traceContentHash(*Prog, Sim);
+  Engine.schedule(Key, HintGroup, Sim, {},
+                  [Prog = std::move(Prog)](const SimConfig &Config) {
+                    Simulator S(Config);
+                    return S.run(*Prog);
+                  },
+                  Hash);
+}
+
+const SimResult &baseOrDie(SweepEngine &Engine, const Workload &W,
+                           const std::string &Key) {
+  const SimResult &Base = Engine.base(Key);
+  if (!Base.ok()) {
+    std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), Base.Error.c_str());
+    std::exit(1);
+  }
+  if (Base.CoherenceViolations != 0) {
+    std::fprintf(stderr, "%s: coherence violations detected\n",
+                 W.Name.c_str());
+    std::exit(1);
+  }
+  return Base;
+}
+
+/// Runs the whole grid on one engine: the Figure-5 pair-replays (each
+/// workload compiled under both schemes, ONE traced unified run serving
+/// both sides — the unified counters replay the trace as recorded, the
+/// conventional counters replay it with the hints stripped) plus the
+/// era-baseline and complete-unified system runs. Counters are
+/// bit-identical to running each scheme live (tests/sweepengine_test),
+/// \p Shards spreads each replay across the pool without changing a
+/// single bit (tests/shardedreplay_test), and \p StoreDir serves every
+/// experiment from persisted traces when warm (byte-identical output,
+/// asserted by scripts/check.sh --store).
+std::vector<WorkloadData> computeAll(uint32_t Shards,
+                                     const std::string &StoreDir) {
+  const std::vector<Workload> &Workloads = paperWorkloads();
+  std::vector<WorkloadData> Data(Workloads.size());
+  std::vector<Prepared> Programs = compileAll(Data);
+
   SweepEngine Engine;
   Engine.setShards(Shards);
+  DiagnosticEngine StoreDiags;
+  if (!StoreDir.empty())
+    Engine.setTraceStore(StoreDir, &StoreDiags);
+
   for (size_t I = 0; I != Workloads.size(); ++I) {
     const Workload &W = Workloads[I];
     std::vector<SweepPoint> Points(2);
@@ -101,53 +199,29 @@ void computeFig5(std::vector<WorkloadData> &Data, uint32_t Shards) {
     Points[1].IgnoreHints = true;
     SimConfig Base;
     Base.Cache = paperCache();
-    Engine.schedule(
-        W.Name, W.Name, Base, std::move(Points),
-        [&Data, I, &W](const SimConfig &Sim) {
-          CompileOptions Options;
-          Options.IRGen.ScalarLocalsInMemory = true;
-          CompileOptions Unified = Options;
-          Unified.Scheme = UnifiedOptions::unified();
-          CompileOptions Conventional = Options;
-          Conventional.Scheme = UnifiedOptions::conventional();
-          DiagnosticEngine DiagsUni, DiagsConv;
-          CompileResult U = compileProgram(W.Source, Unified, DiagsUni);
-          CompileResult C =
-              compileProgram(W.Source, Conventional, DiagsConv);
-          if (!U.Ok || !C.Ok) {
-            std::fprintf(stderr, "%s: compilation failed\n%s%s\n",
-                         W.Name.c_str(), DiagsUni.str().c_str(),
-                         DiagsConv.str().c_str());
-            std::exit(1);
-          }
-          if (!sameStreamModuloHints(U.Program, C.Program)) {
-            std::fprintf(stderr,
-                         "%s: scheme instruction streams diverge; "
-                         "hint-stripped replay would be unsound\n",
-                         W.Name.c_str());
-            std::exit(1);
-          }
-          Data[I].Fig5.StaticStats = U.Static;
-          Simulator S(Sim);
-          SimResult R = S.run(U.Program);
-          if (!R.ok()) {
-            std::fprintf(stderr, "%s: %s\n", W.Name.c_str(),
-                         R.Error.c_str());
-            std::exit(1);
-          }
-          if (R.CoherenceViolations != 0) {
-            std::fprintf(stderr, "%s: coherence violations detected\n",
-                         W.Name.c_str());
-            std::exit(1);
-          }
-          return R;
-        });
+    std::shared_ptr<MachineProgram> Prog = Programs[I].Fig5Unified;
+    uint64_t Hash = StoreDir.empty() ? 0 : traceContentHash(*Prog, Base);
+    Engine.schedule(W.Name, W.Name, Base, std::move(Points),
+                    [Prog](const SimConfig &Sim) {
+                      Simulator S(Sim);
+                      return S.run(*Prog);
+                    },
+                    Hash);
+    scheduleRun(Engine, W.Name + "/era-baseline", W.Name,
+                Programs[I].EraBaseline);
+    scheduleRun(Engine, W.Name + "/complete-unified", W.Name,
+                Programs[I].CompleteUnified);
   }
   Engine.run();
+  // Store problems fall back to live simulation; surface them without
+  // failing the report.
+  if (!StoreDiags.diagnostics().empty())
+    std::fprintf(stderr, "%s", StoreDiags.str().c_str());
+
   for (size_t I = 0; I != Workloads.size(); ++I) {
     const Workload &W = Workloads[I];
     SchemeComparison &C = Data[I].Fig5;
-    const SimResult &Base = Engine.base(W.Name);
+    const SimResult &Base = baseOrDie(Engine, W, W.Name);
     C.Unified = Base;
     C.Unified.Cache = Engine.point(W.Name, 0);
     C.Conventional = Base;
@@ -156,20 +230,11 @@ void computeFig5(std::vector<WorkloadData> &Data, uint32_t Shards) {
     C.Conventional.Refs.Bypassed = 0;
     C.Conventional.Refs.LastRefTagged = 0;
     C.Conventional.BypassTransitions = 0;
-  }
-}
-
-std::vector<WorkloadData> computeAll(uint32_t Shards) {
-  const std::vector<Workload> &Workloads = paperWorkloads();
-  std::vector<WorkloadData> Data(Workloads.size());
-  computeFig5(Data, Shards);
-  ThreadPool::global().parallelFor(Workloads.size(), [&](size_t I) {
-    const Workload &W = Workloads[I];
     Data[I].EraBaseline =
-        runSystem(W, true, false, UnifiedOptions::conventional());
+        baseOrDie(Engine, W, W.Name + "/era-baseline");
     Data[I].CompleteUnified =
-        runSystem(W, false, true, UnifiedOptions::reuseAware());
-  });
+        baseOrDie(Engine, W, W.Name + "/complete-unified");
+  }
   return Data;
 }
 
@@ -177,13 +242,19 @@ void usage(std::FILE *To) {
   std::fprintf(To,
                "usage: urcm_report [output.md] [--telemetry] "
                "[--telemetry-json=FILE] [--trace-out=FILE]\n"
-               "                   [--shards=N|auto]\n"
+               "                   [--shards=N|auto] "
+               "[--trace-store=DIR]\n"
                "       urcm_report --help | --version\n"
-               "  --shards=N|auto  replay each workload's trace with "
+               "  --shards=N|auto    replay each workload's trace with "
                "N-way set sharding\n"
-               "                   (auto = thread-pool width; output is "
-               "bit-identical\n"
-               "                   for every value; default 1)\n");
+               "                     (auto = thread-pool width; output "
+               "is bit-identical\n"
+               "                     for every value; default 1)\n"
+               "  --trace-store=DIR  persist recorded traces under DIR "
+               "and serve repeat\n"
+               "                     runs from them (skips "
+               "re-simulation; output is\n"
+               "                     byte-identical cold or warm)\n");
 }
 
 bool writeFile(const std::string &Path, const std::string &Contents) {
@@ -200,7 +271,7 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string OutputFile, TraceOut, TelemetryJson;
+  std::string OutputFile, TraceOut, TelemetryJson, TraceStoreDir;
   bool TelemetrySummary = false;
   uint32_t Shards = 1;
   for (int A = 1; A != argc; ++A) {
@@ -219,6 +290,13 @@ int main(int argc, char **argv) {
       TraceOut = Arg.substr(12);
     } else if (Arg.rfind("--telemetry-json=", 0) == 0) {
       TelemetryJson = Arg.substr(17);
+    } else if (Arg.rfind("--trace-store=", 0) == 0) {
+      TraceStoreDir = Arg.substr(14);
+      if (TraceStoreDir.empty()) {
+        std::fprintf(stderr,
+                     "error: --trace-store expects a directory\n");
+        return 2;
+      }
     } else if (Arg.rfind("--shards=", 0) == 0) {
       std::string Value = Arg.substr(9);
       if (Value == "auto") {
@@ -263,7 +341,7 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::vector<WorkloadData> Data = computeAll(Shards);
+  std::vector<WorkloadData> Data = computeAll(Shards, TraceStoreDir);
 
   line("# URCM reproduction report");
   line("");

@@ -49,6 +49,7 @@
 #include "urcm/ir/Verifier.h"
 #include "urcm/lang/Sema.h"
 #include "urcm/sim/SweepEngine.h"
+#include "urcm/sim/TraceStore.h"
 #include "urcm/support/Telemetry.h"
 #include "urcm/workloads/Workloads.h"
 
@@ -77,6 +78,8 @@ struct CliOptions {
   std::vector<uint32_t> SweepSizes;
   /// Intra-trace replay sharding for --sweep: 1 sequential, 0 auto.
   uint32_t Shards = 1;
+  /// Persistent trace store directory for --sweep (empty = off).
+  std::string TraceStoreDir;
   std::string TraceOut;
   std::string TelemetryJson;
   bool TelemetrySummary = false;
@@ -124,6 +127,10 @@ void usage(std::FILE *Out) {
       "(auto =\n"
       "                       thread-pool width; results bit-identical; "
       "default 1)\n"
+      "  --trace-store=DIR    persist recorded traces under DIR and "
+      "serve\n"
+      "                       repeat sweeps from them (skips "
+      "re-simulation)\n"
       "inspection:\n"
       "  --dump-ast --dump-ir --dump-asm --stats --compare\n"
       "  --workload=NAME      built-in benchmark instead of a file\n"
@@ -275,6 +282,10 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
     Cli.Shards = static_cast<uint32_t>(N);
     return true;
   }
+  if (const char *V = Value("--trace-store=")) {
+    Cli.TraceStoreDir = V;
+    return !Cli.TraceStoreDir.empty();
+  }
   if (const char *V = Value("--trace-out=")) {
     Cli.TraceOut = V;
     return !Cli.TraceOut.empty();
@@ -360,13 +371,24 @@ int runSweep(const CliOptions &Cli, const MachineProgram &Program) {
 
   SweepEngine Engine;
   Engine.setShards(Cli.Shards);
+  DiagnosticEngine StoreDiags;
+  uint64_t Hash = 0;
+  if (!Cli.TraceStoreDir.empty()) {
+    Engine.setTraceStore(Cli.TraceStoreDir, &StoreDiags);
+    Hash = traceContentHash(Program, Cli.Sim);
+  }
   auto Prog = std::make_shared<MachineProgram>(Program);
   Engine.schedule("urcmc-sweep", "urcmc", Cli.Sim, Points,
                   [Prog](const SimConfig &Config) {
                     Simulator S(Config);
                     return S.run(*Prog);
-                  });
+                  },
+                  Hash);
   Engine.run();
+  // Store problems (stale/corrupt/unwritable) fall back to live
+  // simulation; surface them without failing the sweep.
+  if (!StoreDiags.diagnostics().empty())
+    std::fprintf(stderr, "%s", StoreDiags.str().c_str());
 
   const SimResult &Base = Engine.base("urcmc-sweep");
   if (!Base.ok()) {
