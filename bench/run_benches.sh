@@ -85,20 +85,47 @@ for B in "${BENCHES[@]}"; do
     >> "$JSON_DIR/walltimes.txt"
 done
 
+# Host provenance for the stamp: wall times are only comparable across
+# runs on the same core count, compiler output, and telemetry build
+# flavor, so record all three next to the numbers they qualify.
+GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [ "$GIT_SHA" != unknown ] && ! git diff --quiet HEAD -- 2>/dev/null; then
+  GIT_SHA="$GIT_SHA-dirty"
+fi
+# URCM_TELEMETRY_DISABLED compiles the counters out entirely (see
+# urcm/support/Telemetry.h); a tree built that way produces slightly
+# different wall times than the default always-compiled-in build.
+if grep -qs "URCM_TELEMETRY_DISABLED" "$BUILD_DIR/CMakeCache.txt"; then
+  TELEMETRY=disabled
+else
+  TELEMETRY=enabled
+fi
+
 # Merge: google-benchmark JSON shape (context + concatenated benchmark
 # rows; row names are globally unique exhibit labels) plus a wall-time
 # map for the trajectory comparison and the provenance stamp ("which
 # build type produced these numbers" — asserted by check.sh --bench).
-python3 - "$JSON_DIR" "$OUT" "$BUILD_TYPE" <<'PY'
-import json, pathlib, sys
+# Each run also appends one line to bench/history/<out>.jsonl so the
+# wall-time trajectory across commits survives the single-snapshot
+# committed JSON being overwritten.
+URCM_BENCH_DIR="$(cd "$(dirname "$0")" && pwd)" \
+python3 - "$JSON_DIR" "$OUT" "$BUILD_TYPE" "$GIT_SHA" "$TELEMETRY" <<'PY'
+import datetime, json, os, pathlib, sys
 
 json_dir, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+build_type, git_sha, telemetry = sys.argv[3], sys.argv[4], sys.argv[5]
 walltimes = {}
 for line in (json_dir / "walltimes.txt").read_text().splitlines():
     name, seconds = line.split()
     walltimes[name] = float(seconds)
 
-merged = {"context": None, "build_type": sys.argv[3],
+provenance = {
+    "git_sha": git_sha,
+    "nproc": os.cpu_count() or 1,
+    "telemetry": telemetry,
+}
+merged = {"context": None, "build_type": build_type,
+          "provenance": provenance,
           "benchmarks": [], "wall_time_s": walltimes,
           "total_wall_time_s": round(sum(walltimes.values()), 3)}
 for name in walltimes:
@@ -108,6 +135,24 @@ for name in walltimes:
     merged["benchmarks"].extend(data.get("benchmarks", []))
 
 out.write_text(json.dumps(merged, indent=2) + "\n")
+
+# Anchor on the script's repo layout: bench/history/ next to this
+# runner, regardless of the caller's working directory.
+history_dir = pathlib.Path(os.environ["URCM_BENCH_DIR"]) / "history"
+history_dir.mkdir(parents=True, exist_ok=True)
+entry = dict(provenance)
+entry.update({
+    "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "build_type": build_type,
+    "wall_time_s": walltimes,
+    "total_wall_time_s": merged["total_wall_time_s"],
+})
+history_file = history_dir / (out.stem + ".jsonl")
+with history_file.open("a") as handle:
+    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
 print(f"wrote {out}: {len(merged['benchmarks'])} rows, "
-      f"{merged['total_wall_time_s']}s total")
+      f"{merged['total_wall_time_s']}s total "
+      f"(history -> {history_file})")
 PY

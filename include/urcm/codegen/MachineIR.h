@@ -163,6 +163,23 @@ struct MachineProgram {
   /// Number of general registers the allocator was given.
   uint32_t NumAllocatableRegs = 0;
 
+  /// Static memory-reference table: entry r describes the Ld/St that
+  /// codegen assigned RefId r (MemRefInfo::RefId). Ids are dense over
+  /// the memory-referencing instructions of the linked stream, in code
+  /// order, and independent of the hint bits — a hinted and a stripped
+  /// compilation of the same source number their references
+  /// identically. Form/classification/hint bits live on
+  /// Code[CodeIndex].MemInfo; Loc is invalid for compiler-synthesized
+  /// references (prologue/epilogue save-restore, spill traffic).
+  struct StaticRef {
+    uint32_t CodeIndex = 0;
+    SourceLoc Loc;
+  };
+  std::vector<StaticRef> RefTable;
+
+  /// The function containing code index \p Index, or null.
+  const MachineFunction *functionAt(uint32_t Index) const;
+
   /// Renders the program as readable assembly.
   std::string str() const;
 };

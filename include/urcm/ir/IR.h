@@ -204,15 +204,32 @@ enum class RefClass : uint8_t {
 /// last-reference bit the paper proposes the compiler transmit to the
 /// cache (sections 3.1, 3.2, 4.4).
 struct MemRefInfo {
+  /// Sentinel RefId: not a numbered static reference (synthetic events,
+  /// references past the numbering capacity).
+  static constexpr uint16_t NoRefId = 0xFFFF;
+
   RefClass Class = RefClass::Unknown;
   /// 1 = bypass the cache, 0 = go through the cache.
   bool Bypass = false;
   /// This is the last use of the value: the cache line (if any) holding
   /// it becomes empty and a dirty copy need not be written back.
   bool LastRef = false;
-  /// Alias-set id this reference belongs to, or -1.
-  int32_t AliasSetId = -1;
+  /// Stable dense per-program id of the static memory reference this
+  /// annotation belongs to, assigned by codegen over the linked
+  /// instruction stream (urcm/codegen/MachineIR.h RefTable). Feeds the
+  /// per-reference attribution profiler; NoRefId when unnumbered.
+  uint16_t RefId = NoRefId;
+  /// Alias-set id this reference belongs to, or -1. Sets index the
+  /// program's abstract objects, so the count is far below the int16
+  /// range; the narrow type keeps MemRefInfo at 8 bytes — it rides in
+  /// every predecoded PInst, and widening it measurably slows the
+  /// interpreter (more instruction-stream cache footprint).
+  int16_t AliasSetId = -1;
 };
+
+static_assert(sizeof(MemRefInfo) == 8,
+              "MemRefInfo rides in every predecoded PInst; growing it "
+              "degrades interpreter locality (see AliasSetId comment)");
 
 //===----------------------------------------------------------------------===//
 // Instructions

@@ -30,6 +30,7 @@
 #define URCM_SIM_CACHE_H
 
 #include "urcm/ir/IR.h" // MemRefInfo.
+#include "urcm/sim/RefAttribution.h"
 #include "urcm/support/RNG.h"
 
 #include <cstdint>
@@ -252,10 +253,12 @@ public:
       ++Stats.Reads;
       if (Line *L = findLine(LineAddress)) {
         ++Stats.ReadHits;
+        if (Attr)
+          ++Attr->row(Info.RefId).Hits;
         touch(*L);
         int64_t Value = wordOf(*L, Addr);
         if (Info.LastRef)
-          freeLine(*L, /*AvoidWriteBack=*/true);
+          freeLine(*L, /*AvoidWriteBack=*/true, Info.RefId);
         return Value;
       }
       return readMiss(Addr, LineAddress, Info);
@@ -271,6 +274,8 @@ public:
       ++Stats.Writes;
       if (Line *L = findLine(LineAddress)) {
         ++Stats.WriteHits;
+        if (Attr)
+          ++Attr->row(Info.RefId).Hits;
         touch(*L);
         wordOf(*L, Addr) = Value;
         L->Dirty = true;
@@ -278,7 +283,7 @@ public:
           // Dead store: the value will never be read; the line is
           // reclaimable immediately and the memory copy need not be
           // produced.
-          freeLine(*L, /*AvoidWriteBack=*/true);
+          freeLine(*L, /*AvoidWriteBack=*/true, Info.RefId);
         }
         return;
       }
@@ -298,6 +303,11 @@ public:
   const CacheStats &stats() const { return Stats; }
   const CacheConfig &config() const { return Config; }
 
+  /// Accumulates per-reference attribution (urcm/sim/RefAttribution.h)
+  /// into \p A (not owned; null — the default — disables, at the cost
+  /// of one well-predicted untaken branch per counter site).
+  void setAttribution(RefAttribution *A) { Attr = A; }
+
   /// True if the line containing \p Addr is currently resident.
   bool probe(uint64_t Addr) const;
 
@@ -308,6 +318,9 @@ private:
     uint64_t InsertedAt = 0;
     bool Valid = false;
     bool Dirty = false;
+    /// RefId of the access that installed this line (attribution's
+    /// EvictionsSuffered); meaningful only while attribution is on.
+    uint16_t InstalledBy = MemRefInfo::NoRefId;
   };
 
   uint32_t numSets() const { return Geometry.NumSets; }
@@ -348,13 +361,19 @@ private:
   /// Reclaims a dead-hinted line (paper's free-on-last-reference). The
   /// hot case — one-word line, write-back suppressed — is a pair of
   /// flag clears, so this lives in the header next to its callers.
-  void freeLine(Line &L, bool AvoidWriteBack) {
+  /// \p ByRef is the accessor whose tag freed the line (attribution).
+  void freeLine(Line &L, bool AvoidWriteBack,
+                uint16_t ByRef = MemRefInfo::NoRefId) {
     ++Stats.DeadFrees;
     if (Config.LineWords == 1) {
-      if (L.Dirty && AvoidWriteBack)
+      if (L.Dirty && AvoidWriteBack) {
         ++Stats.DeadWriteBacksAvoided;
-      else if (L.Dirty)
+        if (Attr)
+          ++Attr->row(ByRef).DeadWriteBacksSuppressed;
+      } else if (L.Dirty) {
+        CurRef = ByRef;
         evict(L);
+      }
       L.Valid = false;
       L.Dirty = false;
       return;
@@ -381,6 +400,10 @@ private:
   CacheGeometry Geometry;
   MainMemory &Mem;
   CacheStats Stats;
+  RefAttribution *Attr = nullptr;
+  /// RefId of the in-flight access, for eviction attribution (set on
+  /// the out-of-line paths before anything that can call evict()).
+  uint16_t CurRef = MemRefInfo::NoRefId;
   std::vector<Line> Lines; // Set-major: set s occupies [s*Assoc, ...).
   /// Line data, flat: line slot i owns [i*LineWords, (i+1)*LineWords).
   std::vector<int64_t> Words;
@@ -406,7 +429,14 @@ private:
 /// place). Victim choice matches DataCache::chooseVictim: an invalid
 /// way first — the choice *among* invalid ways has no observable
 /// effect — else the LRU way, which is slot 1.
-class TwoWayWB1Cache {
+///
+/// \p Attrib compiles the per-reference attribution accounting in or
+/// out: the false instantiation (TwoWayWB1Cache, what every
+/// non-profiling run executes) carries zero attribution code in its
+/// inlined read/write paths — not even a dead branch — so enabling the
+/// profiler feature costs nothing until a run actually requests it
+/// (the Simulator dispatches to TwoWayWB1CacheAttr then).
+template <bool Attrib> class TwoWayWB1CacheT {
   static constexpr uint64_t DirtyBit = uint64_t(1) << 63;
   static constexpr uint64_t TagMask = ~DirtyBit;
   static constexpr uint64_t Invalid = ~uint64_t(0);
@@ -420,11 +450,23 @@ public:
            (C.NumLines & (C.NumLines - 1)) == 0;
   }
 
-  TwoWayWB1Cache(const CacheConfig &Config, MainMemory &Mem)
+  TwoWayWB1CacheT(const CacheConfig &Config, MainMemory &Mem)
       : Config(Config), Mem(Mem),
         SetMask(uint64_t(Config.NumLines / 2) - 1),
-        Tags(Config.NumLines, Invalid), Vals(Config.NumLines, 0) {
+        Tags(Config.NumLines, Invalid), Vals(Config.NumLines, 0),
+        InstalledBy(Attrib ? Config.NumLines : 0, MemRefInfo::NoRefId) {
     assert(eligible(Config) && "config not supported by the fast cache");
+  }
+
+  /// See DataCache::setAttribution. The non-Attrib instantiation has
+  /// no accounting code; callers with a table must pick the Attrib one.
+  void setAttribution(RefAttribution *A) {
+    assert((Attrib || A == nullptr) &&
+           "attribution requires the TwoWayWB1CacheAttr instantiation");
+    if constexpr (Attrib)
+      Attr = A;
+    else
+      (void)A;
   }
 
   URCM_CACHE_INLINE int64_t read(uint64_t Addr, const MemRefInfo &Info) {
@@ -435,25 +477,36 @@ public:
       uint64_t T0 = P[0];
       if ((T0 & TagMask) == Addr) {
         ++Stats.ReadHits;
+        if constexpr (Attrib)
+          if (Attr)
+            ++Attr->row(Info.RefId).Hits;
         int64_t Value = V[0];
         if (Info.LastRef)
-          freeFront(P, T0);
+          freeFront(P, T0, Info.RefId);
         return Value;
       }
       if (uint64_t T1 = P[1]; (T1 & TagMask) == Addr) {
         ++Stats.ReadHits;
+        if constexpr (Attrib) {
+          if (Attr)
+            ++Attr->row(Info.RefId).Hits;
+          uint16_t *IB = ibOf(Addr);
+          uint16_t Tmp = IB[0];
+          IB[0] = IB[1];
+          IB[1] = Tmp;
+        }
         int64_t Value = V[1];
         P[1] = T0;
         P[0] = T1;
         V[1] = V[0];
         V[0] = Value;
         if (Info.LastRef)
-          freeFront(P, T1);
+          freeFront(P, T1, Info.RefId);
         return Value;
       }
       return readMiss(Addr, P, V, Info);
     }
-    return readBypass(Addr);
+    return readBypass(Addr, Info);
   }
 
   URCM_CACHE_INLINE void write(uint64_t Addr, int64_t Value,
@@ -465,10 +518,16 @@ public:
       uint64_t T0 = P[0];
       if ((T0 & TagMask) == Addr) {
         ++Stats.WriteHits;
+        if constexpr (Attrib)
+          if (Attr)
+            ++Attr->row(Info.RefId).Hits;
         if (Info.LastRef) {
           // Dead store: dirty by construction, write-back avoided.
           ++Stats.DeadFrees;
           ++Stats.DeadWriteBacksAvoided;
+          if constexpr (Attrib)
+            if (Attr)
+              ++Attr->row(Info.RefId).DeadWriteBacksSuppressed;
           P[0] = Invalid;
           return;
         }
@@ -478,11 +537,22 @@ public:
       }
       if (uint64_t T1 = P[1]; (T1 & TagMask) == Addr) {
         ++Stats.WriteHits;
+        if constexpr (Attrib) {
+          if (Attr)
+            ++Attr->row(Info.RefId).Hits;
+          uint16_t *IB = ibOf(Addr);
+          uint16_t Tmp = IB[0];
+          IB[0] = IB[1];
+          IB[1] = Tmp;
+        }
         P[1] = T0;
         V[1] = V[0];
         if (Info.LastRef) {
           ++Stats.DeadFrees;
           ++Stats.DeadWriteBacksAvoided;
+          if constexpr (Attrib)
+            if (Attr)
+              ++Attr->row(Info.RefId).DeadWriteBacksSuppressed;
           P[0] = Invalid;
           return;
         }
@@ -496,6 +566,9 @@ public:
     // exist under the compiler contract; if one does, keep it coherent
     // (no dirty bit, no recency change — same as DataCache).
     ++Stats.BypassWrites;
+    if constexpr (Attrib)
+      if (Attr)
+        ++Attr->row(Info.RefId).Bypasses;
     Mem.write(Addr, Value);
     uint64_t *P = Tags.data() + ((Addr & SetMask) << 1);
     int64_t *V = Vals.data() + ((Addr & SetMask) << 1);
@@ -521,18 +594,38 @@ public:
   const CacheConfig &config() const { return Config; }
 
 private:
+  /// The two InstalledBy slots of \p Addr's set (parallel to Tags).
+  uint16_t *ibOf(uint64_t Addr) {
+    return InstalledBy.data() + ((Addr & SetMask) << 1);
+  }
+
   /// freeLine() for the line in slot 0 whose (possibly dirty) tag word
   /// is \p T: reclaim it, counting a suppressed write-back if dirty.
-  void freeFront(uint64_t *P, uint64_t T) {
+  void freeFront(uint64_t *P, uint64_t T, uint16_t ByRef) {
     ++Stats.DeadFrees;
-    if (T & DirtyBit)
+    if (T & DirtyBit) {
       ++Stats.DeadWriteBacksAvoided;
+      if constexpr (Attrib)
+        if (Attr)
+          ++Attr->row(ByRef).DeadWriteBacksSuppressed;
+    }
+    (void)ByRef;
     P[0] = Invalid;
   }
 
-  /// Evicts the valid line with tag word \p T and cached value \p Val.
-  void evictTag(uint64_t T, int64_t Val) {
+  /// Evicts the valid line with tag word \p T and cached value \p Val,
+  /// installed by \p Installer and displaced by \p ByRef.
+  void evictTag(uint64_t T, int64_t Val, uint16_t ByRef,
+                uint16_t Installer) {
     ++Stats.Evictions;
+    if constexpr (Attrib) {
+      if (Attr) {
+        ++Attr->row(ByRef).EvictionsCaused;
+        ++Attr->row(Installer).EvictionsSuffered;
+      }
+    }
+    (void)ByRef;
+    (void)Installer;
     if (T & DirtyBit) {
       ++Stats.WriteBacks;
       Stats.WriteBackWords += 1;
@@ -542,12 +635,21 @@ private:
 
   int64_t readMiss(uint64_t Addr, uint64_t *P, int64_t *V,
                    const MemRefInfo &Info) {
+    if constexpr (Attrib)
+      if (Attr)
+        ++Attr->row(Info.RefId).Misses;
+    uint16_t *IB = Attrib ? ibOf(Addr) : nullptr;
     uint64_t T0 = P[0], T1 = P[1];
     if (T0 != Invalid) {
       if (T1 != Invalid)
-        evictTag(T1, V[1]); // Victim write-back precedes the fetch.
+        evictTag(T1, V[1], Info.RefId,
+                 Attrib ? IB[1]
+                        : MemRefInfo::NoRefId); // Victim write-back
+                                                // precedes the fetch.
       P[1] = T0;
       V[1] = V[0];
+      if constexpr (Attrib)
+        IB[1] = IB[0];
     }
     int64_t Value = Mem.read(Addr);
     ++Stats.Fills;
@@ -561,17 +663,26 @@ private:
     }
     P[0] = Addr;
     V[0] = Value;
+    if constexpr (Attrib)
+      IB[0] = Info.RefId;
     return Value;
   }
 
   void writeMiss(uint64_t Addr, int64_t Value, uint64_t *P, int64_t *V,
                  const MemRefInfo &Info) {
+    if constexpr (Attrib)
+      if (Attr)
+        ++Attr->row(Info.RefId).Misses;
+    uint16_t *IB = Attrib ? ibOf(Addr) : nullptr;
     uint64_t T0 = P[0], T1 = P[1];
     if (T0 != Invalid) {
       if (T1 != Invalid)
-        evictTag(T1, V[1]);
+        evictTag(T1, V[1], Info.RefId,
+                 Attrib ? IB[1] : MemRefInfo::NoRefId);
       P[1] = T0;
       V[1] = V[0];
+      if constexpr (Attrib)
+        IB[1] = IB[0];
     }
     // One-word write-allocate skips the fetch (the store overwrites
     // the whole line).
@@ -579,17 +690,25 @@ private:
     if (Info.LastRef) {
       ++Stats.DeadFrees;
       ++Stats.DeadWriteBacksAvoided;
+      if constexpr (Attrib)
+        if (Attr)
+          ++Attr->row(Info.RefId).DeadWriteBacksSuppressed;
       P[0] = Invalid;
       return;
     }
     P[0] = Addr | DirtyBit;
     V[0] = Value;
+    if constexpr (Attrib)
+      IB[0] = Info.RefId;
   }
 
-  int64_t readBypass(uint64_t Addr) {
+  int64_t readBypass(uint64_t Addr, const MemRefInfo &Info) {
     // UmAm_LOAD: probe; a hit migrates the value to the register and
     // frees the line in place (dirty lines write back first — see
     // DataCache::readBypass for why). A miss reads memory directly.
+    if constexpr (Attrib)
+      if (Attr)
+        ++Attr->row(Info.RefId).Bypasses;
     uint64_t *P = Tags.data() + ((Addr & SetMask) << 1);
     int64_t *V = Vals.data() + ((Addr & SetMask) << 1);
     int Slot = (P[0] & TagMask) == Addr   ? 0
@@ -603,6 +722,12 @@ private:
         ++Stats.Evictions;
         ++Stats.WriteBacks;
         Stats.WriteBackWords += 1;
+        if constexpr (Attrib) {
+          if (Attr) {
+            ++Attr->row(Info.RefId).EvictionsCaused;
+            ++Attr->row(ibOf(Addr)[Slot]).EvictionsSuffered;
+          }
+        }
         Mem.write(Addr, Value);
       }
       P[Slot] = Invalid;
@@ -615,10 +740,21 @@ private:
   CacheConfig Config;
   MainMemory &Mem;
   CacheStats Stats;
+  RefAttribution *Attr = nullptr;
   uint64_t SetMask; // Set index = Addr & SetMask (one-word lines).
   std::vector<uint64_t> Tags; // 2 per set; set s occupies [2s, 2s+2).
   std::vector<int64_t> Vals;  // Parallel to Tags.
+  std::vector<uint16_t> InstalledBy; // Parallel to Tags.
 };
+
+/// The hot-path instantiation: no attribution code is generated at all,
+/// so the predecoded interpreter's inlined read/write stay as lean as
+/// before the profiler existed.
+using TwoWayWB1Cache = TwoWayWB1CacheT<false>;
+/// The profiling instantiation: carries the InstalledBy map and charges
+/// every event to a RefId row. Selected by the simulator only when
+/// SimConfig::Attribution is set.
+using TwoWayWB1CacheAttr = TwoWayWB1CacheT<true>;
 
 #undef URCM_CACHE_INLINE
 

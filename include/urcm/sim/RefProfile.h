@@ -1,0 +1,91 @@
+//===- urcm/sim/RefProfile.h - Per-reference profile export -----*- C++ -*-===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports a RefAttribution table (urcm/sim/RefAttribution.h) joined
+/// with the program's static reference table
+/// (urcm/codegen/MachineIR.h RefTable) in two human-facing forms:
+///
+///  * a JSON profile (docs/profile_schema.json, validated by
+///    scripts/validate_telemetry.py --profile) keyed by RefId, each
+///    entry carrying the source location, the paper's reference form
+///    (Am_LOAD / AmSp_STORE / UmAm_LOAD / UmAm_STORE), the classifier's
+///    predicted hint bits and the attribution counters;
+///
+///  * a perf-annotate-style text report: the source listing with
+///    per-line hit/miss/bypass/dead-write-back counts in the margin,
+///    flagging **prediction mismatches** — a line with a
+///    bypass-classified reference that still accumulates misses (the
+///    bypass did not eliminate the line's cache traffic), and a line
+///    whose last-ref-tagged reference had its installed lines evicted
+///    by replacement before the dead tag could free them.
+///
+/// Both renderings are pure functions of (program, table): no
+/// filesystem or telemetry coupling, so tests can golden-compare them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef URCM_SIM_REFPROFILE_H
+#define URCM_SIM_REFPROFILE_H
+
+#include "urcm/codegen/MachineIR.h"
+#include "urcm/sim/RefAttribution.h"
+
+#include <string>
+#include <vector>
+
+namespace urcm {
+
+/// One profile row: a static reference's identity joined with its
+/// attribution counters.
+struct RefProfileRow {
+  uint16_t RefId = MemRefInfo::NoRefId;
+  uint32_t CodeIndex = 0;
+  SourceLoc Loc; ///< Invalid for compiler-synthesized references.
+  std::string Function;
+  bool IsStore = false;
+  /// Paper reference form (section 4.3): Am_LOAD / AmSp_STORE for
+  /// through-cache traffic, UmAm_LOAD / UmAm_STORE for bypassing.
+  const char *Form = "";
+  /// Classifier verdict: unambiguous / ambiguous / spill /
+  /// spill-reload / unknown.
+  const char *Class = "";
+  bool Bypass = false;
+  bool LastRef = false;
+  RefCounters Counters;
+
+  /// The last-ref prediction mismatch: this reference is dead-tagged,
+  /// yet lines it installed were evicted by replacement (the tag never
+  /// got the chance to free them).
+  bool deadEvicted() const {
+    return LastRef && Counters.EvictionsSuffered != 0;
+  }
+};
+
+/// Joins \p Prog's reference table with \p Attr. Rows are in RefId
+/// order; every numbered reference appears, executed or not.
+std::vector<RefProfileRow> buildRefProfile(const MachineProgram &Prog,
+                                           const RefAttribution &Attr);
+
+/// Renders the profile as JSON following docs/profile_schema.json.
+/// \p Workload names the program in the output (a file name or
+/// built-in workload name; informational only).
+std::string refProfileJSON(const MachineProgram &Prog,
+                           const RefAttribution &Attr,
+                           const std::string &Workload);
+
+/// Renders the perf-annotate-style per-line report over \p Source (the
+/// program text the line numbers refer to). Lines with no memory
+/// references print blank margins; synthetic references (no source
+/// location) are summarized per function below the listing, and the
+/// overflow row (unnumbered events) last.
+std::string refProfileAnnotate(const MachineProgram &Prog,
+                               const RefAttribution &Attr,
+                               const std::string &Source);
+
+} // namespace urcm
+
+#endif // URCM_SIM_REFPROFILE_H

@@ -98,6 +98,13 @@ public:
   /// the order of the constructor's Points. Call exactly once.
   std::vector<CacheStats> finish();
 
+  /// Moves out the merged attribution table of point \p PointIndex
+  /// (per-shard tables summed with RefAttribution::operator+=, which
+  /// reproduces the sequential run bit for bit). Only meaningful after
+  /// finish(), for points with SweepPoint::AttributionRefs set; other
+  /// points yield an empty table.
+  RefAttribution takeAttribution(size_t PointIndex);
+
 private:
   struct Impl;
   std::unique_ptr<Impl> P;

@@ -29,19 +29,21 @@ namespace urcm {
 /// MIN). Kept to 8 bytes — traces run to tens of millions of events and
 /// the sweep engine streams them repeatedly — so only the fields replay
 /// consumes are recorded: the word address (word addresses are bounded
-/// by the simulated memory size, far below 2^32) and the cache hint
-/// bits.
+/// by the simulated memory size, far below 2^32), the cache hint bits,
+/// and the static reference id feeding the attribution profiler.
 struct TraceEvent {
-  /// The subset of MemRefInfo that affects cache behaviour.
+  /// The subset of MemRefInfo that affects cache behaviour. Packed into
+  /// one byte so the RefId fits in the event without widening it.
   struct Hints {
-    bool Bypass = false;
-    bool LastRef = false;
-    Hints() = default;
+    uint8_t Bypass : 1;
+    uint8_t LastRef : 1;
+    Hints() : Bypass(0), LastRef(0) {}
     Hints(bool Bypass, bool LastRef) : Bypass(Bypass), LastRef(LastRef) {}
     Hints(const MemRefInfo &Info)
         : Bypass(Info.Bypass), LastRef(Info.LastRef) {}
     /// TraceEvent hints feed APIs taking full reference info (e.g. the
-    /// live DataCache in tests).
+    /// live DataCache in tests). The RefId is not part of the hints —
+    /// attribution consumers read TraceEvent::RefId directly.
     operator MemRefInfo() const {
       MemRefInfo Info;
       Info.Bypass = Bypass;
@@ -53,6 +55,9 @@ struct TraceEvent {
   uint32_t Addr = 0;
   bool IsWrite = false;
   Hints Info;
+  /// Static reference id of the Ld/St that produced this event
+  /// (MemRefInfo::RefId), or MemRefInfo::NoRefId when unnumbered.
+  uint16_t RefId = MemRefInfo::NoRefId;
 };
 static_assert(sizeof(TraceEvent) == 8, "trace events are streamed in "
                                        "bulk; keep them packed");
@@ -118,6 +123,11 @@ struct SimConfig {
   CacheConfig ICache = {/*NumLines=*/64, /*Assoc=*/2, /*LineWords=*/4,
                         ReplacementPolicy::LRU, WritePolicy::WriteBack,
                         /*Seed=*/0x1ce};
+  /// When set, the data cache accumulates per-static-reference
+  /// attribution (urcm/sim/RefAttribution.h) into this table (not
+  /// owned). Size it with RefAttribution(Prog.RefTable.size()). Null —
+  /// the default — keeps the hot paths attribution-free.
+  RefAttribution *Attribution = nullptr;
 };
 
 /// Dynamic per-class reference counts (the paper's runtime measurement).

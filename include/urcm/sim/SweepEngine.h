@@ -38,6 +38,7 @@
 #ifndef URCM_SIM_SWEEPENGINE_H
 #define URCM_SIM_SWEEPENGINE_H
 
+#include "urcm/sim/RefAttribution.h"
 #include "urcm/sim/TraceSim.h"
 #include "urcm/support/ThreadPool.h"
 
@@ -66,6 +67,17 @@ struct SweepPoint {
   CacheConfig Config;
   TracePolicy Policy = TracePolicy::LRU;
   bool IgnoreHints = false;
+  /// Non-zero requests per-static-reference attribution
+  /// (urcm/sim/RefAttribution.h) for this point; the value is the
+  /// program's static reference count (MachineProgram::RefTable.size()),
+  /// which sizes the table. Attribution pins the point to the
+  /// per-event replay kernels — the stack-distance fast path answers
+  /// many capacities from shared positional state and cannot attribute
+  /// — and disables the engine's base-counter reuse, so it costs replay
+  /// time; zero (the default) keeps every fast path.
+  uint32_t AttributionRefs = 0;
+
+  bool wantsAttribution() const { return AttributionRefs != 0; }
 };
 
 /// Walks \p Trace once and replays every point in lock-step. Counters
@@ -139,6 +151,11 @@ public:
   /// End of trace: final flush accounting. Call exactly once; counters
   /// are returned in the order of the constructor's Points.
   std::vector<CacheStats> finish();
+
+  /// Moves out the attribution table of the point at \p PointIndex
+  /// (empty unless that point set SweepPoint::AttributionRefs). Call
+  /// after finish(), at most once per point.
+  RefAttribution takeAttribution(size_t PointIndex);
 
 private:
   struct Impl;
@@ -227,6 +244,13 @@ public:
   /// is pure reuse). Valid after run().
   const CacheStats &point(const std::string &Key, size_t Index) const;
 
+  /// The per-reference attribution of point \p Index, which must have
+  /// been scheduled with SweepPoint::AttributionRefs non-zero.
+  /// Bit-identical across shard counts and store modes (the attribution
+  /// counterpart of the CacheStats merge invariant). Valid after run().
+  const RefAttribution &attribution(const std::string &Key,
+                                    size_t Index) const;
+
 private:
   struct Experiment {
     std::string HintGroup;
@@ -236,6 +260,8 @@ private:
     uint64_t ContentHash = 0;
     SimResult Result;
     std::vector<CacheStats> Stats;
+    /// Parallel to Points; non-empty rows only where AttributionRefs.
+    std::vector<RefAttribution> Attrib;
     bool Done = false;
   };
 
@@ -243,9 +269,12 @@ private:
 
   /// Serves \p E entirely from the trace store. True on success; false
   /// (missing/rejected file, decode failure) means run the live path.
+  /// \p ReplayedAttrib receives attribution tables parallel to \p Rest
+  /// (empty rows for points that did not request attribution).
   bool serveFromStore(Experiment &E, const std::vector<SweepPoint> &Rest,
                       uint32_t EffShards, uint64_t &TraceEvents,
-                      std::vector<CacheStats> &Replayed);
+                      std::vector<CacheStats> &Replayed,
+                      std::vector<RefAttribution> &ReplayedAttrib);
 
   /// Forwards diagnostics collected during store I/O to the configured
   /// sink under the engine lock (experiments run in parallel).

@@ -58,6 +58,9 @@ class TraceReplayer {
   struct ReplayLine {
     bool Valid = false;
     bool Dirty = false;
+    /// Installer RefId (attribution's EvictionsSuffered); only
+    /// maintained while attribution is on.
+    uint16_t InstalledBy = MemRefInfo::NoRefId;
     uint64_t Tag = 0;
     uint64_t LastUsed = 0;
     uint64_t InsertedAt = 0;
@@ -99,12 +102,21 @@ public:
            "only set-local policies (LRU/FIFO) can replay set shards");
   }
 
+  /// See DataCache::setAttribution. Counter sites mirror the live
+  /// cache's, so shard tables merged with operator+= reproduce a
+  /// sequential (or live) run bit for bit.
+  void setAttribution(RefAttribution *A) { Attr = A; }
+
   /// Processes trace event \p E, which sits at position \p Index of the
   /// trace (the index feeds MIN's future-knowledge lookup).
   void step(const TraceEvent &E, uint64_t Index) {
     uint64_t LA = Geometry.lineAddr(E.Addr);
+    if (Attr)
+      CurRef = E.RefId;
 
     if (E.Info.Bypass) {
+      if (Attr)
+        ++Attr->row(E.RefId).Bypasses;
       if (!E.IsWrite) {
         if (ReplayLine *L = find(LA)) {
           // Migration: dirty lines are written back first (see
@@ -136,13 +148,18 @@ public:
     if (E.IsWrite && Config.Write == WritePolicy::WriteThrough) {
       // Write-through / no-write-allocate (see DataCache::write).
       ++Stats.WriteThroughWords;
-      if (ReplayLine *L = find(LA)) {
+      ReplayLine *L = find(LA);
+      if (Attr) {
+        RefCounters &R = Attr->row(E.RefId);
+        ++(L ? R.Hits : R.Misses);
+      }
+      if (L) {
         ++Stats.WriteHits;
         L->LastUsed = ++Tick;
         if (Policy == TracePolicy::MIN)
           L->NextUse = (*NextUses)[Index];
         if (E.Info.LastRef)
-          freeLine(*L);
+          freeLine(*L, E.RefId);
       }
       return;
     }
@@ -153,14 +170,19 @@ public:
         ++Stats.WriteHits;
       else
         ++Stats.ReadHits;
+      if (Attr)
+        ++Attr->row(E.RefId).Hits;
       L->LastUsed = ++Tick;
     } else {
+      if (Attr)
+        ++Attr->row(E.RefId).Misses;
       uint32_t Set = localSetOf(LA);
       L = chooseVictim(Set);
       if (L->Valid)
         evict(*L);
       L->Valid = true;
       L->Dirty = false;
+      L->InstalledBy = CurRef;
       L->Tag = LA;
       L->InsertedAt = ++Tick;
       L->LastUsed = Tick;
@@ -175,7 +197,7 @@ public:
     if (E.IsWrite)
       L->Dirty = true;
     if (E.Info.LastRef)
-      freeLine(*L);
+      freeLine(*L, E.RefId);
   }
 
   /// Counts the remaining dirty lines as end-of-program flush
@@ -244,15 +266,22 @@ private:
       Stats.WriteBackWords += Config.LineWords;
     }
     ++Stats.Evictions;
+    if (Attr) {
+      ++Attr->row(CurRef).EvictionsCaused;
+      ++Attr->row(L.InstalledBy).EvictionsSuffered;
+    }
     L.Valid = false;
     L.Dirty = false;
   }
 
-  void freeLine(ReplayLine &L) {
+  void freeLine(ReplayLine &L, uint16_t ByRef = MemRefInfo::NoRefId) {
     ++Stats.DeadFrees;
     if (Config.LineWords == 1) {
-      if (L.Dirty)
+      if (L.Dirty) {
         ++Stats.DeadWriteBacksAvoided;
+        if (Attr)
+          ++Attr->row(ByRef).DeadWriteBacksSuppressed;
+      }
       L.Valid = false;
       L.Dirty = false;
       return;
@@ -270,6 +299,8 @@ private:
   uint32_t ShardDiv;
   std::vector<ReplayLine> Lines;
   CacheStats Stats;
+  RefAttribution *Attr = nullptr;
+  uint16_t CurRef = MemRefInfo::NoRefId;
   uint64_t Tick = 0;
 };
 

@@ -13,7 +13,7 @@
 /// urcm_report, the bench binaries and the tests can all serve their
 /// sweeps from one recorded trace.
 ///
-/// ## Container format (version 1, little-endian)
+/// ## Container format (version 2, little-endian)
 ///
 ///   header   : magic "URCMTRC\x01" (8) | version u32 | flags u32 (0) |
 ///              content-hash u64 | nominal chunk events u32 |
@@ -26,18 +26,25 @@
 ///   footer   : total-events u64 | chunk-count u64 |
 ///              end magic "URCMEND\x01" (8)
 ///
-/// Each chunk payload is self-contained: first a packed bit stream of 5
-/// bits per event (is-write, bypass, last-ref, and a 2-bit delta-base
-/// selector), then the address stream as zigzag varints. The encoder
-/// keeps a 4-entry ring of the most recent addresses (zero-initialized
-/// per chunk) and encodes each address as a delta against whichever
-/// entry gives the shortest varint — stack/global/array streams
-/// interleave freely in real traces, and a single "previous address"
-/// base would pay a 3-byte varint at every region switch. The hint/kind
-/// bits are packed separately from the address stream so both stay
-/// byte-aligned and branch-predictable to decode. Encoded size on the
-/// paper benchmarks runs well under 1/3 of the raw 8-byte-per-event
-/// form (asserted by bench/trace_store).
+/// Each chunk payload is self-contained: first a packed bit stream of 6
+/// bits per event (is-write, bypass, last-ref, a 2-bit delta-base
+/// selector, and a ref-predicted bit), then the varint stream. The
+/// encoder keeps a 4-entry ring of the most recent addresses
+/// (zero-initialized per chunk) and encodes each address as a zigzag
+/// delta against whichever entry gives the shortest varint —
+/// stack/global/array streams interleave freely in real traces, and a
+/// single "previous address" base would pay a 3-byte varint at every
+/// region switch. The ref-predicted bit (new in version 2) carries the
+/// static reference id for the attribution profiler: set, the event's
+/// RefId is the predicted one (previous event's id plus one — ids are
+/// numbered in code order, so straight-line runs match — or NoRefId
+/// while the previous event was unnumbered, so hint-free traces cost
+/// nothing); clear, a zigzag varint of the difference from the
+/// prediction follows the address delta. The hint/kind bits are packed
+/// separately from the varint stream so both stay byte-aligned and
+/// branch-predictable to decode. Encoded size on the paper benchmarks
+/// runs well under 1/3 of the raw 8-byte-per-event form (asserted by
+/// bench/trace_store).
 ///
 /// ## Invalidation and robustness
 ///

@@ -234,8 +234,45 @@ std::string snapshotJSON();
 /// event per recorded span plus process/thread-name metadata.
 std::string chromeTraceJSON();
 
-/// Human-readable counter/phase listing (urcmc --telemetry).
+/// Human-readable counter/histogram/phase listing (urcmc --telemetry).
+/// Histograms print p50/p90/p99 (log-linear estimates, <= 25% relative
+/// error) next to the raw bucket dump.
 std::string summaryText();
+
+/// Background time-series sampler (urcmc/urcm_report --metrics-out).
+/// A dedicated thread appends one JSON object per line (JSONL) to the
+/// given file every IntervalMs milliseconds:
+///
+///   {"t_ms": ..., "events": ..., "events_per_s": ...,
+///    "rss_kb": ..., "rss_hwm_kb": ..., "counters": {...}}
+///
+/// where `events` is the cumulative work metric (data references
+/// simulated plus trace events streamed), `events_per_s` its rate over
+/// the last interval, the RSS fields come from /proc/self/status
+/// (0 off Linux), and `counters` holds every registered counter with a
+/// nonzero aggregate. stop() (or destruction) joins the thread and
+/// appends one final sample, so even sub-interval runs produce a
+/// complete trajectory. Construction never fails the host tool: if the
+/// file cannot be opened the sampler is inert.
+class MetricsSampler {
+public:
+  explicit MetricsSampler(const std::string &Path,
+                          uint32_t IntervalMs = 200);
+  ~MetricsSampler();
+  MetricsSampler(const MetricsSampler &) = delete;
+  MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+  /// True when the output file was opened and the thread is running.
+  bool active() const { return P != nullptr; }
+
+  /// Stops the thread, writes the final sample and closes the file.
+  /// Idempotent.
+  void stop();
+
+private:
+  struct Impl;
+  Impl *P = nullptr;
+};
 
 /// Zeroes every counter and histogram and drops all spans and remarks.
 /// Registration (names) is permanent. Intended for tests and tools; do

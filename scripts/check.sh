@@ -12,8 +12,13 @@
 #   5. opt-in (--store): persistent trace-store smoke — record a sweep
 #      cold, replay it warm (byte-identical output, Simulator provably
 #      not invoked), and corrupt the store file to prove the fallback
+#   6. opt-in (--profile): attribution-profiler smoke — golden-compare
+#      the Towers per-line mismatch report (deterministic in program +
+#      geometry), validate the JSON profile against
+#      docs/profile_schema.json and the metrics JSONL stream
 #
-# Usage: scripts/check.sh [--bench] [--telemetry] [--store] [--skip-sanitizers]
+# Usage: scripts/check.sh [--bench] [--telemetry] [--store] [--profile]
+#                         [--skip-sanitizers]
 #
 # Wall-time caveat: single-core CI boxes show +/-15% run-to-run noise,
 # so the bench diff only *flags* regressions past a generous threshold;
@@ -25,14 +30,16 @@ cd "$(dirname "$0")/.."
 RUN_BENCH=0
 RUN_TELEMETRY=0
 RUN_STORE=0
+RUN_PROFILE=0
 RUN_SAN=1
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
     --telemetry) RUN_TELEMETRY=1 ;;
     --store) RUN_STORE=1 ;;
+    --profile) RUN_PROFILE=1 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
-    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--store] [--skip-sanitizers]" >&2
+    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--store] [--profile] [--skip-sanitizers]" >&2
        exit 2 ;;
   esac
 done
@@ -99,6 +106,26 @@ fi
 if [ "$RUN_STORE" = 1 ]; then
   echo "== trace-store smoke: record cold, replay warm, corrupt, fall back =="
   scripts/store_smoke.sh build
+fi
+
+if [ "$RUN_PROFILE" = 1 ]; then
+  echo "== attribution-profiler smoke: Towers golden + schema validation =="
+  PROFILE_DIR=$(mktemp -d /tmp/urcm_profile.XXXXXX)
+  # The pressured 16x2 geometry makes the bypass-vs-miss mismatch flags
+  # fire (tests/golden/towers_profile_annotate.txt is committed from the
+  # same invocation — the report is a pure function of program + config,
+  # so any diff is an attribution or rendering change, not noise).
+  ./build/tools/urcmc --workload=Towers --era --cache-lines=16 --assoc=2 \
+    --profile-refs="$PROFILE_DIR/towers.json" \
+    --profile-annotate="$PROFILE_DIR/towers.txt" \
+    --metrics-out="$PROFILE_DIR/metrics.jsonl" >/dev/null
+  diff -u tests/golden/towers_profile_annotate.txt "$PROFILE_DIR/towers.txt" \
+    || { echo "Towers mismatch report drifted from golden" >&2; exit 1; }
+  grep -q '!bypass-miss' "$PROFILE_DIR/towers.txt" \
+    || { echo "Towers report lost its mismatch flags" >&2; exit 1; }
+  python3 scripts/validate_telemetry.py profile "$PROFILE_DIR/towers.json"
+  python3 scripts/validate_telemetry.py metrics "$PROFILE_DIR/metrics.jsonl"
+  rm -rf "$PROFILE_DIR"
 fi
 
 if [ "$RUN_BENCH" = 1 ]; then

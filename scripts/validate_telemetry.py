@@ -4,9 +4,11 @@
 Usage:
   scripts/validate_telemetry.py snapshot FILE   # vs docs/telemetry_schema.json
   scripts/validate_telemetry.py trace FILE      # Chrome trace-event checks
+  scripts/validate_telemetry.py profile FILE    # vs docs/profile_schema.json
+  scripts/validate_telemetry.py metrics FILE    # metrics JSONL (--metrics-out)
 
 Stdlib only (no jsonschema dependency): `check` implements exactly the
-JSON-Schema subset docs/telemetry_schema.json uses — type, const, enum,
+JSON-Schema subset the schemas under docs/ use — type, const, enum,
 minimum, required, properties, additionalProperties (bool or schema),
 items.
 """
@@ -72,12 +74,72 @@ def check(value, schema, path="$"):
     return errors
 
 
-def validate_snapshot(data):
+def load_schema(name):
     schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                               os.pardir, "docs", "telemetry_schema.json")
+                               os.pardir, "docs", name)
     with open(schema_path) as handle:
-        schema = json.load(handle)
-    return check(data, schema)
+        return json.load(handle)
+
+
+def validate_snapshot(data):
+    return check(data, load_schema("telemetry_schema.json"))
+
+
+def validate_profile(data):
+    errors = check(data, load_schema("profile_schema.json"))
+    if errors:
+        return errors
+    # Cross-field invariants the schema subset cannot express.
+    refs = data["refs"]
+    if len(refs) != data["num_refs"]:
+        errors.append("$.refs: %d entries but num_refs is %d"
+                      % (len(refs), data["num_refs"]))
+    for index, ref in enumerate(refs):
+        if ref["ref"] != index:
+            errors.append("$.refs[%d]: ref ids must be dense and ordered, "
+                          "got %r" % (index, ref["ref"]))
+        bypass_form = ref["form"].startswith("UmAm")
+        if ref["bypass"] != bypass_form:
+            errors.append("$.refs[%d]: form %r inconsistent with bypass %r"
+                          % (index, ref["form"], ref["bypass"]))
+        if ref["dead_evicted"] and not ref["lastref"]:
+            errors.append("$.refs[%d]: dead_evicted requires lastref"
+                          % index)
+    return errors
+
+
+def validate_metrics(path):
+    """Line checks for the metrics JSONL stream (--metrics-out=FILE):
+    every line is a JSON object with the sampler's keys, and t_ms is
+    monotonically non-decreasing."""
+    errors = []
+    last_t = -1.0
+    count = 0
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            try:
+                sample = json.loads(line)
+            except ValueError as error:
+                errors.append("line %d: %s" % (number, error))
+                continue
+            for key in ("t_ms", "events", "events_per_s",
+                        "rss_kb", "rss_hwm_kb", "counters"):
+                if key not in sample:
+                    errors.append("line %d: missing %r" % (number, key))
+            t_ms = sample.get("t_ms")
+            if isinstance(t_ms, (int, float)):
+                if t_ms < last_t:
+                    errors.append("line %d: t_ms went backwards" % number)
+                last_t = t_ms
+            if not isinstance(sample.get("counters"), dict):
+                errors.append("line %d: counters must be an object" % number)
+    if count == 0:
+        errors.append("no samples (empty file)")
+    return errors
 
 
 def validate_trace(data):
@@ -115,17 +177,29 @@ def validate_trace(data):
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in ("snapshot", "trace"):
+    kinds = ("snapshot", "trace", "profile", "metrics")
+    if len(argv) != 3 or argv[1] not in kinds:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     kind, path = argv[1], argv[2]
-    try:
-        with open(path) as handle:
-            data = json.load(handle)
-    except (OSError, ValueError) as error:
-        print("%s: %s" % (path, error), file=sys.stderr)
-        return 1
-    errors = (validate_snapshot if kind == "snapshot" else validate_trace)(data)
+    if kind == "metrics":
+        # JSONL: validated line by line, not as one document.
+        try:
+            errors = validate_metrics(path)
+        except OSError as error:
+            print("%s: %s" % (path, error), file=sys.stderr)
+            return 1
+    else:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            print("%s: %s" % (path, error), file=sys.stderr)
+            return 1
+        validator = {"snapshot": validate_snapshot,
+                     "trace": validate_trace,
+                     "profile": validate_profile}[kind]
+        errors = validator(data)
     for error in errors:
         print("%s: %s" % (path, error), file=sys.stderr)
     if errors:

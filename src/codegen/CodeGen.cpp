@@ -138,6 +138,8 @@ public:
     for (const auto &[Index, FuncId] : CallFixups)
       Prog.Code[Index].Target = FuncEntry[FuncId];
 
+    numberStaticRefs();
+
     Prog.StackTop = Options.StackTop;
     Prog.GlobalBase = Options.GlobalBase;
     return std::move(Prog);
@@ -170,6 +172,32 @@ private:
     Info.Class = RefClass::SpillReload;
     Info.LastRef = Options.Hints.EnableDeadTag;
     return Info;
+  }
+
+  /// Assigns every Ld/St of the linked stream a dense RefId in code
+  /// order and builds the RefTable. Call-target fixups patch Target
+  /// only (no reordering), so emission order is final order. The
+  /// numbering keys on opcodes alone — hinted and hint-stripped
+  /// compilations of one source number their references identically
+  /// (the sameStreamModuloHints invariant the pair-replay relies on).
+  /// Programs with >= 0xFFFF memory instructions leave the tail at
+  /// NoRefId; attribution lumps those into one overflow row.
+  void numberStaticRefs() {
+    uint32_t Next = 0;
+    for (uint32_t Index = 0; Index != Prog.Code.size(); ++Index) {
+      MInst &I = Prog.Code[Index];
+      if (!I.isMemAccess())
+        continue;
+      if (Next >= MemRefInfo::NoRefId)
+        break; // Saturate: the rest stay NoRefId.
+      I.MemInfo.RefId = static_cast<uint16_t>(Next++);
+      MachineProgram::StaticRef R;
+      R.CodeIndex = Index;
+      auto It = MemLoc.find(Index);
+      if (It != MemLoc.end())
+        R.Loc = It->second;
+      Prog.RefTable.push_back(R);
+    }
   }
 
   void layoutGlobals() {
@@ -387,15 +415,15 @@ private:
       return;
     case Opcode::Load: {
       auto [Base, Off] = addressOf(I.Ops[0]);
-      emit({MOpcode::Ld, I.Dst, Base, mreg::None, Off, false, 0,
-            I.MemInfo});
+      MemLoc[emit({MOpcode::Ld, I.Dst, Base, mreg::None, Off, false, 0,
+                   I.MemInfo})] = I.Loc;
       return;
     }
     case Opcode::Store: {
       uint32_t Value = materialize(I.Ops[0], mreg::TMP0);
       auto [Base, Off] = addressOf(I.Ops[1]);
-      emit({MOpcode::St, mreg::None, Base, Value, Off, false, 0,
-            I.MemInfo});
+      MemLoc[emit({MOpcode::St, mreg::None, Base, Value, Off, false, 0,
+                   I.MemInfo})] = I.Loc;
       return;
     }
     case Opcode::Call:
@@ -514,6 +542,8 @@ private:
   MachineProgram Prog;
   FrameLayout Frame;
   std::map<uint32_t, uint32_t> FuncEntry;
+  /// Source location per emitted Ld/St code index (RefTable input).
+  std::map<uint32_t, SourceLoc> MemLoc;
   std::vector<std::pair<uint32_t, uint32_t>> CallFixups;
   std::vector<std::pair<uint32_t, uint32_t>> BlockFixups;
   std::vector<uint32_t> BlockStart;

@@ -189,6 +189,13 @@ static std::string printMInst(const MInst &I) {
   return Out;
 }
 
+const MachineFunction *MachineProgram::functionAt(uint32_t Index) const {
+  for (const MachineFunction &F : Functions)
+    if (Index >= F.EntryIndex && Index < F.EntryIndex + F.CodeSize)
+      return &F;
+  return nullptr;
+}
+
 std::string MachineProgram::str() const {
   std::string Out;
   for (const auto &G : Globals)

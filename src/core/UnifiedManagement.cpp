@@ -185,7 +185,7 @@ urcm::applyUnifiedManagement(IRModule &M, const UnifiedOptions &Options,
             Info.Class != RefClass::SpillReload) {
           Info.Class = AA.isUnambiguous(I) ? RefClass::Unambiguous
                                            : RefClass::Ambiguous;
-          Info.AliasSetId = AA.aliasSetId(I);
+          Info.AliasSetId = static_cast<int16_t>(AA.aliasSetId(I));
         }
 
         switch (Info.Class) {

@@ -115,8 +115,13 @@ void DataCache::evict(Line &L, bool CountAsFlush) {
       Stats.WriteBackWords += Config.LineWords;
     }
   }
-  if (!CountAsFlush)
+  if (!CountAsFlush) {
     ++Stats.Evictions;
+    if (Attr) {
+      ++Attr->row(CurRef).EvictionsCaused;
+      ++Attr->row(L.InstalledBy).EvictionsSuffered;
+    }
+  }
   L.Valid = false;
   L.Dirty = false;
 }
@@ -127,6 +132,7 @@ DataCache::Line *DataCache::allocate(uint64_t LineAddress, bool FetchWords) {
   Victim->Valid = true;
   Victim->Dirty = false;
   Victim->Tag = LineAddress;
+  Victim->InstalledBy = CurRef;
   Victim->InsertedAt = ++Tick;
   if (FetchWords) {
     int64_t *LineData =
@@ -156,6 +162,9 @@ DataCache::Line *DataCache::invalidWayOf(uint32_t Set) {
 int64_t DataCache::readMiss(uint64_t Addr, uint64_t LineAddress,
                             const MemRefInfo &Info) {
   // Stats.Reads was counted by the inline caller.
+  CurRef = Info.RefId;
+  if (Attr)
+    ++Attr->row(Info.RefId).Misses;
   if (Info.LastRef && Config.LineWords == 1 &&
       invalidWayOf(setOf(LineAddress))) {
     // Dead load missing the cache, with a free slot in the set: the
@@ -175,13 +184,16 @@ int64_t DataCache::readMiss(uint64_t Addr, uint64_t LineAddress,
   Line *L = allocate(LineAddress, /*FetchWords=*/true);
   int64_t Value = wordOf(*L, Addr);
   if (Info.LastRef)
-    freeLine(*L, /*AvoidWriteBack=*/true);
+    freeLine(*L, /*AvoidWriteBack=*/true, Info.RefId);
   return Value;
 }
 
 void DataCache::writeMiss(uint64_t Addr, uint64_t LineAddress, int64_t Value,
                           const MemRefInfo &Info) {
   // Stats.Writes was counted by the inline caller.
+  CurRef = Info.RefId;
+  if (Attr)
+    ++Attr->row(Info.RefId).Misses;
   if (Info.LastRef && Config.LineWords == 1 &&
       invalidWayOf(setOf(LineAddress))) {
     // Dead store missing the cache, with a free slot in the set — the
@@ -195,6 +207,8 @@ void DataCache::writeMiss(uint64_t Addr, uint64_t LineAddress, int64_t Value,
     Tick += 2;
     ++Stats.DeadFrees;
     ++Stats.DeadWriteBacksAvoided;
+    if (Attr)
+      ++Attr->row(Info.RefId).DeadWriteBacksSuppressed;
     return;
   }
   // Write-allocate. One-word lines skip the fetch (overwritten).
@@ -204,7 +218,7 @@ void DataCache::writeMiss(uint64_t Addr, uint64_t LineAddress, int64_t Value,
   if (Info.LastRef) {
     // Dead store: the value will never be read; the line is reclaimable
     // immediately and the memory copy need not be produced.
-    freeLine(*L, /*AvoidWriteBack=*/true);
+    freeLine(*L, /*AvoidWriteBack=*/true, Info.RefId);
   }
 }
 
@@ -217,7 +231,9 @@ int64_t DataCache::readBypass(uint64_t Addr, const MemRefInfo &Info) {
   // in another) break that guarantee — the paranoid shadow check in
   // the simulator caught exactly this. A miss reads memory directly,
   // leaving the cache untouched.
-  (void)Info;
+  CurRef = Info.RefId;
+  if (Attr)
+    ++Attr->row(Info.RefId).Bypasses;
   uint64_t LineAddress = lineAddr(Addr);
   if (Line *L = findLine(LineAddress)) {
     int64_t Value = wordOf(*L, Addr);
@@ -247,6 +263,8 @@ void DataCache::writeSlow(uint64_t Addr, int64_t Value,
     // UmAm_STORE: straight to memory. A stale cached copy should not
     // exist under the compiler contract; if one does, keep it coherent.
     ++Stats.BypassWrites;
+    if (Attr)
+      ++Attr->row(Info.RefId).Bypasses;
     Mem.write(Addr, Value);
     if (Line *L = findLine(LineAddress))
       wordOf(*L, Addr) = Value;
@@ -261,12 +279,16 @@ void DataCache::writeSlow(uint64_t Addr, int64_t Value,
   Line *L = findLine(LineAddress);
   Mem.write(Addr, Value);
   ++Stats.WriteThroughWords;
+  if (Attr) {
+    RefCounters &R = Attr->row(Info.RefId);
+    ++(L ? R.Hits : R.Misses);
+  }
   if (L) {
     ++Stats.WriteHits;
     touch(*L);
     wordOf(*L, Addr) = Value;
     if (Info.LastRef)
-      freeLine(*L, /*AvoidWriteBack=*/true);
+      freeLine(*L, /*AvoidWriteBack=*/true, Info.RefId);
   }
 }
 

@@ -1,0 +1,265 @@
+//===- RefProfile.cpp - Per-reference profile export ---------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// Join logic and the two renderings (JSON, annotate). Everything here
+// is deterministic in (program, table): rows are emitted in RefId
+// order, lines in source order, synthetic groups in function order of
+// first appearance — so the outputs golden-compare across runs, shard
+// counts and store temperature (which is how the bit-identity of the
+// attribution itself is surfaced to users).
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/sim/RefProfile.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+using namespace urcm;
+
+namespace {
+
+const char *refClassName(RefClass C) {
+  switch (C) {
+  case RefClass::Unambiguous:
+    return "unambiguous";
+  case RefClass::Ambiguous:
+    return "ambiguous";
+  case RefClass::Spill:
+    return "spill";
+  case RefClass::SpillReload:
+    return "spill-reload";
+  case RefClass::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Paper reference forms (section 4.3), matching the -Rurcm-classify
+/// remark naming: bypassing traffic uses the UmAm forms, cached loads
+/// are Am_LOAD, cached stores AmSp_STORE.
+const char *paperForm(bool IsStore, bool Bypass) {
+  if (IsStore)
+    return Bypass ? "UmAm_STORE" : "AmSp_STORE";
+  return Bypass ? "UmAm_LOAD" : "Am_LOAD";
+}
+
+void appendFormatted(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendFormatted(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, std::min<size_t>(static_cast<size_t>(N),
+                                     sizeof(Buf) - 1));
+}
+
+void jsonEscapeInto(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (char Ch : S) {
+    unsigned char C = static_cast<unsigned char>(Ch);
+    if (C == '"' || C == '\\') {
+      Out.push_back('\\');
+      Out.push_back(static_cast<char>(C));
+    } else if (C < 0x20) {
+      appendFormatted(Out, "\\u%04x", C);
+    } else {
+      Out.push_back(static_cast<char>(C));
+    }
+  }
+  Out.push_back('"');
+}
+
+} // namespace
+
+std::vector<RefProfileRow>
+urcm::buildRefProfile(const MachineProgram &Prog,
+                      const RefAttribution &Attr) {
+  std::vector<RefProfileRow> Rows;
+  Rows.reserve(Prog.RefTable.size());
+  for (size_t Id = 0; Id != Prog.RefTable.size(); ++Id) {
+    const MachineProgram::StaticRef &Ref = Prog.RefTable[Id];
+    RefProfileRow Row;
+    Row.RefId = static_cast<uint16_t>(Id);
+    Row.CodeIndex = Ref.CodeIndex;
+    Row.Loc = Ref.Loc;
+    if (const MachineFunction *F = Prog.functionAt(Ref.CodeIndex))
+      Row.Function = F->Name;
+    const MInst &I = Prog.Code[Ref.CodeIndex];
+    Row.IsStore = I.Op == MOpcode::St;
+    Row.Bypass = I.MemInfo.Bypass;
+    Row.LastRef = I.MemInfo.LastRef;
+    Row.Form = paperForm(Row.IsStore, Row.Bypass);
+    Row.Class = refClassName(I.MemInfo.Class);
+    Row.Counters = Attr.row(static_cast<uint32_t>(Id));
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+std::string urcm::refProfileJSON(const MachineProgram &Prog,
+                                 const RefAttribution &Attr,
+                                 const std::string &Workload) {
+  std::vector<RefProfileRow> Rows = buildRefProfile(Prog, Attr);
+  std::string Out;
+  Out.reserve(256 + Rows.size() * 256);
+  Out += "{\n  \"version\": 1,\n  \"workload\": ";
+  jsonEscapeInto(Out, Workload);
+  appendFormatted(Out, ",\n  \"num_refs\": %zu,\n  \"refs\": [",
+                  Rows.size());
+  auto Counters = [&](const RefCounters &C) {
+    appendFormatted(
+        Out,
+        "\"hits\": %llu, \"misses\": %llu, \"bypasses\": %llu, "
+        "\"dead_wb_suppressed\": %llu, \"evictions_caused\": %llu, "
+        "\"evictions_suffered\": %llu",
+        static_cast<unsigned long long>(C.Hits),
+        static_cast<unsigned long long>(C.Misses),
+        static_cast<unsigned long long>(C.Bypasses),
+        static_cast<unsigned long long>(C.DeadWriteBacksSuppressed),
+        static_cast<unsigned long long>(C.EvictionsCaused),
+        static_cast<unsigned long long>(C.EvictionsSuffered));
+  };
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const RefProfileRow &R = Rows[I];
+    Out += I == 0 ? "\n" : ",\n";
+    appendFormatted(Out, "    {\"ref\": %u, \"code_index\": %u, ",
+                    R.RefId, R.CodeIndex);
+    Out += "\"function\": ";
+    jsonEscapeInto(Out, R.Function);
+    appendFormatted(Out, ", \"line\": %u, \"col\": %u, ", R.Loc.Line,
+                    R.Loc.Col);
+    appendFormatted(Out, "\"form\": \"%s\", \"class\": \"%s\", ", R.Form,
+                    R.Class);
+    appendFormatted(Out, "\"bypass\": %s, \"lastref\": %s, ",
+                    R.Bypass ? "true" : "false",
+                    R.LastRef ? "true" : "false");
+    Counters(R.Counters);
+    appendFormatted(Out, ", \"dead_evicted\": %s}",
+                    R.deadEvicted() ? "true" : "false");
+  }
+  Out += "\n  ],\n  \"overflow\": {";
+  Counters(Attr.overflow());
+  Out += "}\n}\n";
+  return Out;
+}
+
+std::string urcm::refProfileAnnotate(const MachineProgram &Prog,
+                                     const RefAttribution &Attr,
+                                     const std::string &Source) {
+  std::vector<RefProfileRow> Rows = buildRefProfile(Prog, Attr);
+
+  // Aggregate per source line. Synthetic references (invalid Loc:
+  // prologue/epilogue save-restore, spill traffic) group per function
+  // instead and print below the listing.
+  struct LineAgg {
+    RefCounters Sum;
+    uint32_t NumRefs = 0;
+    bool AnyBypass = false;
+    bool DeadEvicted = false;
+  };
+  std::map<uint32_t, LineAgg> ByLine;
+  std::vector<std::pair<std::string, RefCounters>> Synthetic;
+  for (const RefProfileRow &R : Rows) {
+    if (R.Loc.isValid()) {
+      LineAgg &A = ByLine[R.Loc.Line];
+      A.Sum += R.Counters;
+      ++A.NumRefs;
+      A.AnyBypass |= R.Bypass;
+      A.DeadEvicted |= R.deadEvicted();
+    } else {
+      auto It = std::find_if(Synthetic.begin(), Synthetic.end(),
+                             [&](const auto &P) {
+                               return P.first == R.Function;
+                             });
+      if (It == Synthetic.end())
+        Synthetic.emplace_back(R.Function, R.Counters);
+      else
+        It->second += R.Counters;
+    }
+  }
+
+  RefCounters Total;
+  for (const RefProfileRow &R : Rows)
+    Total += R.Counters;
+  Total += Attr.overflow();
+
+  std::string Out;
+  appendFormatted(Out,
+                  "ref profile: %zu static refs | hits %llu  misses "
+                  "%llu  bypasses %llu  dead-wb-suppressed %llu\n",
+                  Rows.size(),
+                  static_cast<unsigned long long>(Total.Hits),
+                  static_cast<unsigned long long>(Total.Misses),
+                  static_cast<unsigned long long>(Total.Bypasses),
+                  static_cast<unsigned long long>(
+                      Total.DeadWriteBacksSuppressed));
+  Out += "mismatch flags: !bypass-miss = line has a bypass-classified "
+         "ref yet still misses;\n                !dead-evicted = "
+         "last-ref-tagged line evicted before its dead tag fired\n\n";
+  appendFormatted(Out, "%10s %10s %8s %8s | %4s | source\n", "hits",
+                  "misses", "bypass", "dead-wb", "line");
+
+  uint32_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    ++LineNo;
+    const std::string Line = Source.substr(Pos, End - Pos);
+    auto It = ByLine.find(LineNo);
+    if (It == ByLine.end()) {
+      appendFormatted(Out, "%10s %10s %8s %8s | %4u | ", "", "", "", "",
+                      LineNo);
+      Out += Line;
+    } else {
+      const LineAgg &A = It->second;
+      appendFormatted(
+          Out, "%10llu %10llu %8llu %8llu | %4u | ",
+          static_cast<unsigned long long>(A.Sum.Hits),
+          static_cast<unsigned long long>(A.Sum.Misses),
+          static_cast<unsigned long long>(A.Sum.Bypasses),
+          static_cast<unsigned long long>(A.Sum.DeadWriteBacksSuppressed),
+          LineNo);
+      Out += Line;
+      if (A.AnyBypass && A.Sum.Misses != 0)
+        Out += "   !bypass-miss";
+      if (A.DeadEvicted)
+        Out += "   !dead-evicted";
+    }
+    Out += '\n';
+    Pos = End + 1;
+  }
+
+  if (!Synthetic.empty()) {
+    Out += "\nsynthetic references (spill/save-restore, no source "
+           "line):\n";
+    for (const auto &[Fn, C] : Synthetic)
+      appendFormatted(Out,
+                      "%10llu %10llu %8llu %8llu |      | <%s>\n",
+                      static_cast<unsigned long long>(C.Hits),
+                      static_cast<unsigned long long>(C.Misses),
+                      static_cast<unsigned long long>(C.Bypasses),
+                      static_cast<unsigned long long>(
+                          C.DeadWriteBacksSuppressed),
+                      Fn.empty() ? "?" : Fn.c_str());
+  }
+  const RefCounters &Ovf = Attr.overflow();
+  if (Ovf.accesses() != 0 || Ovf.DeadWriteBacksSuppressed != 0)
+    appendFormatted(Out,
+                    "%10llu %10llu %8llu %8llu |      | <unnumbered>\n",
+                    static_cast<unsigned long long>(Ovf.Hits),
+                    static_cast<unsigned long long>(Ovf.Misses),
+                    static_cast<unsigned long long>(Ovf.Bypasses),
+                    static_cast<unsigned long long>(
+                        Ovf.DeadWriteBacksSuppressed));
+  return Out;
+}

@@ -127,6 +127,11 @@ class LRUTwoWayStream {
     bool Hinted;
     std::vector<uint64_t> Tags;
     CacheStats St;
+    /// Per-point attribution table (null: off, the common case).
+    RefAttribution *Attr = nullptr;
+    /// Installer RefId per way, parallel to Tags; sized on demand by
+    /// setAttribution.
+    std::vector<uint16_t> InstalledBy;
   };
   std::vector<Way2Cache> Caches;
 
@@ -144,8 +149,19 @@ public:
         ++Shift;
       Caches.push_back({NumSets - 1, ShardDiv, Shift, !P.IgnoreHints,
                         std::vector<uint64_t>(LocalSets * 2, Invalid),
-                        CacheStats()});
+                        CacheStats(), /*Attr=*/nullptr,
+                        /*InstalledBy=*/{}});
     }
+  }
+
+  /// Routes attribution for the point at \p PointIdx into \p A (see
+  /// RefAttribution; counter sites mirror TwoWayWB1Cache's, so shard
+  /// tables merge bit-identically).
+  void setAttribution(size_t PointIdx, RefAttribution *A) {
+    Way2Cache &C = Caches[PointIdx];
+    C.Attr = A;
+    if (A && C.InstalledBy.size() != C.Tags.size())
+      C.InstalledBy.assign(C.Tags.size(), MemRefInfo::NoRefId);
   }
 
   void feed(const TraceEvent *Events, size_t Count) {
@@ -154,12 +170,20 @@ public:
     // chunk itself stays hot across passes. Caches are mutually
     // independent, so the interchange cannot change any counter.
     for (Way2Cache &C : Caches) {
-      if (C.ShardDiv == 1)
-        feedOne<ShardMap::None>(C, Events, Count);
-      else if ((C.ShardDiv & (C.ShardDiv - 1)) == 0)
-        feedOne<ShardMap::Shift>(C, Events, Count);
-      else
-        feedOne<ShardMap::Div>(C, Events, Count);
+      if (C.Attr) {
+        if (C.ShardDiv == 1)
+          feedOne<ShardMap::None, true>(C, Events, Count);
+        else if ((C.ShardDiv & (C.ShardDiv - 1)) == 0)
+          feedOne<ShardMap::Shift, true>(C, Events, Count);
+        else
+          feedOne<ShardMap::Div, true>(C, Events, Count);
+      } else if (C.ShardDiv == 1) {
+        feedOne<ShardMap::None, false>(C, Events, Count);
+      } else if ((C.ShardDiv & (C.ShardDiv - 1)) == 0) {
+        feedOne<ShardMap::Shift, false>(C, Events, Count);
+      } else {
+        feedOne<ShardMap::Div, false>(C, Events, Count);
+      }
     }
   }
 
@@ -176,9 +200,12 @@ public:
   }
 
 private:
-  template <ShardMap Map>
+  template <ShardMap Map, bool Attrib>
   void feedOne(Way2Cache &C, const TraceEvent *Events, size_t Count) {
     uint64_t *const Tags = C.Tags.data();
+    [[maybe_unused]] uint16_t *const IB =
+        Attrib ? C.InstalledBy.data() : nullptr;
+    [[maybe_unused]] RefAttribution *const Attr = C.Attr;
     const uint64_t SetMask = C.SetMask;
     const uint64_t ShardDiv = C.ShardDiv;
     const uint32_t ShardShift = C.ShardShift;
@@ -188,12 +215,14 @@ private:
          ++E) {
       const uint64_t A = E->Addr;
       const bool W = E->IsWrite;
+      [[maybe_unused]] const uint16_t Ref = E->RefId;
       uint64_t Set = A & SetMask;
       if constexpr (Map == ShardMap::Shift)
         Set >>= ShardShift;
       else if constexpr (Map == ShardMap::Div)
         Set /= ShardDiv;
       uint64_t *P = Tags + (Set << 1);
+      [[maybe_unused]] uint16_t *B = Attrib ? IB + (Set << 1) : nullptr;
       if (__builtin_expect(!(E->Info.Bypass & Hinted), 1)) {
         uint64_t T0 = P[0];
         if (W)
@@ -201,6 +230,8 @@ private:
         else
           ++St.Reads;
         if ((T0 & TagMask) == A) {
+          if constexpr (Attrib)
+            ++Attr->row(Ref).Hits;
           if (W) {
             ++St.WriteHits;
             P[0] = T0 | DirtyBit;
@@ -208,6 +239,12 @@ private:
             ++St.ReadHits;
           }
         } else if (uint64_t T1 = P[1]; (T1 & TagMask) == A) {
+          if constexpr (Attrib) {
+            ++Attr->row(Ref).Hits;
+            const uint16_t Tmp = B[0];
+            B[0] = B[1];
+            B[1] = Tmp;
+          }
           if (W) {
             ++St.WriteHits;
             T1 |= DirtyBit;
@@ -219,15 +256,23 @@ private:
         } else {
           // Miss. One-word write-allocate skips the fetch (the store
           // overwrites the whole line).
+          if constexpr (Attrib)
+            ++Attr->row(Ref).Misses;
           ++St.Fills;
           if (!W)
             ++St.FillWords;
           uint64_t NewTag = W ? A | DirtyBit : A;
           if (T0 == Invalid) {
             P[0] = NewTag;
+            if constexpr (Attrib)
+              B[0] = Ref;
           } else {
             if (T1 != Invalid) {
               ++St.Evictions;
+              if constexpr (Attrib) {
+                ++Attr->row(Ref).EvictionsCaused;
+                ++Attr->row(B[1]).EvictionsSuffered;
+              }
               if (T1 & DirtyBit) {
                 ++St.WriteBacks;
                 ++St.WriteBackWords;
@@ -235,20 +280,31 @@ private:
             }
             P[1] = T0;
             P[0] = NewTag;
+            if constexpr (Attrib) {
+              B[1] = B[0];
+              B[0] = Ref;
+            }
           }
         }
         if (E->Info.LastRef & Hinted) {
           // The accessed line sits in slot 0 after every path above.
           ++St.DeadFrees;
-          if (P[0] & DirtyBit)
+          if (P[0] & DirtyBit) {
             ++St.DeadWriteBacksAvoided;
+            if constexpr (Attrib)
+              ++Attr->row(Ref).DeadWriteBacksSuppressed;
+          }
           P[0] = Invalid;
         }
       } else if (W) {
         ++St.BypassWrites;
+        if constexpr (Attrib)
+          ++Attr->row(Ref).Bypasses;
       } else {
         // Bypass read: a resident line migrates to the register file
         // (dirty lines write back first) and frees its slot.
+        if constexpr (Attrib)
+          ++Attr->row(Ref).Bypasses;
         uint64_t T0 = P[0], T1 = P[1];
         uint64_t *Slot = (T0 & TagMask) == A   ? &P[0]
                          : (T1 & TagMask) == A ? &P[1]
@@ -260,6 +316,10 @@ private:
             ++St.WriteBacks;
             ++St.WriteBackWords;
             ++St.Evictions;
+            if constexpr (Attrib) {
+              ++Attr->row(Ref).EvictionsCaused;
+              ++Attr->row(B[Slot - P]).EvictionsSuffered;
+            }
           }
           *Slot = Invalid;
         } else {
@@ -314,6 +374,14 @@ public:
       Replayers.emplace_back(P.Config, P.Policy, std::move(Next),
                              ShardDiv);
     }
+  }
+
+  /// Routes attribution for the point at \p PointIdx into \p A. The
+  /// stripped-hint scratch copies whole events, so RefIds reach
+  /// IgnoreHints replayers too (hinted and stripped compilations number
+  /// their references identically; see MachineProgram::RefTable).
+  void setAttribution(size_t PointIdx, RefAttribution *A) {
+    Replayers[PointIdx].setAttribution(A);
   }
 
   void feed(const TraceEvent *Events, size_t Count) {

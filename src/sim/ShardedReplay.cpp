@@ -107,6 +107,10 @@ struct ShardedSweepStream::Impl {
   std::vector<SweepPoint> SeqPts;
   std::vector<size_t> SeqIdx;
 
+  /// Merged attribution tables, parallel to Points (default-empty for
+  /// points that did not request attribution); filled by finish().
+  std::vector<RefAttribution> OutAttrib;
+
   const std::vector<TraceEvent> &trace() const {
     return ExternalTrace ? *ExternalTrace : Raw;
   }
@@ -131,7 +135,12 @@ ShardedSweepStream::ShardedSweepStream(
   std::map<std::pair<uint32_t, uint32_t>, size_t> GroupOf;
   for (size_t I = 0; I != P->Points.size(); ++I) {
     const SweepPoint &Pt = P->Points[I];
-    if (Shards > 1 && stackDistanceEligible(Pt)) {
+    // Attribution excludes a point from the capacity shards: the
+    // positional stack walk cannot charge events to references. Such a
+    // point has one set, so the set-shard test below sends it to the
+    // sequential leftovers, where the per-event kernels attribute.
+    if (Shards > 1 && stackDistanceEligible(Pt) &&
+        !Pt.wantsAttribution()) {
       const int View = Pt.IgnoreHints ? 1 : 0;
       ViewSizes[View].push_back(Pt.Config.NumLines);
       ViewIdx[View].push_back(I);
@@ -237,29 +246,50 @@ void ShardedSweepStream::feed(const TraceEvent *Events, size_t Count) {
 std::vector<CacheStats> ShardedSweepStream::finish() {
   Impl &I = *P;
 
-  // Flatten the work units. Each returns its counters in unit-local
-  // order; the merge below scatters/accumulates them single-threaded.
-  std::vector<std::function<std::vector<CacheStats>()>> Units;
+  // Flatten the work units. Each returns its counters (and, for points
+  // that request it, attribution tables) in unit-local order; the merge
+  // below scatters/accumulates them single-threaded.
+  struct UnitResult {
+    std::vector<CacheStats> Stats;
+    std::vector<RefAttribution> Attrib;
+  };
+  std::vector<std::function<UnitResult()>> Units;
   for (Impl::Group &G : I.Groups)
     for (uint32_t S = 0; S != G.GroupShards; ++S)
       Units.push_back([&G, S] {
         const std::vector<TraceEvent> &Buf = G.Buffers[S];
-        std::vector<CacheStats> Local(G.PointIdx.size());
+        UnitResult R;
+        R.Stats.resize(G.PointIdx.size());
+        // Sized once up front so the kernels' table pointers stay
+        // valid for the whole replay.
+        R.Attrib.resize(G.PointIdx.size());
         if (!G.FastPts.empty()) {
           detail::LRUTwoWayStream K(G.FastPts, G.GroupShards);
+          for (size_t J = 0; J != G.FastPts.size(); ++J)
+            if (G.FastPts[J].wantsAttribution()) {
+              R.Attrib[G.FastPos[J]] =
+                  RefAttribution(G.FastPts[J].AttributionRefs);
+              K.setAttribution(J, &R.Attrib[G.FastPos[J]]);
+            }
           K.feed(Buf.data(), Buf.size());
           std::vector<CacheStats> Part = K.finish();
           for (size_t J = 0; J != Part.size(); ++J)
-            Local[G.FastPos[J]] = Part[J];
+            R.Stats[G.FastPos[J]] = Part[J];
         }
         if (!G.SlowPts.empty()) {
           detail::GenericMultiStream K(G.SlowPts, nullptr, G.GroupShards);
+          for (size_t J = 0; J != G.SlowPts.size(); ++J)
+            if (G.SlowPts[J].wantsAttribution()) {
+              R.Attrib[G.SlowPos[J]] =
+                  RefAttribution(G.SlowPts[J].AttributionRefs);
+              K.setAttribution(J, &R.Attrib[G.SlowPos[J]]);
+            }
           K.feed(Buf.data(), Buf.size());
           std::vector<CacheStats> Part = K.finish();
           for (size_t J = 0; J != Part.size(); ++J)
-            Local[G.SlowPos[J]] = Part[J];
+            R.Stats[G.SlowPos[J]] = Part[J];
         }
-        return Local;
+        return R;
       });
   for (Impl::StackUnit &SU : I.StackUnits)
     Units.push_back([&I, &SU] {
@@ -267,24 +297,37 @@ std::vector<CacheStats> ShardedSweepStream::finish() {
       detail::StackDistanceStream K(SU.Sizes, SU.IgnoreHints);
       K.reserve(T.size());
       K.feed(T.data(), T.size());
-      return K.finish();
+      // Capacity shards never attribute (classification excludes
+      // attributing points), so Attrib stays empty.
+      return UnitResult{K.finish(), {}};
     });
   if (!I.SeqPts.empty())
-    Units.push_back(
-        [&I] { return replaySweepPoints(I.trace(), I.SeqPts); });
+    Units.push_back([&I] {
+      const std::vector<TraceEvent> &T = I.trace();
+      SweepPointStream Stream(I.SeqPts, &T);
+      Stream.reserve(T.size());
+      Stream.feed(T.data(), T.size());
+      UnitResult R;
+      R.Stats = Stream.finish();
+      R.Attrib.resize(I.SeqPts.size());
+      for (size_t J = 0; J != I.SeqPts.size(); ++J)
+        if (I.SeqPts[J].wantsAttribution())
+          R.Attrib[J] = Stream.takeAttribution(J);
+      return R;
+    });
 
   // Replay every unit on the pool. Results land in padded slots so
   // concurrent completions never write the same cache line; the merge
   // afterwards is sequential and deterministic (sums of uint64 are
   // order-independent anyway).
   struct alignas(DestructiveInterferenceSize) UnitSlot {
-    std::vector<CacheStats> Stats;
+    UnitResult R;
   };
   std::vector<UnitSlot> Slots(Units.size());
   const bool Metered = telemetry::enabled();
   const uint64_t T0 = Metered ? telemetry::nowNanos() : 0;
   I.Pool->parallelFor(
-      Units.size(), [&](size_t U) { Slots[U].Stats = Units[U](); });
+      Units.size(), [&](size_t U) { Slots[U].R = Units[U](); });
   if (Metered) {
     ShardReplayNs.add(telemetry::nowNanos() - T0);
     NumShardReplays.add();
@@ -302,22 +345,34 @@ std::vector<CacheStats> ShardedSweepStream::finish() {
   }
 
   std::vector<CacheStats> Out(I.Points.size());
+  I.OutAttrib.assign(I.Points.size(), RefAttribution());
   size_t U = 0;
   for (const Impl::Group &G : I.Groups)
     for (uint32_t S = 0; S != G.GroupShards; ++S, ++U)
-      for (size_t J = 0; J != G.PointIdx.size(); ++J)
-        Out[G.PointIdx[J]] += Slots[U].Stats[J];
+      for (size_t J = 0; J != G.PointIdx.size(); ++J) {
+        Out[G.PointIdx[J]] += Slots[U].R.Stats[J];
+        if (I.Points[G.PointIdx[J]].wantsAttribution())
+          I.OutAttrib[G.PointIdx[J]] += Slots[U].R.Attrib[J];
+      }
   for (const Impl::StackUnit &SU : I.StackUnits) {
     for (size_t J = 0; J != SU.PointIdx.size(); ++J)
-      Out[SU.PointIdx[J]] = Slots[U].Stats[J];
+      Out[SU.PointIdx[J]] = Slots[U].R.Stats[J];
     ++U;
   }
   if (!I.SeqPts.empty()) {
-    for (size_t J = 0; J != I.SeqIdx.size(); ++J)
-      Out[I.SeqIdx[J]] = Slots[U].Stats[J];
+    for (size_t J = 0; J != I.SeqIdx.size(); ++J) {
+      Out[I.SeqIdx[J]] = Slots[U].R.Stats[J];
+      I.OutAttrib[I.SeqIdx[J]] = std::move(Slots[U].R.Attrib[J]);
+    }
     ++U;
   }
   return Out;
+}
+
+RefAttribution ShardedSweepStream::takeAttribution(size_t PointIndex) {
+  assert(PointIndex < P->OutAttrib.size() &&
+         "sweep point index out of range (or finish() not called)");
+  return std::move(P->OutAttrib[PointIndex]);
 }
 
 std::vector<CacheStats>

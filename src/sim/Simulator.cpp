@@ -92,15 +92,15 @@ public:
     LastBypassBit = Bit;
     if (Sink) {
       Buf.push_back(TraceEvent{static_cast<uint32_t>(Addr), IsWrite,
-                               TraceEvent::Hints(Info)});
+                               TraceEvent::Hints(Info), Info.RefId});
       if (Buf.size() == ChunkCap) {
         Buf = Sink->chunk(std::move(Buf));
         Buf.clear();
         Buf.reserve(ChunkCap);
       }
     } else if (Recording) {
-      Result.Trace.push_back(TraceEvent{static_cast<uint32_t>(Addr),
-                                        IsWrite, TraceEvent::Hints(Info)});
+      Result.Trace.push_back(TraceEvent{static_cast<uint32_t>(Addr), IsWrite,
+                                        TraceEvent::Hints(Info), Info.RefId});
     }
   }
 
@@ -127,6 +127,7 @@ SimResult runPredecodedImpl(const PredecodedProgram &PP,
   SimResult Result;
   MainMemory Mem(PP.StackTop + 64);
   DCacheT Cache(Config.Cache, Mem);
+  Cache.setAttribution(Config.Attribution);
 
   std::unique_ptr<MainMemory> IMem;
   std::unique_ptr<DataCache> ICache;
@@ -429,11 +430,20 @@ SimResult Simulator::run(const PredecodedProgram &Prog) {
   // generic either way (its per-fetch cost is already a hit in slot 0
   // and it is off in most experiments).
   SimResult Result;
-  if (TwoWayWB1Cache::eligible(Config.Cache))
-    Result = Config.ModelICache
-                 ? runPredecodedImpl<true, TwoWayWB1Cache>(Prog, Config)
-                 : runPredecodedImpl<false, TwoWayWB1Cache>(Prog, Config);
-  else
+  if (TwoWayWB1Cache::eligible(Config.Cache)) {
+    // Attribution swaps in the profiling instantiation; the default one
+    // compiles the per-reference bookkeeping out of the inlined hot
+    // path entirely (if constexpr in TwoWayWB1CacheT), so profiling
+    // costs nothing when off.
+    if (Config.Attribution)
+      Result = Config.ModelICache
+                   ? runPredecodedImpl<true, TwoWayWB1CacheAttr>(Prog, Config)
+                   : runPredecodedImpl<false, TwoWayWB1CacheAttr>(Prog, Config);
+    else
+      Result = Config.ModelICache
+                   ? runPredecodedImpl<true, TwoWayWB1Cache>(Prog, Config)
+                   : runPredecodedImpl<false, TwoWayWB1Cache>(Prog, Config);
+  } else
     Result = Config.ModelICache
                  ? runPredecodedImpl<true, DataCache>(Prog, Config)
                  : runPredecodedImpl<false, DataCache>(Prog, Config);
@@ -457,6 +467,7 @@ SimResult Simulator::runSwitch(const MachineProgram &Prog) {
   SimResult Result;
   MainMemory Mem(Prog.StackTop + 64);
   DataCache Cache(Config.Cache, Mem);
+  Cache.setAttribution(Config.Attribution);
 
   // Optional instruction cache: tag-only simulation over code indexes.
   std::unique_ptr<MainMemory> IMem;

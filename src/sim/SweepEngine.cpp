@@ -102,6 +102,10 @@ struct SweepPointStream::Impl {
   std::unique_ptr<detail::LRUTwoWayStream> Fast;
   std::unique_ptr<detail::GenericMultiStream> Slow;
   std::vector<size_t> FastIdx, SlowIdx;
+  /// Per-point attribution tables, parallel to Points (default-empty
+  /// rows for points that did not request attribution); the kernels
+  /// accumulate into these in place and takeAttribution moves them out.
+  std::vector<RefAttribution> Attrib;
 };
 
 bool SweepPointStream::streamable(const std::vector<SweepPoint> &Points) {
@@ -116,9 +120,16 @@ SweepPointStream::SweepPointStream(
     : P(std::make_unique<Impl>()) {
   P->Points = std::move(Points);
   const std::vector<SweepPoint> &Pts = P->Points;
+  P->Attrib.resize(Pts.size());
+  // Attribution pins a point to the per-event kernels: the positional
+  // stack walk shares state across all sizes and cannot charge events
+  // to references, so one attributing point demotes the whole batch.
   P->UseStack =
       AllowStackFastPath && !Pts.empty() &&
-      std::all_of(Pts.begin(), Pts.end(), stackDistanceEligible);
+      std::all_of(Pts.begin(), Pts.end(), stackDistanceEligible) &&
+      std::none_of(Pts.begin(), Pts.end(), [](const SweepPoint &Pt) {
+        return Pt.wantsAttribution();
+      });
   if (P->UseStack) {
     // One stack walk per hint view (the walk itself covers all sizes).
     for (size_t I = 0; I != Pts.size(); ++I)
@@ -154,6 +165,23 @@ SweepPointStream::SweepPointStream(
   if (!Slow.empty())
     P->Slow =
         std::make_unique<detail::GenericMultiStream>(std::move(Slow), FullTrace);
+  // Allocate each requesting point's table and hand its kernel a
+  // pointer. Attrib was sized above and is never resized again, so the
+  // element addresses stay valid for the stream's lifetime.
+  for (size_t J = 0; J != P->FastIdx.size(); ++J) {
+    const size_t I = P->FastIdx[J];
+    if (Pts[I].wantsAttribution()) {
+      P->Attrib[I] = RefAttribution(Pts[I].AttributionRefs);
+      P->Fast->setAttribution(J, &P->Attrib[I]);
+    }
+  }
+  for (size_t J = 0; J != P->SlowIdx.size(); ++J) {
+    const size_t I = P->SlowIdx[J];
+    if (Pts[I].wantsAttribution()) {
+      P->Attrib[I] = RefAttribution(Pts[I].AttributionRefs);
+      P->Slow->setAttribution(J, &P->Attrib[I]);
+    }
+  }
 }
 
 SweepPointStream::~SweepPointStream() = default;
@@ -198,6 +226,12 @@ std::vector<CacheStats> SweepPointStream::finish() {
   return Out;
 }
 
+RefAttribution SweepPointStream::takeAttribution(size_t PointIndex) {
+  assert(PointIndex < P->Attrib.size() &&
+         "sweep point index out of range");
+  return std::move(P->Attrib[PointIndex]);
+}
+
 //===----------------------------------------------------------------------===//
 // Batch wrappers: one chunk, then finish.
 //===----------------------------------------------------------------------===//
@@ -236,6 +270,47 @@ urcm::replaySweepPoints(const std::vector<TraceEvent> &Trace,
   Stream.feed(Trace.data(), Trace.size());
   return Stream.finish();
 }
+
+namespace {
+
+/// Extracts the attribution tables of every requesting point from a
+/// finished stream into \p Attrib (parallel to \p Points; default rows
+/// elsewhere). Shared by the streaming, store-serve and materialized
+/// paths — all three stream types expose the same takeAttribution.
+template <typename StreamT>
+void collectAttribution(StreamT &Stream,
+                        const std::vector<SweepPoint> &Points,
+                        std::vector<RefAttribution> &Attrib) {
+  Attrib.assign(Points.size(), RefAttribution());
+  for (size_t R = 0; R != Points.size(); ++R)
+    if (Points[R].wantsAttribution())
+      Attrib[R] = Stream.takeAttribution(R);
+}
+
+/// Materialized-trace replay (the Belady MIN path): same batch shape as
+/// replaySweepPoints / replaySweepPointsSharded, plus attribution
+/// extraction for the points that request it.
+std::vector<CacheStats>
+replayMaterialized(const std::vector<TraceEvent> &Trace,
+                   const std::vector<SweepPoint> &Points,
+                   uint32_t EffShards, ThreadPool *Pool,
+                   std::vector<RefAttribution> &Attrib) {
+  auto RunStream = [&](auto &Stream) {
+    Stream.reserve(Trace.size());
+    Stream.feed(Trace.data(), Trace.size());
+    std::vector<CacheStats> Out = Stream.finish();
+    collectAttribution(Stream, Points, Attrib);
+    return Out;
+  };
+  if (EffShards > 1) {
+    ShardedSweepStream Stream(Points, EffShards, Pool, &Trace);
+    return RunStream(Stream);
+  }
+  SweepPointStream Stream(Points, &Trace);
+  return RunStream(Stream);
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // SweepEngine
@@ -277,7 +352,8 @@ bool SweepEngine::serveFromStore(Experiment &E,
                                  const std::vector<SweepPoint> &Rest,
                                  uint32_t EffShards,
                                  uint64_t &TraceEvents,
-                                 std::vector<CacheStats> &Replayed) {
+                                 std::vector<CacheStats> &Replayed,
+                                 std::vector<RefAttribution> &ReplayedAttrib) {
   DiagnosticEngine OpenDiags;
   TraceStoreReader Reader;
   const std::string Path = traceStorePath(StoreDir, E.ContentHash);
@@ -315,6 +391,7 @@ bool SweepEngine::serveFromStore(Experiment &E,
         Replayed = Stream.finish();
         if (T0)
           ReplayNs += telemetry::nowNanos() - T0;
+        collectAttribution(Stream, Rest, ReplayedAttrib);
       }
       SweepReplayNs.add(ReplayNs);
     };
@@ -333,9 +410,8 @@ bool SweepEngine::serveFromStore(Experiment &E,
     if (Ok) {
       telemetry::ScopedPhase Replay("sweep.replay");
       uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
-      Replayed = EffShards > 1 ? replaySweepPointsSharded(Trace, Rest,
-                                                          EffShards, Pool)
-                               : replaySweepPoints(Trace, Rest);
+      Replayed =
+          replayMaterialized(Trace, Rest, EffShards, Pool, ReplayedAttrib);
       if (T0)
         SweepReplayNs.add(telemetry::nowNanos() - T0);
       NumSweepBytesFreed.add(Trace.capacity() * sizeof(TraceEvent));
@@ -350,6 +426,7 @@ bool SweepEngine::serveFromStore(Experiment &E,
                         "'; falling back to live simulation");
     forwardStoreDiags(Local);
     Replayed.clear();
+    ReplayedAttrib.clear();
     return false;
   }
   E.Result = Reader.summary();
@@ -380,12 +457,14 @@ void SweepEngine::run() {
     // the base counters (replay is bit-identical, so this is pure
     // reuse); everything else replays. The partition depends only on
     // configurations, so it is computed up front and shared by both
-    // trace modes.
+    // trace modes. Attribution requests force a point into the replay
+    // set — the base run carries no table to reuse.
     std::vector<SweepPoint> Rest;
     std::vector<size_t> RestIndex, ReusedIndex;
     for (size_t P = 0; P != E.Points.size(); ++P) {
       const SweepPoint &Pt = E.Points[P];
-      if (!Pt.IgnoreHints && Pt.Config == Config.Cache &&
+      if (!Pt.IgnoreHints && !Pt.wantsAttribution() &&
+          Pt.Config == Config.Cache &&
           Pt.Policy == tracePolicyFor(Config.Cache.Policy)) {
         ReusedIndex.push_back(P);
       } else {
@@ -396,10 +475,11 @@ void SweepEngine::run() {
 
     uint64_t TraceEvents = 0;
     std::vector<CacheStats> Replayed;
+    std::vector<RefAttribution> ReplayedAttrib;
     const bool StoreEnabled = !StoreDir.empty() && E.ContentHash != 0;
     const bool Served =
-        StoreEnabled &&
-        serveFromStore(E, Rest, EffShards, TraceEvents, Replayed);
+        StoreEnabled && serveFromStore(E, Rest, EffShards, TraceEvents,
+                                       Replayed, ReplayedAttrib);
 
     // On a store miss the live run tees its trace into a writer so the
     // next process (or a rerun) is served warm. The writer observes; it
@@ -481,6 +561,7 @@ void SweepEngine::run() {
             } else {
               Replayed = Stream.finish();
             }
+            collectAttribution(Stream, Rest, ReplayedAttrib);
           }
           SweepReplayNs.add(ReplayNs);
         };
@@ -510,11 +591,8 @@ void SweepEngine::run() {
         if (!Rest.empty()) {
           telemetry::ScopedPhase Replay("sweep.replay");
           uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
-          Replayed =
-              EffShards > 1
-                  ? replaySweepPointsSharded(E.Result.Trace, Rest,
-                                             EffShards, Pool)
-                  : replaySweepPoints(E.Result.Trace, Rest);
+          Replayed = replayMaterialized(E.Result.Trace, Rest, EffShards,
+                                        Pool, ReplayedAttrib);
           if (T0)
             SweepReplayNs.add(telemetry::nowNanos() - T0);
         }
@@ -547,8 +625,12 @@ void SweepEngine::run() {
       E.Stats.resize(E.Points.size());
       for (size_t P : ReusedIndex)
         E.Stats[P] = E.Result.Cache;
-      for (size_t R = 0; R != RestIndex.size(); ++R)
+      E.Attrib.resize(E.Points.size());
+      for (size_t R = 0; R != RestIndex.size(); ++R) {
         E.Stats[RestIndex[R]] = Replayed[R];
+        if (R < ReplayedAttrib.size())
+          E.Attrib[RestIndex[R]] = std::move(ReplayedAttrib[R]);
+      }
     }
     std::lock_guard<std::mutex> Lock(M);
     E.Done = true;
@@ -579,4 +661,14 @@ const CacheStats &SweepEngine::point(const std::string &Key,
   const Experiment &E = finished(Key);
   assert(Index < E.Stats.size() && "sweep point index out of range");
   return E.Stats[Index];
+}
+
+const RefAttribution &SweepEngine::attribution(const std::string &Key,
+                                               size_t Index) const {
+  const Experiment &E = finished(Key);
+  assert(Index < E.Attrib.size() && "sweep point index out of range");
+  assert(E.Points[Index].wantsAttribution() &&
+         "point did not request attribution (set "
+         "SweepPoint::AttributionRefs)");
+  return E.Attrib[Index];
 }

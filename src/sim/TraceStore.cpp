@@ -4,15 +4,22 @@
 //
 // See the header for the container format. Implementation notes:
 //
-//  * The codec is deliberately boring: a packed 5-bit-per-event flag
-//    stream (is-write, bypass, last-ref, 2-bit delta-base selector)
-//    followed by zigzag LEB128 address deltas against a 4-entry
-//    recent-address ring. Real traces interleave stack, global and
-//    array streams; the ring lets each stream delta against its own
-//    last address (usually a 1-byte varint) instead of paying a 3-byte
-//    varint at every region switch. Both streams are byte-aligned and
-//    chunk-self-contained (ring zeroed per chunk), so any chunk decodes
-//    independently of the rest of the file.
+//  * The codec is deliberately boring: a packed 6-bit-per-event flag
+//    stream (is-write, bypass, last-ref, 2-bit delta-base selector,
+//    ref-predicted) followed by a byte-aligned varint stream of zigzag
+//    LEB128 address deltas against a 4-entry recent-address ring. Real
+//    traces interleave stack, global and array streams; the ring lets
+//    each stream delta against its own last address (usually a 1-byte
+//    varint) instead of paying a 3-byte varint at every region switch.
+//    The ref-predicted bit (v2) carries the static reference id: set,
+//    the event's RefId is the predicted one — previous RefId plus one,
+//    or NoRefId while the previous was NoRefId — which makes both
+//    straight-line code (ids are numbered in code order) and unnumbered
+//    traces free; clear, a zigzag varint of (RefId - predicted) follows
+//    the event's address delta in the varint stream. Both streams are
+//    byte-aligned and chunk-self-contained (ring and RefId predictor
+//    reset per chunk), so any chunk decodes independently of the rest
+//    of the file.
 //
 //  * Validation is front-loaded: TraceStoreReader::open walks the whole
 //    file (CRCs included) before reporting Ok, because a sweep that
@@ -67,7 +74,11 @@ namespace {
 
 constexpr char HeaderMagic[8] = {'U', 'R', 'C', 'M', 'T', 'R', 'C', '\x01'};
 constexpr char FooterMagic[8] = {'U', 'R', 'C', 'M', 'E', 'N', 'D', '\x01'};
-constexpr uint32_t FormatVersion = 1;
+// v2: the per-event flag stream grew from 5 to 6 bits to carry the
+// static reference id (attribution profiler). The version is part of
+// the content-hash salt below, so bumping it retires existing files as
+// plain misses — no migration path needed.
+constexpr uint32_t FormatVersion = 2;
 constexpr uint32_t ChunkSentinel = 0xFFFFFFFFu;
 /// Sanity bounds a corrupt length field must not exceed (decode buffers
 /// are allocated from these numbers, so garbage must be caught before
@@ -175,15 +186,26 @@ uint32_t urcm::detail::crc32(const uint8_t *Bytes, size_t Count) {
 // Chunk payload codec.
 //===----------------------------------------------------------------------===//
 
+/// The RefId the codec predicts after seeing \p Prev: code-order
+/// numbering makes "previous plus one" the straight-line common case,
+/// and an unnumbered (NoRefId) event predicts another unnumbered one so
+/// hint-free traces stay free of per-event ref bytes.
+static uint16_t predictRefId(uint16_t Prev) {
+  return Prev == MemRefInfo::NoRefId
+             ? MemRefInfo::NoRefId
+             : static_cast<uint16_t>(Prev + 1);
+}
+
 void urcm::detail::encodeChunkPayload(const TraceEvent *Events,
                                       size_t Count,
                                       std::vector<uint8_t> &Out) {
-  const size_t BitBytes = (Count * 5 + 7) / 8;
+  const size_t BitBytes = (Count * 6 + 7) / 8;
   Out.clear();
   Out.resize(BitBytes, 0);
   Out.reserve(BitBytes + Count * 2); // Typical: ~1-2 byte varints.
   uint32_t Ring[4] = {0, 0, 0, 0};
   unsigned RingPos = 0;
+  uint16_t PrevRef = MemRefInfo::NoRefId;
   for (size_t I = 0; I != Count; ++I) {
     const TraceEvent &E = Events[I];
     unsigned BestSel = 0;
@@ -199,15 +221,21 @@ void urcm::detail::encodeChunkPayload(const TraceEvent *Events,
         BestZig = Zig;
       }
     }
-    const uint32_t Bits = (E.IsWrite ? 1u : 0u) |
-                          (E.Info.Bypass ? 2u : 0u) |
-                          (E.Info.LastRef ? 4u : 0u) | (BestSel << 3);
-    const size_t BitPos = I * 5;
+    const uint16_t Predicted = predictRefId(PrevRef);
+    const uint32_t Bits =
+        (E.IsWrite ? 1u : 0u) | (E.Info.Bypass ? 2u : 0u) |
+        (E.Info.LastRef ? 4u : 0u) | (BestSel << 3) |
+        (E.RefId == Predicted ? 32u : 0u);
+    const size_t BitPos = I * 6;
     Out[BitPos >> 3] |= static_cast<uint8_t>(Bits << (BitPos & 7));
-    if ((BitPos & 7) > 3)
+    if ((BitPos & 7) > 2)
       Out[(BitPos >> 3) + 1] |=
           static_cast<uint8_t>(Bits >> (8 - (BitPos & 7)));
     appendVarint(Out, BestZig);
+    if (E.RefId != Predicted)
+      appendVarint(Out, zigzag(static_cast<int64_t>(E.RefId) -
+                               static_cast<int64_t>(Predicted)));
+    PrevRef = E.RefId;
     Ring[RingPos] = E.Addr;
     RingPos = (RingPos + 1) & 3;
   }
@@ -216,7 +244,7 @@ void urcm::detail::encodeChunkPayload(const TraceEvent *Events,
 bool urcm::detail::decodeChunkPayload(const uint8_t *Payload,
                                       size_t PayloadBytes, size_t Count,
                                       std::vector<TraceEvent> &Out) {
-  const size_t BitBytes = (Count * 5 + 7) / 8;
+  const size_t BitBytes = (Count * 6 + 7) / 8;
   if (PayloadBytes < BitBytes)
     return false;
   const uint8_t *Varints = Payload + BitBytes;
@@ -226,24 +254,35 @@ bool urcm::detail::decodeChunkPayload(const uint8_t *Payload,
   Out.reserve(Count);
   uint32_t Ring[4] = {0, 0, 0, 0};
   unsigned RingPos = 0;
+  uint16_t PrevRef = MemRefInfo::NoRefId;
   for (size_t I = 0; I != Count; ++I) {
-    const size_t BitPos = I * 5;
+    const size_t BitPos = I * 6;
     uint32_t Bits = Payload[BitPos >> 3] >> (BitPos & 7);
-    if ((BitPos & 7) > 3)
+    if ((BitPos & 7) > 2)
       Bits |= static_cast<uint32_t>(Payload[(BitPos >> 3) + 1])
               << (8 - (BitPos & 7));
-    Bits &= 31;
+    Bits &= 63;
     uint64_t Zig;
     if (!readVarint(Varints, VarintBytes, VPos, Zig))
       return false;
     const uint32_t Addr = static_cast<uint32_t>(
         static_cast<int64_t>(Ring[(Bits >> 3) & 3]) + unzigzag(Zig));
+    const uint16_t Predicted = predictRefId(PrevRef);
+    uint16_t RefId = Predicted;
+    if (!(Bits & 32)) {
+      if (!readVarint(Varints, VarintBytes, VPos, Zig))
+        return false;
+      RefId = static_cast<uint16_t>(static_cast<int64_t>(Predicted) +
+                                    unzigzag(Zig));
+    }
     TraceEvent E;
     E.Addr = Addr;
     E.IsWrite = (Bits & 1) != 0;
     E.Info.Bypass = (Bits & 2) != 0;
     E.Info.LastRef = (Bits & 4) != 0;
+    E.RefId = RefId;
     Out.push_back(E);
+    PrevRef = RefId;
     Ring[RingPos] = Addr;
     RingPos = (RingPos + 1) & 3;
   }

@@ -27,10 +27,13 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 using namespace urcm;
 using namespace urcm::telemetry;
@@ -579,6 +582,7 @@ std::string telemetry::chromeTraceJSON() {
 std::string telemetry::summaryText() {
   Registry &R = registry();
   std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, HistAccum>> Hists;
   {
     std::lock_guard<std::mutex> Lock(R.M);
     std::array<uint64_t, MaxCounters> Counts = aggregateCountsLocked(R);
@@ -587,14 +591,42 @@ std::string telemetry::summaryText() {
         Counters.emplace_back(formatString("%-34s %s", R.Counters[I].Name,
                                            R.Counters[I].Desc),
                               Counts[I]);
+    for (uint32_t I = 0; I != R.Histograms.size(); ++I) {
+      HistAccum H = aggregateHistLocked(R, I);
+      if (H.Count != 0)
+        Hists.emplace_back(R.Histograms[I].Name, H);
+    }
   }
   std::sort(Counters.begin(), Counters.end());
+  std::sort(Hists.begin(), Hists.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
 
   std::string Out = "=== urcm telemetry ===\n";
   for (const auto &[Label, Value] : Counters)
     Out += formatString("%12llu  %s\n",
                         static_cast<unsigned long long>(Value),
                         Label.c_str());
+  for (const auto &[Name, H] : Hists) {
+    Out += formatString(
+        "%12llu  %-34s p50=%llu p90=%llu p99=%llu max=%llu\n",
+        static_cast<unsigned long long>(H.Count), Name.c_str(),
+        static_cast<unsigned long long>(histPercentile(H, 50)),
+        static_cast<unsigned long long>(histPercentile(H, 90)),
+        static_cast<unsigned long long>(histPercentile(H, 99)),
+        static_cast<unsigned long long>(H.Max));
+    // Raw bucket dump: one [lower..upper]=count term per nonzero
+    // log-linear bucket.
+    Out += "              buckets:";
+    for (uint32_t B = 0; B != NumBuckets; ++B)
+      if (H.Buckets[B] != 0)
+        Out += formatString(
+            " [%llu..%llu]=%llu",
+            static_cast<unsigned long long>(B == 0 ? 0
+                                                   : bucketUpper(B - 1) + 1),
+            static_cast<unsigned long long>(bucketUpper(B)),
+            static_cast<unsigned long long>(H.Buckets[B]));
+    Out += '\n';
+  }
   for (const PhaseTotals &T : phaseTotals())
     Out += formatString("%12.3f ms %-32s (%llu spans)\n",
                         static_cast<double>(T.TotalNs) / 1e6,
@@ -626,4 +658,133 @@ void telemetry::reset() {
     std::lock_guard<std::mutex> SpanLock(TS->SpanM);
     TS->Spans.clear();
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics sampler (--metrics-out)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// {VmRSS, VmHWM} in KiB from /proc/self/status; {0, 0} off Linux.
+std::pair<uint64_t, uint64_t> readRssKb() {
+#if defined(__linux__)
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return {0, 0};
+  uint64_t Rss = 0, Hwm = 0;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, "VmRSS:", 6) == 0)
+      Rss = std::strtoull(Line + 6, nullptr, 10);
+    else if (std::strncmp(Line, "VmHWM:", 6) == 0)
+      Hwm = std::strtoull(Line + 6, nullptr, 10);
+  }
+  std::fclose(F);
+  return {Rss, Hwm};
+#else
+  return {0, 0};
+#endif
+}
+
+} // namespace
+
+struct telemetry::MetricsSampler::Impl {
+  std::FILE *File = nullptr;
+  uint32_t IntervalMs = 200;
+  std::thread Thread;
+  std::mutex M;
+  std::condition_variable CV;
+  bool StopRequested = false;
+  // Rate state (sampler thread only).
+  uint64_t LastEvents = 0;
+  uint64_t LastNs = 0;
+
+  /// Appends one JSONL sample. Called from the sampler thread and once
+  /// more (after the join) from stop().
+  void writeSample() {
+    Registry &R = registry();
+    std::vector<std::pair<std::string, uint64_t>> Counters;
+    {
+      std::lock_guard<std::mutex> Lock(R.M);
+      std::array<uint64_t, MaxCounters> Counts = aggregateCountsLocked(R);
+      for (uint32_t I = 0; I != R.Counters.size(); ++I)
+        if (Counts[I] != 0)
+          Counters.emplace_back(R.Counters[I].Name, Counts[I]);
+    }
+    std::sort(Counters.begin(), Counters.end());
+
+    // The work metric: data references simulated (live runs) plus trace
+    // events streamed (replay paths).
+    uint64_t Events = 0;
+    for (const auto &[Name, Value] : Counters)
+      if (Name == "sim.data-refs" || Name == "trace.events")
+        Events += Value;
+    uint64_t Now = detail::nowNs();
+    double Rate = 0;
+    if (Now > LastNs)
+      Rate = static_cast<double>(Events - LastEvents) /
+             (static_cast<double>(Now - LastNs) / 1e9);
+    LastEvents = Events;
+    LastNs = Now;
+
+    auto [RssKb, HwmKb] = readRssKb();
+    std::string Out = formatString(
+        "{\"t_ms\": %.3f, \"events\": %llu, \"events_per_s\": %.0f, "
+        "\"rss_kb\": %llu, \"rss_hwm_kb\": %llu, \"counters\": {",
+        static_cast<double>(Now) / 1e6,
+        static_cast<unsigned long long>(Events), Rate,
+        static_cast<unsigned long long>(RssKb),
+        static_cast<unsigned long long>(HwmKb));
+    bool First = true;
+    for (const auto &[Name, Value] : Counters) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      jsonString(Out, Name);
+      Out += formatString(": %llu", static_cast<unsigned long long>(Value));
+    }
+    Out += "}}\n";
+    std::fwrite(Out.data(), 1, Out.size(), File);
+    std::fflush(File);
+  }
+};
+
+telemetry::MetricsSampler::MetricsSampler(const std::string &Path,
+                                          uint32_t IntervalMs) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return; // Inert sampler: a bad path never fails the host tool.
+  P = new Impl;
+  P->File = F;
+  P->IntervalMs = IntervalMs == 0 ? 1 : IntervalMs;
+  P->LastNs = detail::nowNs();
+  P->Thread = std::thread([Impl = P] {
+    setThreadName("metrics-sampler");
+    std::unique_lock<std::mutex> Lock(Impl->M);
+    while (!Impl->StopRequested) {
+      Impl->CV.wait_for(Lock,
+                        std::chrono::milliseconds(Impl->IntervalMs));
+      if (Impl->StopRequested)
+        break; // stop() writes the final sample after the join.
+      Impl->writeSample();
+    }
+  });
+}
+
+telemetry::MetricsSampler::~MetricsSampler() { stop(); }
+
+void telemetry::MetricsSampler::stop() {
+  if (!P)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(P->M);
+    P->StopRequested = true;
+  }
+  P->CV.notify_all();
+  P->Thread.join();
+  P->writeSample(); // Final sample: sub-interval runs still get one.
+  std::fclose(P->File);
+  delete P;
+  P = nullptr;
 }

@@ -19,7 +19,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -504,4 +507,94 @@ TEST(Telemetry, SummaryTextListsNonZeroCounters) {
   std::string Text = telemetry::summaryText();
   EXPECT_NE(Text.find("test.summary"), std::string::npos);
   EXPECT_NE(Text.find("11"), std::string::npos);
+}
+
+TEST(Telemetry, PercentileErrorBoundedByLogLinearBuckets) {
+  TelemetryGuard Guard(/*Enable=*/true);
+  URCM_HISTOGRAM(TestHist, "test.pctl-bound", "error-bound histogram");
+  // A wide, log-spread distribution: values across 5 decades, recorded
+  // in a scrambled order (percentiles must not depend on it).
+  std::vector<uint64_t> Values;
+  for (uint64_t V = 1; V < 200000; V = V + V / 10 + 1)
+    Values.push_back(V);
+  for (size_t I = 0; I != Values.size(); ++I)
+    TestHist.record(Values[(I * 7919) % Values.size()]);
+
+  std::vector<uint64_t> Sorted = Values;
+  std::sort(Sorted.begin(), Sorted.end());
+  // The estimate is the upper bound of the bucket holding the rank, so
+  // it can never undershoot the exact percentile, and the 4-sub-bucket
+  // log-linear layout bounds the overshoot at 25%.
+  for (double P : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    size_t Rank = static_cast<size_t>(
+        std::ceil(P / 100.0 * static_cast<double>(Sorted.size())));
+    uint64_t Exact = Sorted[Rank == 0 ? 0 : Rank - 1];
+    uint64_t Est = TestHist.percentile(P);
+    EXPECT_GE(Est, Exact) << "p" << P;
+    EXPECT_LE(static_cast<double>(Est),
+              1.25 * static_cast<double>(Exact))
+        << "p" << P << ": est " << Est << " exact " << Exact;
+  }
+}
+
+TEST(Telemetry, SummaryTextHistogramPercentilesAndBuckets) {
+  TelemetryGuard Guard(/*Enable=*/true);
+  URCM_HISTOGRAM(TestHist, "test.summary-hist", "summary histogram");
+  for (uint64_t V = 1; V <= 100; ++V)
+    TestHist.record(V);
+  std::string Text = telemetry::summaryText();
+  size_t Line = Text.find("test.summary-hist");
+  ASSERT_NE(Line, std::string::npos) << Text;
+  EXPECT_NE(Text.find("p50=", Line), std::string::npos) << Text;
+  EXPECT_NE(Text.find("p90=", Line), std::string::npos) << Text;
+  EXPECT_NE(Text.find("p99=", Line), std::string::npos) << Text;
+  EXPECT_NE(Text.find("max=100", Line), std::string::npos) << Text;
+  // The raw bucket dump follows on the next line; small values land in
+  // exact buckets, so [1..1] holds exactly one sample.
+  EXPECT_NE(Text.find("buckets:", Line), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[1..1]=1", Line), std::string::npos) << Text;
+}
+
+TEST(Telemetry, MetricsSamplerWritesValidJSONL) {
+  TelemetryGuard Guard(/*Enable=*/true);
+  URCM_STAT(TestCounter, "test.metrics-counter", "sampler test counter");
+  TestCounter.add(21);
+  std::string Path =
+      testing::TempDir() + "/urcm_metrics_test.jsonl";
+  {
+    // A long interval: the trajectory comes from the final sample that
+    // stop() writes, so the test never sleeps.
+    telemetry::MetricsSampler Sampler(Path, /*IntervalMs=*/10000);
+    EXPECT_TRUE(Sampler.active());
+    Sampler.stop();
+    Sampler.stop(); // Idempotent.
+    EXPECT_FALSE(Sampler.active());
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(JSONChecker::valid(Line)) << Line;
+    EXPECT_NE(Line.find("\"t_ms\""), std::string::npos);
+    EXPECT_NE(Line.find("\"events\""), std::string::npos);
+    EXPECT_NE(Line.find("\"events_per_s\""), std::string::npos);
+    EXPECT_NE(Line.find("\"rss_hwm_kb\""), std::string::npos);
+    EXPECT_NE(Line.find("\"counters\""), std::string::npos);
+  }
+  EXPECT_GE(Lines, 1u);
+  In.close();
+  std::ifstream Check(Path);
+  std::getline(Check, Line);
+  EXPECT_NE(Line.find("\"test.metrics-counter\": 21"), std::string::npos)
+      << Line;
+  std::remove(Path.c_str());
+}
+
+TEST(Telemetry, MetricsSamplerBadPathIsInert) {
+  TelemetryGuard Guard(/*Enable=*/true);
+  telemetry::MetricsSampler Sampler("/nonexistent-dir/metrics.jsonl");
+  EXPECT_FALSE(Sampler.active());
+  Sampler.stop(); // No-op, no crash.
 }

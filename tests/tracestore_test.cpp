@@ -21,10 +21,13 @@
 #include "urcm/driver/Driver.h"
 #include "urcm/sim/SweepEngine.h"
 #include "urcm/support/RNG.h"
+#include "urcm/support/Telemetry.h"
+#include "urcm/support/ThreadPool.h"
 #include "urcm/workloads/Workloads.h"
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -36,18 +39,22 @@ namespace {
 
 bool operator==(const TraceEvent &A, const TraceEvent &B) {
   return A.Addr == B.Addr && A.IsWrite == B.IsWrite &&
-         A.Info.Bypass == B.Info.Bypass && A.Info.LastRef == B.Info.LastRef;
+         A.Info.Bypass == B.Info.Bypass &&
+         A.Info.LastRef == B.Info.LastRef && A.RefId == B.RefId;
 }
 
 /// A deterministic trace with locality, writes, and hint bits on a
 /// fraction of events; interleaves a "stack" region and a far "global"
 /// region the way real traces do (the codec's multi-base delta ring
-/// exists for exactly this shape).
+/// exists for exactly this shape). Reference ids mix the patterns the
+/// v2 ref-predicted bit keys on: straight-line runs (Prev+1), back
+/// jumps (loops), and unnumbered (NoRefId) stretches.
 std::vector<TraceEvent> hintedTrace(uint64_t Seed, size_t N) {
   SplitMix64 Rng(Seed);
   std::vector<TraceEvent> Trace;
   Trace.reserve(N);
   uint32_t Stack = 0xFF000, Global = 0x1000;
+  uint16_t Ref = 0;
   for (size_t I = 0; I != N; ++I) {
     uint64_t Roll = Rng.nextBelow(100);
     TraceEvent E;
@@ -60,6 +67,11 @@ std::vector<TraceEvent> hintedTrace(uint64_t Seed, size_t N) {
     E.IsWrite = Rng.nextBelow(4) == 0;
     E.Info.Bypass = Rng.nextBelow(10) == 0;
     E.Info.LastRef = !E.Info.Bypass && Rng.nextBelow(13) == 0;
+    if (Roll < 70)
+      Ref = static_cast<uint16_t>(Ref + 1); // Straight-line: predicted.
+    else if (Roll < 85)
+      Ref = static_cast<uint16_t>(Rng.nextBelow(300)); // Branch target.
+    E.RefId = Roll < 95 ? Ref : MemRefInfo::NoRefId;
     Trace.push_back(E);
   }
   return Trace;
@@ -566,6 +578,66 @@ TEST(TraceStoreEngine, FallsBackToLiveOnCorruptFile) {
   EXPECT_FALSE(WarmDiags.hasErrors()) << WarmDiags.str();
   for (size_t P = 0; P != Points.size(); ++P)
     EXPECT_EQ(Warm.point("exp", P), Cold.point("exp", P)) << P;
+}
+
+/// Regression for the observability contract: a warm, auto-sharded run
+/// must still light up the sim.store.* counters (hits, bytes read) and
+/// the sim.shard.* counters (replays, units) — a refactor that serves
+/// the store without metering, or shards without counting, silently
+/// blinds the benches and the metrics time series.
+TEST(TraceStoreEngine, WarmAutoShardedRunKeepsStoreAndShardCounters) {
+  struct Guard {
+    Guard() {
+      telemetry::setEnabled(true);
+      telemetry::reset();
+    }
+    ~Guard() {
+      telemetry::setEnabled(false);
+      telemetry::reset();
+    }
+  } Guard;
+
+  ScratchDir Dir("counters");
+  CountedProducer Queen("Queen");
+  std::vector<SweepPoint> Points = mixedPoints();
+  SimConfig Base;
+  const uint64_t Hash = traceContentHash(*Queen.Prog, Base);
+
+  SweepEngine Cold;
+  Cold.setTraceStore(Dir.str());
+  Cold.schedule("exp", "g", Base, Points, Queen.producer(), Hash);
+  Cold.run();
+  ASSERT_EQ(Queen.Calls->load(), 1);
+
+  auto counter = [](const char *Name) -> uint64_t {
+    std::string JSON = telemetry::snapshotJSON();
+    std::string Key = std::string("\"") + Name + "\": ";
+    size_t At = JSON.find(Key);
+    if (At == std::string::npos)
+      return 0;
+    return std::strtoull(JSON.c_str() + At + Key.size(), nullptr, 10);
+  };
+  EXPECT_GT(counter("sim.store.misses"), 0u);
+  EXPECT_GT(counter("sim.store.bytes-written"), 0u);
+
+  telemetry::reset();
+  // An explicit pool: --shards=auto resolves to the pool width, which
+  // must exceed 1 for set sharding to engage even on a 1-core host.
+  ThreadPool Pool(4);
+  SweepEngine Warm(&Pool);
+  Warm.setShards(0); // auto
+  Warm.setTraceStore(Dir.str());
+  Warm.schedule("exp", "g", Base, Points, Queen.producer(), Hash);
+  Warm.run();
+  EXPECT_EQ(Queen.Calls->load(), 1) << "warm run was not warm";
+  ASSERT_TRUE(Warm.base("exp").ok());
+
+  EXPECT_GT(counter("sim.store.hits"), 0u);
+  EXPECT_GT(counter("sim.store.bytes-read"), 0u);
+  EXPECT_EQ(counter("sim.store.misses"), 0u);
+  EXPECT_GT(counter("sim.shard.replays"), 0u);
+  EXPECT_GT(counter("sim.shard.units"), 0u);
+  EXPECT_GT(counter("sim.shard.shards"), 0u);
 }
 
 TEST(TraceStoreEngine, ZeroHashOptsOut) {

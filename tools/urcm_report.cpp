@@ -12,11 +12,14 @@
 //
 // Flags: --help, --version, --telemetry (summary on stderr),
 // --telemetry-json=FILE, --trace-out=FILE (Chrome trace-event JSON of
-// the whole grid, compile and simulate phases across the pool).
+// the whole grid, compile and simulate phases across the pool),
+// --profile-refs=DIR (one attribution profile JSON per workload),
+// --metrics-out=FILE (JSONL telemetry time series).
 //
 //===----------------------------------------------------------------------===//
 
 #include "urcm/driver/Driver.h"
+#include "urcm/sim/RefProfile.h"
 #include "urcm/sim/ShardedReplay.h"
 #include "urcm/sim/SweepEngine.h"
 #include "urcm/sim/TraceStore.h"
@@ -30,6 +33,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -170,6 +174,17 @@ const SimResult &baseOrDie(SweepEngine &Engine, const Workload &W,
   return Base;
 }
 
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream File(Path, std::ios::binary);
+  File << Contents;
+  File.flush();
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
 /// Runs the whole grid on one engine: the Figure-5 pair-replays (each
 /// workload compiled under both schemes, ONE traced unified run serving
 /// both sides — the unified counters replay the trace as recorded, the
@@ -180,8 +195,15 @@ const SimResult &baseOrDie(SweepEngine &Engine, const Workload &W,
 /// single bit (tests/shardedreplay_test), and \p StoreDir serves every
 /// experiment from persisted traces when warm (byte-identical output,
 /// asserted by scripts/check.sh --store).
+///
+/// When \p ProfileDir is nonempty, the hinted Figure-5 replay point of
+/// every workload additionally accumulates per-reference attribution,
+/// and one profile JSON per workload (docs/profile_schema.json) lands
+/// at `<ProfileDir>/<workload>.json` — served by the same replay that
+/// produces the tables, at any shard count, cold or warm.
 std::vector<WorkloadData> computeAll(uint32_t Shards,
-                                     const std::string &StoreDir) {
+                                     const std::string &StoreDir,
+                                     const std::string &ProfileDir) {
   const std::vector<Workload> &Workloads = paperWorkloads();
   std::vector<WorkloadData> Data(Workloads.size());
   std::vector<Prepared> Programs = compileAll(Data);
@@ -197,6 +219,9 @@ std::vector<WorkloadData> computeAll(uint32_t Shards,
     std::vector<SweepPoint> Points(2);
     Points[0].Config = Points[1].Config = paperCache();
     Points[1].IgnoreHints = true;
+    if (!ProfileDir.empty())
+      Points[0].AttributionRefs = static_cast<uint32_t>(
+          Programs[I].Fig5Unified->RefTable.size());
     SimConfig Base;
     Base.Cache = paperCache();
     std::shared_ptr<MachineProgram> Prog = Programs[I].Fig5Unified;
@@ -235,6 +260,19 @@ std::vector<WorkloadData> computeAll(uint32_t Shards,
     Data[I].CompleteUnified =
         baseOrDie(Engine, W, W.Name + "/complete-unified");
   }
+
+  if (!ProfileDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(ProfileDir, EC);
+    for (size_t I = 0; I != Workloads.size(); ++I) {
+      const Workload &W = Workloads[I];
+      const RefAttribution &Attr = Engine.attribution(W.Name, 0);
+      if (!writeFile(ProfileDir + "/" + W.Name + ".json",
+                     refProfileJSON(*Programs[I].Fig5Unified, Attr,
+                                    W.Name)))
+        std::exit(1);
+    }
+  }
   return Data;
 }
 
@@ -254,26 +292,26 @@ void usage(std::FILE *To) {
                "and serve repeat\n"
                "                     runs from them (skips "
                "re-simulation; output is\n"
-               "                     byte-identical cold or warm)\n");
-}
-
-bool writeFile(const std::string &Path, const std::string &Contents) {
-  std::ofstream File(Path, std::ios::binary);
-  File << Contents;
-  File.flush();
-  if (!File) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
-    return false;
-  }
-  return true;
+               "                     byte-identical cold or warm)\n"
+               "  --profile-refs=DIR write one per-reference "
+               "attribution profile JSON\n"
+               "                     per workload "
+               "(DIR/<workload>.json), accumulated by\n"
+               "                     the hinted Figure-5 replay\n"
+               "  --metrics-out=F    sample telemetry into a JSONL "
+               "time series at F\n"
+               "  --metrics-interval-ms=N  sampling period (default "
+               "200)\n");
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string OutputFile, TraceOut, TelemetryJson, TraceStoreDir;
+  std::string ProfileDir, MetricsOut;
   bool TelemetrySummary = false;
   uint32_t Shards = 1;
+  uint32_t MetricsIntervalMs = 200;
   for (int A = 1; A != argc; ++A) {
     std::string Arg = argv[A];
     if (Arg == "--help" || Arg == "-h") {
@@ -290,6 +328,32 @@ int main(int argc, char **argv) {
       TraceOut = Arg.substr(12);
     } else if (Arg.rfind("--telemetry-json=", 0) == 0) {
       TelemetryJson = Arg.substr(17);
+    } else if (Arg.rfind("--profile-refs=", 0) == 0) {
+      ProfileDir = Arg.substr(15);
+      if (ProfileDir.empty()) {
+        std::fprintf(stderr,
+                     "error: --profile-refs expects a directory\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Arg.substr(14);
+      if (MetricsOut.empty()) {
+        std::fprintf(stderr, "error: --metrics-out expects a file\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--metrics-interval-ms=", 0) == 0) {
+      std::string Value = Arg.substr(22);
+      char *End = nullptr;
+      unsigned long Parsed = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0' || Parsed == 0 ||
+          Parsed > 60000) {
+        std::fprintf(stderr,
+                     "error: --metrics-interval-ms expects 1..60000, "
+                     "got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      MetricsIntervalMs = static_cast<uint32_t>(Parsed);
     } else if (Arg.rfind("--trace-store=", 0) == 0) {
       TraceStoreDir = Arg.substr(14);
       if (TraceStoreDir.empty()) {
@@ -328,10 +392,15 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (TelemetrySummary || !TraceOut.empty() || !TelemetryJson.empty()) {
+  if (TelemetrySummary || !TraceOut.empty() || !TelemetryJson.empty() ||
+      !MetricsOut.empty()) {
     telemetry::setEnabled(true);
     telemetry::setThreadName("main");
   }
+  std::unique_ptr<telemetry::MetricsSampler> Sampler;
+  if (!MetricsOut.empty())
+    Sampler = std::make_unique<telemetry::MetricsSampler>(
+        MetricsOut, MetricsIntervalMs);
 
   if (!OutputFile.empty()) {
     Out = std::fopen(OutputFile.c_str(), "w");
@@ -341,7 +410,8 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::vector<WorkloadData> Data = computeAll(Shards, TraceStoreDir);
+  std::vector<WorkloadData> Data =
+      computeAll(Shards, TraceStoreDir, ProfileDir);
 
   line("# URCM reproduction report");
   line("");
@@ -417,6 +487,8 @@ int main(int argc, char **argv) {
   if (Out != stdout)
     std::fclose(Out);
 
+  if (Sampler)
+    Sampler->stop(); // Flush the final sample before the exporters run.
   int Code = 0;
   if (TelemetrySummary)
     std::fprintf(stderr, "%s", telemetry::summaryText().c_str());

@@ -37,6 +37,11 @@
 //   --telemetry           print the telemetry summary to stderr on exit
 //   --telemetry-json=F    write the telemetry JSON snapshot to F
 //   --trace-out=F         write a Chrome trace-event file to F
+//   --profile-refs=F      write the per-reference attribution profile
+//                         (docs/profile_schema.json) to F
+//   --profile-annotate=F  write the annotated per-line source report to F
+//   --metrics-out=F       sample telemetry into a JSONL time series at F
+//   --metrics-interval-ms=N   sampling period for --metrics-out
 //   -Rurcm-classify       print per-reference classification remarks
 //   --help --version
 //
@@ -48,6 +53,7 @@
 #include "urcm/ir/Interpreter.h"
 #include "urcm/ir/Verifier.h"
 #include "urcm/lang/Sema.h"
+#include "urcm/sim/RefProfile.h"
 #include "urcm/sim/SweepEngine.h"
 #include "urcm/sim/TraceStore.h"
 #include "urcm/support/Telemetry.h"
@@ -56,6 +62,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -82,12 +89,21 @@ struct CliOptions {
   std::string TraceStoreDir;
   std::string TraceOut;
   std::string TelemetryJson;
+  /// Per-reference attribution profile outputs (empty = off).
+  std::string ProfileRefs;
+  std::string ProfileAnnotate;
+  /// Time-series metrics JSONL output (empty = off).
+  std::string MetricsOut;
+  uint32_t MetricsIntervalMs = 200;
   bool TelemetrySummary = false;
   bool ClassifyRemarks = false;
 
   bool wantsTelemetry() const {
     return !TraceOut.empty() || !TelemetryJson.empty() ||
-           TelemetrySummary || ClassifyRemarks;
+           !MetricsOut.empty() || TelemetrySummary || ClassifyRemarks;
+  }
+  bool wantsProfile() const {
+    return !ProfileRefs.empty() || !ProfileAnnotate.empty();
   }
 };
 
@@ -138,6 +154,14 @@ void usage(std::FILE *Out) {
       "  --telemetry          print counter/phase summary to stderr\n"
       "  --telemetry-json=F   write the telemetry JSON snapshot to F\n"
       "  --trace-out=F        write Chrome trace-event JSON to F\n"
+      "  --profile-refs=F     write the per-reference attribution "
+      "profile\n"
+      "                       (docs/profile_schema.json) to F\n"
+      "  --profile-annotate=F write the annotated per-line source "
+      "report to F\n"
+      "  --metrics-out=F      sample telemetry into JSONL time series "
+      "at F\n"
+      "  --metrics-interval-ms=N   sampling period (default 200)\n"
       "  -Rurcm-classify      per-reference classification remarks on "
       "stderr\n"
       "  --help --version\n");
@@ -293,6 +317,26 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
   if (const char *V = Value("--telemetry-json=")) {
     Cli.TelemetryJson = V;
     return !Cli.TelemetryJson.empty();
+  }
+  if (const char *V = Value("--profile-refs=")) {
+    Cli.ProfileRefs = V;
+    return !Cli.ProfileRefs.empty();
+  }
+  if (const char *V = Value("--profile-annotate=")) {
+    Cli.ProfileAnnotate = V;
+    return !Cli.ProfileAnnotate.empty();
+  }
+  if (const char *V = Value("--metrics-out=")) {
+    Cli.MetricsOut = V;
+    return !Cli.MetricsOut.empty();
+  }
+  if (const char *V = Value("--metrics-interval-ms=")) {
+    char *End = nullptr;
+    long N = std::strtol(V, &End, 10);
+    if (End == V || *End != '\0' || N <= 0 || N > 60000)
+      return false;
+    Cli.MetricsIntervalMs = static_cast<uint32_t>(N);
+    return true;
   }
   if (Arg == "--telemetry") {
     Cli.TelemetrySummary = true;
@@ -516,16 +560,43 @@ int runTool(const CliOptions &Cli, const std::string &Source) {
     return 0;
   }
 
-  if (!Cli.SweepSizes.empty())
+  if (!Cli.SweepSizes.empty()) {
+    if (Cli.wantsProfile()) {
+      std::fprintf(stderr, "error: --profile-refs/--profile-annotate "
+                           "apply to the plain run, not --sweep\n");
+      return 2;
+    }
     return runSweep(Cli, Compiled.Program);
+  }
 
-  Simulator S(Cli.Sim);
+  // The attribution table for --profile-refs/--profile-annotate: sized
+  // to the static reference table and filled by the live data cache.
+  RefAttribution Attr;
+  SimConfig SimCfg = Cli.Sim;
+  if (Cli.wantsProfile()) {
+    Attr = RefAttribution(
+        static_cast<uint32_t>(Compiled.Program.RefTable.size()));
+    SimCfg.Attribution = &Attr;
+  }
+
+  Simulator S(SimCfg);
   SimResult R = S.run(Compiled.Program);
   if (!R.ok()) {
     std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
     return 1;
   }
   printRunReport(R, Cli.Stats);
+
+  const std::string Workload =
+      Cli.WorkloadName.empty() ? Cli.InputFile : Cli.WorkloadName;
+  if (!Cli.ProfileRefs.empty() &&
+      !writeFile(Cli.ProfileRefs,
+                 refProfileJSON(Compiled.Program, Attr, Workload)))
+    return 1;
+  if (!Cli.ProfileAnnotate.empty() &&
+      !writeFile(Cli.ProfileAnnotate,
+                 refProfileAnnotate(Compiled.Program, Attr, Source)))
+    return 1;
   return 0;
 }
 
@@ -603,8 +674,15 @@ int main(int argc, char **argv) {
     if (Cli.ClassifyRemarks)
       telemetry::enableClassifyCapture(stderr);
   }
+  std::unique_ptr<telemetry::MetricsSampler> Sampler;
+  if (!Cli.MetricsOut.empty())
+    Sampler = std::make_unique<telemetry::MetricsSampler>(
+        Cli.MetricsOut, Cli.MetricsIntervalMs);
 
   int Code = runTool(Cli, Source);
+
+  if (Sampler)
+    Sampler->stop(); // Flush the final sample before the exporters run.
 
   if (Cli.TelemetrySummary)
     std::fprintf(stderr, "%s", telemetry::summaryText().c_str());
