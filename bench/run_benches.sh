@@ -50,6 +50,7 @@ else
     deadtag_ablation
     scheme_decomposition
     replacement_policies
+    policy_sweep
     line_size_sweep
     cache_size_sweep
     hint_encoding

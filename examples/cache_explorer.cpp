@@ -76,7 +76,7 @@ int main() {
   for (TracePolicy P : Policies) {
     CacheStats SConv = replayTrace(Conv, C, P);
     CacheStats SUni = replayTrace(Uni, C, P);
-    std::printf("%8s %16llu %16llu %16llu\n", tracePolicyName(P),
+    std::printf("%8s %16llu %16llu %16llu\n", cachePolicyName(P),
                 static_cast<unsigned long long>(SConv.misses()),
                 static_cast<unsigned long long>(SUni.misses()),
                 static_cast<unsigned long long>(SUni.WriteBackWords));

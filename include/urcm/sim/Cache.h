@@ -19,7 +19,9 @@
 ///    bookkeeping caveat).
 ///
 /// The paper's preferred configuration is a one-word line (section 1).
-/// Replacement: LRU, FIFO or Random (Belady MIN lives in TraceSim, which
+/// Replacement: any cachePolicyLiveEligible() policy — LRU, FIFO,
+/// Random, TreePLRU or SRRIP (Belady MIN and the LivenessBypass
+/// predictor live in the replay kernel, urcm/sim/CacheModel.h, which
 /// replays a recorded trace). For a store miss on a one-word line the
 /// allocate skips the memory fetch (the whole line is overwritten);
 /// multi-word lines fetch on write-allocate.
@@ -30,6 +32,7 @@
 #define URCM_SIM_CACHE_H
 
 #include "urcm/ir/IR.h" // MemRefInfo.
+#include "urcm/sim/CachePolicy.h"
 #include "urcm/sim/RefAttribution.h"
 #include "urcm/support/RNG.h"
 
@@ -39,11 +42,12 @@
 
 namespace urcm {
 
-/// Hardware replacement policies (paper section 3.2 lists LRU, FIFO,
-/// Random and MIN as all compatible with dead-line freeing).
-enum class ReplacementPolicy { LRU, FIFO, Random };
-
-const char *replacementPolicyName(ReplacementPolicy Policy);
+/// Historical name for the live cache's policy enum; now the unified
+/// CachePolicy (urcm/sim/CachePolicy.h). The live DataCache accepts
+/// every cachePolicyLiveEligible() member — LRU, FIFO, Random,
+/// TreePLRU and SRRIP; MIN and LivenessBypass are replay-only
+/// (urcm/sim/CacheModel.h).
+using ReplacementPolicy = CachePolicy;
 
 /// Write policies. The paper's write-back model is the default; a
 /// write-through/no-allocate option is provided as an ablation — under
@@ -318,10 +322,15 @@ private:
     uint64_t InsertedAt = 0;
     bool Valid = false;
     bool Dirty = false;
+    /// SRRIP re-reference prediction value (0..SRRIPMaxRRPV); only
+    /// maintained under CachePolicy::SRRIP. Takes existing padding, so
+    /// the line metadata stays a 32-byte POD.
+    uint8_t RRPV = 0;
     /// RefId of the access that installed this line (attribution's
     /// EvictionsSuffered); meaningful only while attribution is on.
     uint16_t InstalledBy = MemRefInfo::NoRefId;
   };
+  static_assert(sizeof(Line) == 32, "line metadata must stay one half-line");
 
   uint32_t numSets() const { return Geometry.NumSets; }
   uint64_t lineAddr(uint64_t Addr) const { return Geometry.lineAddr(Addr); }
@@ -356,7 +365,24 @@ private:
   /// Loads the line for \p LineAddress into the cache (fetching words
   /// from memory unless \p FetchWords is false) and returns it.
   Line *allocate(uint64_t LineAddress, bool FetchWords);
-  void touch(Line &L) { L.LastUsed = ++Tick; }
+
+  /// Recency update on an access. The tick is universal; TreePLRU and
+  /// SRRIP additionally maintain their own per-set/per-line state
+  /// (shared mechanisms in urcm/sim/CachePolicy.h, so the replay
+  /// kernel's counters can never drift from the live cache's).
+  void touch(Line &L) {
+    L.LastUsed = ++Tick;
+    if (Config.Policy == CachePolicy::SRRIP)
+      L.RRPV = 0;
+    else if (Config.Policy == CachePolicy::TreePLRU && Config.Assoc > 1)
+      treeTouch(&L - Lines.data());
+  }
+  /// Points slot \p Slot's tree path away from it (most recently used).
+  void treeTouch(size_t Slot) {
+    TreeBits[Slot / Config.Assoc] = detail::treePLRUTouch(
+        TreeBits[Slot / Config.Assoc], Config.Assoc,
+        static_cast<uint32_t>(Slot % Config.Assoc));
+  }
 
   /// Reclaims a dead-hinted line (paper's free-on-last-reference). The
   /// hot case — one-word line, write-back suppressed — is a pair of
@@ -379,10 +405,18 @@ private:
       return;
     }
     // Multi-word lines: other words in the line may still be live, so
-    // the line is only demoted to least-recently-used (paper's
-    // alternative).
+    // the line is only demoted to the set's next victim (paper's
+    // alternative), in whatever state the policy uses for that.
     L.LastUsed = 0;
     L.InsertedAt = 0;
+    if (Config.Policy == CachePolicy::SRRIP)
+      L.RRPV = SRRIPMaxRRPV;
+    else if (Config.Policy == CachePolicy::TreePLRU && Config.Assoc > 1) {
+      size_t Slot = &L - Lines.data();
+      TreeBits[Slot / Config.Assoc] = detail::treePLRUPointAt(
+          TreeBits[Slot / Config.Assoc], Config.Assoc,
+          static_cast<uint32_t>(Slot % Config.Assoc));
+    }
   }
 
   /// Out-of-line remainder of read(): through-cache miss.
@@ -407,6 +441,8 @@ private:
   std::vector<Line> Lines; // Set-major: set s occupies [s*Assoc, ...).
   /// Line data, flat: line slot i owns [i*LineWords, (i+1)*LineWords).
   std::vector<int64_t> Words;
+  /// Tree-PLRU node bits, one word per set (TreePLRU only, else empty).
+  std::vector<uint64_t> TreeBits;
   uint64_t Tick = 0;
   SplitMix64 Rng;
 };
@@ -440,6 +476,15 @@ template <bool Attrib> class TwoWayWB1CacheT {
   static constexpr uint64_t DirtyBit = uint64_t(1) << 63;
   static constexpr uint64_t TagMask = ~DirtyBit;
   static constexpr uint64_t Invalid = ~uint64_t(0);
+
+  // The fast path models exactly CachePolicy::LRU; pin the unified
+  // enum's layout so eligibility (and the trace-store's serialized
+  // policy bytes) cannot drift silently under the policy refactor.
+  static_assert(static_cast<uint8_t>(CachePolicy::LRU) == 0 &&
+                    static_cast<uint8_t>(CachePolicy::FIFO) == 1 &&
+                    static_cast<uint8_t>(CachePolicy::Random) == 2 &&
+                    static_cast<uint8_t>(CachePolicy::MIN) == 3,
+                "CachePolicy must extend, not renumber, the legacy enums");
 
 public:
   /// True if \p C is a configuration this cache reproduces exactly.

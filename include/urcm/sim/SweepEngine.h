@@ -54,7 +54,8 @@ namespace urcm {
 class DiagnosticEngine;
 
 /// One sweep point: a cache geometry plus the replacement policy to
-/// replay it under (TracePolicy adds Belady MIN to the hardware set).
+/// replay it under — any CachePolicy, including the replay-only MIN
+/// and LivenessBypass (urcm/sim/CachePolicy.h).
 ///
 /// IgnoreHints replays the point with every bypass/last-reference hint
 /// bit cleared — the conventional scheme's view of the same reference
@@ -65,7 +66,7 @@ class DiagnosticEngine;
 /// both schemes.
 struct SweepPoint {
   CacheConfig Config;
-  TracePolicy Policy = TracePolicy::LRU;
+  CachePolicy Policy = CachePolicy::LRU;
   bool IgnoreHints = false;
   /// Non-zero requests per-static-reference attribution
   /// (urcm/sim/RefAttribution.h) for this point; the value is the

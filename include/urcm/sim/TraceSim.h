@@ -5,310 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Stats-only cache simulation over a recorded data-reference trace. This
-/// is how Belady's MIN (the optimal replacement the paper cites [Bel66])
-/// is evaluated: MIN needs future knowledge, which a recorded trace
-/// provides. The same replayer also runs LRU/FIFO/Random so policies can
-/// be compared on an identical reference stream (experiment E8).
-///
-/// Hint semantics (bypass, last-reference) match DataCache exactly; the
-/// replayer just never touches data values. The replayer is exposed as a
-/// step-driven class (TraceReplayer) so the sweep engine can advance many
-/// configurations in lock-step over a single walk of the trace; step()
-/// is defined inline because the sweep engine executes it hundreds of
-/// millions of times (trace length x configurations).
+/// Historical entry point for stats-only trace replay. The replayer
+/// itself is now the unified policy-generic cache model
+/// (urcm/sim/CacheModel.h); this header keeps the old names alive:
+/// `TracePolicy` was the replayer's own four-policy enum (with a lossy
+/// translation from the live cache's `ReplacementPolicy`) and is now an
+/// alias of the single `CachePolicy`, and `TraceReplayer` is the
+/// `CacheModel` itself. New code should include CacheModel.h directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef URCM_SIM_TRACESIM_H
 #define URCM_SIM_TRACESIM_H
 
-#include "urcm/sim/Cache.h"
-#include "urcm/sim/Simulator.h"
-
-#include <cassert>
-#include <limits>
-#include <memory>
+#include "urcm/sim/CacheModel.h"
 
 namespace urcm {
 
-/// Replacement policies available to the replayer (superset of the live
-/// cache's: adds Belady MIN).
-enum class TracePolicy { LRU, FIFO, Random, MIN };
+/// Historical name for the replay-side policy enum; now the unified
+/// CachePolicy (urcm/sim/CachePolicy.h), so live and replay
+/// configurations share one vocabulary with no translation.
+using TracePolicy = CachePolicy;
 
-const char *tracePolicyName(TracePolicy Policy);
-
-/// The replay policy that models hardware policy \p Policy.
-TracePolicy tracePolicyFor(ReplacementPolicy Policy);
-
-/// For Belady MIN: Next[i] = index of the next through-cache access to
-/// the same cache line after event i (UINT64_MAX if none). Depends only
-/// on the trace and the line size, so MIN replays at different
-/// geometries with the same line size can share one computation.
-std::shared_ptr<const std::vector<uint64_t>>
-computeNextLineUses(const std::vector<TraceEvent> &Trace,
-                    uint32_t LineWords);
-
-/// Stats-only replay of one cache configuration, advanced one trace
-/// event at a time. Semantics (and counters) are identical to running
-/// the events through a live DataCache with the same geometry.
-class TraceReplayer {
-  static constexpr uint64_t Never = std::numeric_limits<uint64_t>::max();
-
-  struct ReplayLine {
-    bool Valid = false;
-    bool Dirty = false;
-    /// Installer RefId (attribution's EvictionsSuffered); only
-    /// maintained while attribution is on.
-    uint16_t InstalledBy = MemRefInfo::NoRefId;
-    uint64_t Tag = 0;
-    uint64_t LastUsed = 0;
-    uint64_t InsertedAt = 0;
-    uint64_t NextUse = Never; // For MIN.
-  };
-
-public:
-  /// \p NextUses is required for TracePolicy::MIN (see
-  /// computeNextLineUses; it must have been computed with this config's
-  /// line size) and ignored otherwise.
-  ///
-  /// \p ShardDiv > 1 puts the replayer in set-shard mode: the caller
-  /// feeds only the trace subsequence whose events map to cache sets of
-  /// one residue class mod ShardDiv, and the replayer compacts those
-  /// sets to globalSet / ShardDiv so it allocates 1/ShardDiv of the
-  /// line state. Replacement state is strictly per-set for LRU and
-  /// FIFO, so summing shard counters reproduces the sequential replay
-  /// bit for bit; Random (shared RNG sequence across sets) and MIN
-  /// (global trace indexes) are not shardable.
-  TraceReplayer(const CacheConfig &Config, TracePolicy Policy,
-                std::shared_ptr<const std::vector<uint64_t>> NextUses =
-                    nullptr,
-                uint32_t ShardDiv = 1)
-      : Config(Config), Geometry(Config), Policy(Policy),
-        NextUses(std::move(NextUses)), Rng(Config.Seed),
-        ShardDiv(ShardDiv),
-        Lines(ShardDiv == 1
-                  ? size_t(Config.NumLines)
-                  : size_t((Config.NumLines / Config.Assoc + ShardDiv -
-                            1) /
-                           ShardDiv) *
-                        Config.Assoc) {
-    assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
-           "associativity must divide the line count");
-    assert((Policy != TracePolicy::MIN || this->NextUses) &&
-           "MIN needs the next-use index (computeNextLineUses)");
-    assert((ShardDiv == 1 || (Policy != TracePolicy::MIN &&
-                              Policy != TracePolicy::Random)) &&
-           "only set-local policies (LRU/FIFO) can replay set shards");
-  }
-
-  /// See DataCache::setAttribution. Counter sites mirror the live
-  /// cache's, so shard tables merged with operator+= reproduce a
-  /// sequential (or live) run bit for bit.
-  void setAttribution(RefAttribution *A) { Attr = A; }
-
-  /// Processes trace event \p E, which sits at position \p Index of the
-  /// trace (the index feeds MIN's future-knowledge lookup).
-  void step(const TraceEvent &E, uint64_t Index) {
-    uint64_t LA = Geometry.lineAddr(E.Addr);
-    if (Attr)
-      CurRef = E.RefId;
-
-    if (E.Info.Bypass) {
-      if (Attr)
-        ++Attr->row(E.RefId).Bypasses;
-      if (!E.IsWrite) {
-        if (ReplayLine *L = find(LA)) {
-          // Migration: dirty lines are written back first (see
-          // DataCache::read for the soundness argument).
-          ++Stats.BypassHitMigrations;
-          if (Config.LineWords == 1) {
-            ++Stats.DeadFrees;
-            if (L->Dirty)
-              evict(*L);
-            L->Valid = false;
-            L->Dirty = false;
-          } else {
-            evict(*L);
-          }
-        } else {
-          ++Stats.BypassReads;
-        }
-      } else {
-        ++Stats.BypassWrites;
-      }
-      return;
-    }
-
-    if (E.IsWrite)
-      ++Stats.Writes;
-    else
-      ++Stats.Reads;
-
-    if (E.IsWrite && Config.Write == WritePolicy::WriteThrough) {
-      // Write-through / no-write-allocate (see DataCache::write).
-      ++Stats.WriteThroughWords;
-      ReplayLine *L = find(LA);
-      if (Attr) {
-        RefCounters &R = Attr->row(E.RefId);
-        ++(L ? R.Hits : R.Misses);
-      }
-      if (L) {
-        ++Stats.WriteHits;
-        L->LastUsed = ++Tick;
-        if (Policy == TracePolicy::MIN)
-          L->NextUse = (*NextUses)[Index];
-        if (E.Info.LastRef)
-          freeLine(*L, E.RefId);
-      }
-      return;
-    }
-
-    ReplayLine *L = find(LA);
-    if (L) {
-      if (E.IsWrite)
-        ++Stats.WriteHits;
-      else
-        ++Stats.ReadHits;
-      if (Attr)
-        ++Attr->row(E.RefId).Hits;
-      L->LastUsed = ++Tick;
-    } else {
-      if (Attr)
-        ++Attr->row(E.RefId).Misses;
-      uint32_t Set = localSetOf(LA);
-      L = chooseVictim(Set);
-      if (L->Valid)
-        evict(*L);
-      L->Valid = true;
-      L->Dirty = false;
-      L->InstalledBy = CurRef;
-      L->Tag = LA;
-      L->InsertedAt = ++Tick;
-      L->LastUsed = Tick;
-      bool FetchWords = !E.IsWrite || Config.LineWords > 1;
-      ++Stats.Fills;
-      if (FetchWords)
-        Stats.FillWords += Config.LineWords;
-    }
-
-    if (Policy == TracePolicy::MIN)
-      L->NextUse = (*NextUses)[Index];
-    if (E.IsWrite)
-      L->Dirty = true;
-    if (E.Info.LastRef)
-      freeLine(*L, E.RefId);
-  }
-
-  /// Counts the remaining dirty lines as end-of-program flush
-  /// write-backs and returns the final counters. Call exactly once.
-  CacheStats finish() {
-    for (ReplayLine &L : Lines)
-      if (L.Valid && L.Dirty)
-        Stats.FlushWriteBackWords += Config.LineWords;
-    return Stats;
-  }
-
-private:
-  /// The index of LA's set within this replayer's line array: the
-  /// global set index, compacted by the shard divisor in shard mode.
-  uint32_t localSetOf(uint64_t LA) const {
-    uint32_t Set = Geometry.setOf(LA);
-    return ShardDiv == 1 ? Set : Set / ShardDiv;
-  }
-
-  ReplayLine *find(uint64_t LA) {
-    uint32_t Set = localSetOf(LA);
-    ReplayLine *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
-    for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
-      if (Base[Way].Valid && Base[Way].Tag == LA)
-        return &Base[Way];
-    return nullptr;
-  }
-
-  ReplayLine *chooseVictim(uint32_t Set) {
-    ReplayLine *Base = &Lines[static_cast<size_t>(Set) * Config.Assoc];
-    for (uint32_t Way = 0; Way != Config.Assoc; ++Way)
-      if (!Base[Way].Valid)
-        return &Base[Way];
-    switch (Policy) {
-    case TracePolicy::LRU: {
-      ReplayLine *Victim = Base;
-      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-        if (Base[Way].LastUsed < Victim->LastUsed)
-          Victim = &Base[Way];
-      return Victim;
-    }
-    case TracePolicy::FIFO: {
-      ReplayLine *Victim = Base;
-      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-        if (Base[Way].InsertedAt < Victim->InsertedAt)
-          Victim = &Base[Way];
-      return Victim;
-    }
-    case TracePolicy::Random:
-      return &Base[Rng.nextBelow(Config.Assoc)];
-    case TracePolicy::MIN: {
-      // Belady: evict the line whose next use is farthest in the future.
-      ReplayLine *Victim = Base;
-      for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-        if (Base[Way].NextUse > Victim->NextUse)
-          Victim = &Base[Way];
-      return Victim;
-    }
-    }
-    return Base;
-  }
-
-  void evict(ReplayLine &L) {
-    if (L.Dirty) {
-      ++Stats.WriteBacks;
-      Stats.WriteBackWords += Config.LineWords;
-    }
-    ++Stats.Evictions;
-    if (Attr) {
-      ++Attr->row(CurRef).EvictionsCaused;
-      ++Attr->row(L.InstalledBy).EvictionsSuffered;
-    }
-    L.Valid = false;
-    L.Dirty = false;
-  }
-
-  void freeLine(ReplayLine &L, uint16_t ByRef = MemRefInfo::NoRefId) {
-    ++Stats.DeadFrees;
-    if (Config.LineWords == 1) {
-      if (L.Dirty) {
-        ++Stats.DeadWriteBacksAvoided;
-        if (Attr)
-          ++Attr->row(ByRef).DeadWriteBacksSuppressed;
-      }
-      L.Valid = false;
-      L.Dirty = false;
-      return;
-    }
-    L.LastUsed = 0;
-    L.InsertedAt = 0;
-    L.NextUse = Never;
-  }
-
-  CacheConfig Config;
-  CacheGeometry Geometry;
-  TracePolicy Policy;
-  std::shared_ptr<const std::vector<uint64_t>> NextUses;
-  SplitMix64 Rng;
-  uint32_t ShardDiv;
-  std::vector<ReplayLine> Lines;
-  CacheStats Stats;
-  RefAttribution *Attr = nullptr;
-  uint16_t CurRef = MemRefInfo::NoRefId;
-  uint64_t Tick = 0;
-};
-
-/// Replays \p Trace against a cache with geometry \p Config (the
-/// Config.Policy field is ignored; \p Policy is used instead). Returns
-/// the event counters.
-CacheStats replayTrace(const std::vector<TraceEvent> &Trace,
-                       const CacheConfig &Config, TracePolicy Policy);
+/// Historical name for the policy-generic replay kernel.
+using TraceReplayer = CacheModel;
 
 } // namespace urcm
 

@@ -16,9 +16,13 @@
 #      the Towers per-line mismatch report (deterministic in program +
 #      geometry), validate the JSON profile against
 #      docs/profile_schema.json and the metrics JSONL stream
+#   7. opt-in (--policy): replacement-policy differential — the unified
+#      cache model's grid (PLRU/SRRIP/bypass-predictor included) must
+#      be bit-identical across sequential, sharded and warm-store
+#      replay, and a policy change must warm-hit the trace store
 #
 # Usage: scripts/check.sh [--bench] [--telemetry] [--store] [--profile]
-#                         [--skip-sanitizers]
+#                         [--policy] [--skip-sanitizers]
 #
 # Wall-time caveat: single-core CI boxes show +/-15% run-to-run noise,
 # so the bench diff only *flags* regressions past a generous threshold;
@@ -31,6 +35,7 @@ RUN_BENCH=0
 RUN_TELEMETRY=0
 RUN_STORE=0
 RUN_PROFILE=0
+RUN_POLICY=0
 RUN_SAN=1
 for arg in "$@"; do
   case "$arg" in
@@ -38,8 +43,9 @@ for arg in "$@"; do
     --telemetry) RUN_TELEMETRY=1 ;;
     --store) RUN_STORE=1 ;;
     --profile) RUN_PROFILE=1 ;;
+    --policy) RUN_POLICY=1 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
-    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--store] [--profile] [--skip-sanitizers]" >&2
+    *) echo "usage: scripts/check.sh [--bench] [--telemetry] [--store] [--profile] [--policy] [--skip-sanitizers]" >&2
        exit 2 ;;
   esac
 done
@@ -80,13 +86,13 @@ if [ "$RUN_SAN" = 1 ]; then
   # disproportionately slow and the remaining suites are single-threaded.
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j"$(nproc)" --target \
-    support_test tracesim_test sweepengine_test shardedreplay_test \
-    tracestore_test
-  # Only these five binaries exist in the tsan tree, so invoke them
+    support_test tracesim_test cachemodel_test sweepengine_test \
+    shardedreplay_test tracestore_test
+  # Only these six binaries exist in the tsan tree, so invoke them
   # directly rather than through ctest's discovery (which would trip
   # over the unbuilt suites).
-  for t in support_test tracesim_test sweepengine_test shardedreplay_test \
-           tracestore_test; do
+  for t in support_test tracesim_test cachemodel_test sweepengine_test \
+           shardedreplay_test tracestore_test; do
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
       ./build-tsan/tests/"$t" || { echo "tsan: $t failed" >&2; exit 1; }
   done
@@ -126,6 +132,55 @@ if [ "$RUN_PROFILE" = 1 ]; then
   python3 scripts/validate_telemetry.py profile "$PROFILE_DIR/towers.json"
   python3 scripts/validate_telemetry.py metrics "$PROFILE_DIR/metrics.jsonl"
   rm -rf "$PROFILE_DIR"
+fi
+
+if [ "$RUN_POLICY" = 1 ]; then
+  echo "== policy differential: sharded + warm-store bit-identity =="
+  POLICY_DIR=$(mktemp -d /tmp/urcm_policy.XXXXXX)
+  SWEEP="--workload=Sieve --sweep=16,64"
+  # Every policy's sweep must be deterministic and bit-identical under
+  # set sharding (shard-ineligible policies route through the
+  # sequential leftover unit, so the invariant holds for all of them).
+  for p in lru fifo random plru srrip min bypass; do
+    ./build/tools/urcmc $SWEEP --policy="$p" > "$POLICY_DIR/$p.out"
+    ./build/tools/urcmc $SWEEP --policy="$p" --shards=7 \
+      > "$POLICY_DIR/$p.sharded.out"
+    cmp "$POLICY_DIR/$p.out" "$POLICY_DIR/$p.sharded.out" || {
+      echo "policy $p: sharded sweep diverges from sequential" >&2
+      exit 1; }
+  done
+  # One stored trace serves the whole policy grid: record under LRU,
+  # then every other policy must warm-hit — a policy change must never
+  # cause a store miss or a re-record.
+  ./build/tools/urcmc $SWEEP --policy=lru \
+    --trace-store="$POLICY_DIR/cache" > /dev/null
+  [ "$(ls "$POLICY_DIR"/cache | wc -l)" = 1 ] || {
+    echo "policy store: expected exactly one trace file" >&2; exit 1; }
+  for p in fifo srrip bypass; do
+    ./build/tools/urcmc $SWEEP --policy="$p" \
+      --trace-store="$POLICY_DIR/cache" \
+      --telemetry-json="$POLICY_DIR/$p.warm.json" \
+      > "$POLICY_DIR/$p.warm.out"
+    cmp "$POLICY_DIR/$p.out" "$POLICY_DIR/$p.warm.out" || {
+      echo "policy $p: warm-store sweep diverges from live" >&2
+      exit 1; }
+    python3 - "$POLICY_DIR/$p.warm.json" "$p" <<'PY'
+import json, sys
+warm = json.load(open(sys.argv[1]))
+p = sys.argv[2]
+if warm["counters"].get("sim.store.misses", 0) != 0:
+    sys.exit(f"policy {p}: policy change caused a store miss")
+if warm["counters"].get("sim.store.hits", 0) < 1:
+    sys.exit(f"policy {p}: warm run did not hit the store")
+if warm["counters"].get("sim.runs", 0) != 0:
+    sys.exit(f"policy {p}: warm run invoked the Simulator")
+PY
+  done
+  [ "$(ls "$POLICY_DIR"/cache | wc -l)" = 1 ] || {
+    echo "policy store: a policy change re-recorded the trace" >&2
+    exit 1; }
+  rm -rf "$POLICY_DIR"
+  echo "policy differential OK"
 fi
 
 if [ "$RUN_BENCH" = 1 ]; then

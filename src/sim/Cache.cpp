@@ -22,18 +22,6 @@ const char *urcm::writePolicyName(WritePolicy Policy) {
   return "?";
 }
 
-const char *urcm::replacementPolicyName(ReplacementPolicy Policy) {
-  switch (Policy) {
-  case ReplacementPolicy::LRU:
-    return "LRU";
-  case ReplacementPolicy::FIFO:
-    return "FIFO";
-  case ReplacementPolicy::Random:
-    return "Random";
-  }
-  return "?";
-}
-
 std::string CacheStats::str() const {
   return formatString(
       "refs=%llu hits=%llu (%.2f%%) fills=%llu wb=%llu deadfree=%llu "
@@ -65,8 +53,16 @@ DataCache::DataCache(const CacheConfig &Config, MainMemory &Mem)
   assert(Config.Assoc > 0 && Config.NumLines % Config.Assoc == 0 &&
          "associativity must divide the line count");
   assert(Config.LineWords > 0 && "line size must be positive");
+  assert(cachePolicyLiveEligible(Config.Policy) &&
+         "MIN/LivenessBypass are replay-only (urcm/sim/CacheModel.h)");
+  assert((Config.Policy != CachePolicy::TreePLRU ||
+          (Config.Assoc <= 64 &&
+           (Config.Assoc & (Config.Assoc - 1)) == 0)) &&
+         "TreePLRU needs a power-of-two associativity of at most 64");
   Lines.resize(Config.NumLines);
   Words.assign(static_cast<size_t>(Config.NumLines) * Config.LineWords, 0);
+  if (Config.Policy == CachePolicy::TreePLRU)
+    TreeBits.assign(Geometry.NumSets, 0);
 }
 
 bool DataCache::probe(uint64_t Addr) const {
@@ -79,24 +75,28 @@ DataCache::Line *DataCache::chooseVictim(uint32_t Set) {
     if (!Base[Way].Valid)
       return &Base[Way];
 
+  // Victim mechanisms are shared with the replay kernel
+  // (urcm/sim/CachePolicy.h) so live and replayed counters can never
+  // drift policy by policy.
   switch (Config.Policy) {
-  case ReplacementPolicy::LRU: {
-    Line *Victim = Base;
-    for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-      if (Base[Way].LastUsed < Victim->LastUsed)
-        Victim = &Base[Way];
-    return Victim;
-  }
-  case ReplacementPolicy::FIFO: {
-    Line *Victim = Base;
-    for (uint32_t Way = 1; Way != Config.Assoc; ++Way)
-      if (Base[Way].InsertedAt < Victim->InsertedAt)
-        Victim = &Base[Way];
-    return Victim;
-  }
-  case ReplacementPolicy::Random:
+  case CachePolicy::LRU:
+    return Base + detail::lruVictimWay(Base, Config.Assoc);
+  case CachePolicy::FIFO:
+    return Base + detail::fifoVictimWay(Base, Config.Assoc);
+  case CachePolicy::Random:
     return &Base[Rng.nextBelow(Config.Assoc)];
+  case CachePolicy::TreePLRU:
+    return Base + (Config.Assoc == 1
+                       ? 0
+                       : detail::treePLRUVictimWay(TreeBits[Set],
+                                                   Config.Assoc));
+  case CachePolicy::SRRIP:
+    return Base + detail::srripVictimWay(Base, Config.Assoc);
+  case CachePolicy::MIN:
+  case CachePolicy::LivenessBypass:
+    break; // Replay-only; rejected by the constructor.
   }
+  assert(false && "unreachable: replay-only policy in the live cache");
   return Base;
 }
 
@@ -148,6 +148,10 @@ DataCache::Line *DataCache::allocate(uint64_t LineAddress, bool FetchWords) {
     ++Stats.Fills;
   }
   touch(*Victim);
+  // SRRIP installs at the long re-reference interval; touch() above
+  // already advanced the tick and the TreePLRU tree for this way.
+  if (Config.Policy == CachePolicy::SRRIP)
+    Victim->RRPV = SRRIPInsertRRPV;
   return Victim;
 }
 
@@ -165,8 +169,9 @@ int64_t DataCache::readMiss(uint64_t Addr, uint64_t LineAddress,
   CurRef = Info.RefId;
   if (Attr)
     ++Attr->row(Info.RefId).Misses;
-  if (Info.LastRef && Config.LineWords == 1 &&
-      invalidWayOf(setOf(LineAddress))) {
+  if (Line *Slot = Info.LastRef && Config.LineWords == 1
+                       ? invalidWayOf(setOf(LineAddress))
+                       : nullptr) {
     // Dead load missing the cache, with a free slot in the set: the
     // allocate + freeLine pair below degenerates to bookkeeping — the
     // line is filled into the invalid way and immediately invalidated
@@ -174,11 +179,14 @@ int64_t DataCache::readMiss(uint64_t Addr, uint64_t LineAddress,
     // effects (allocate advances the tick twice: InsertedAt, then
     // touch) without the line-state churn. The invalid slot's tag and
     // tick fields are dead state either way: every lookup and victim
-    // choice tests Valid first.
+    // choice tests Valid first — but TreePLRU's tree bits are live
+    // state the skipped touch would have rewritten, so do that part.
     ++Stats.Fills;
     Stats.FillWords += 1;
     Tick += 2;
     ++Stats.DeadFrees;
+    if (Config.Policy == CachePolicy::TreePLRU && Config.Assoc > 1)
+      treeTouch(Slot - Lines.data());
     return Mem.read(Addr);
   }
   Line *L = allocate(LineAddress, /*FetchWords=*/true);
@@ -194,8 +202,9 @@ void DataCache::writeMiss(uint64_t Addr, uint64_t LineAddress, int64_t Value,
   CurRef = Info.RefId;
   if (Attr)
     ++Attr->row(Info.RefId).Misses;
-  if (Info.LastRef && Config.LineWords == 1 &&
-      invalidWayOf(setOf(LineAddress))) {
+  if (Line *Slot = Info.LastRef && Config.LineWords == 1
+                       ? invalidWayOf(setOf(LineAddress))
+                       : nullptr) {
     // Dead store missing the cache, with a free slot in the set — the
     // reuse-aware scheme's hottest sequence (a temporary's final store
     // finds its line already freed by the preceding dead load). The
@@ -209,6 +218,8 @@ void DataCache::writeMiss(uint64_t Addr, uint64_t LineAddress, int64_t Value,
     ++Stats.DeadWriteBacksAvoided;
     if (Attr)
       ++Attr->row(Info.RefId).DeadWriteBacksSuppressed;
+    if (Config.Policy == CachePolicy::TreePLRU && Config.Assoc > 1)
+      treeTouch(Slot - Lines.data());
     return;
   }
   // Write-allocate. One-word lines skip the fetch (overwritten).

@@ -84,13 +84,15 @@ inline bool lruTwoWayEligible(const SweepPoint &P) {
 /// True if \p P can be replayed as independent set shards: replacement
 /// state must be strictly set-local. LRU and FIFO qualify (their ticks
 /// only order events *within* a set, and a shard feeds each of its sets
-/// the same relative event order as the full trace). Random does not —
-/// every miss anywhere consumes the next value of one shared RNG
-/// sequence, so victim choice depends on the global interleaving of
+/// the same relative event order as the full trace), as do TreePLRU
+/// (per-set tree bits) and SRRIP (per-line RRPVs aged per set). Random
+/// does not — every miss anywhere consumes the next value of one shared
+/// RNG sequence, so victim choice depends on the global interleaving of
 /// sets. MIN does not either: its next-use lookups are indexed by
-/// global trace position, which a shard subsequence loses.
+/// global trace position, which a shard subsequence loses. Neither does
+/// LivenessBypass: its predictor table is global across sets.
 inline bool setShardEligible(const SweepPoint &P) {
-  return P.Policy == TracePolicy::LRU || P.Policy == TracePolicy::FIFO;
+  return cachePolicySetShardEligible(P.Policy);
 }
 
 /// Specialized lock-step replay for two-way LRU write-back caches with
@@ -331,17 +333,17 @@ private:
   }
 };
 
-/// The general lock-step walk: one TraceReplayer per point, advanced a
-/// chunk at a time (a running event index supplies MIN's
+/// The general lock-step walk: one policy-generic CacheModel per point,
+/// advanced a chunk at a time (a running event index supplies MIN's
 /// future-knowledge lookups, so batch callers that feed the whole trace
 /// as one chunk see the original indexes).
 ///
-/// \p ShardDiv > 1 builds every replayer in set-shard mode (see
-/// TraceReplayer); MIN and Random points are not shard-eligible
-/// (setShardEligible) and must not appear then.
+/// \p ShardDiv > 1 builds every model in set-shard mode (see
+/// CacheModel); MIN, Random and LivenessBypass points are not
+/// shard-eligible (setShardEligible) and must not appear then.
 class GenericMultiStream {
   std::vector<SweepPoint> Points;
-  std::vector<TraceReplayer> Replayers;
+  std::vector<CacheModel> Replayers;
   std::vector<TraceEvent> Stripped; // Per-chunk scratch (hints cleared).
   bool AnyUnhinted = false;
   uint64_t RunningIndex = 0;
@@ -403,9 +405,8 @@ public:
     for (size_t P = 0; P != N; ++P) {
       const TraceEvent *Src =
           Points[P].IgnoreHints && AnyUnhinted ? Stripped.data() : Events;
-      TraceReplayer &R = Replayers[P];
-      for (size_t K = 0; K != Count; ++K)
-        R.step(Src[K], Base + K);
+      // One policy dispatch per (point, chunk), not per event.
+      Replayers[P].feed(Src, Count, Base);
     }
   }
 

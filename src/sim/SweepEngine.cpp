@@ -86,6 +86,50 @@ URCM_STAT(NumSweepBytesFreed, "sweep.trace-bytes-freed",
           "Bytes of materialized trace released after replay");
 URCM_STAT(SweepReplayNs, "sweep.replay-ns",
           "Nanoseconds spent replaying trace chunks (consumer side)");
+URCM_STAT(NumPolicyLRUPoints, "sim.policy.lru",
+          "Sweep points answered under the LRU policy");
+URCM_STAT(NumPolicyFIFOPoints, "sim.policy.fifo",
+          "Sweep points answered under the FIFO policy");
+URCM_STAT(NumPolicyRandomPoints, "sim.policy.random",
+          "Sweep points answered under the Random policy");
+URCM_STAT(NumPolicyMINPoints, "sim.policy.min",
+          "Sweep points answered under the Belady MIN policy");
+URCM_STAT(NumPolicyTreePLRUPoints, "sim.policy.tree-plru",
+          "Sweep points answered under the tree-PLRU policy");
+URCM_STAT(NumPolicySRRIPPoints, "sim.policy.srrip",
+          "Sweep points answered under the SRRIP policy");
+URCM_STAT(NumPolicyBypassPoints, "sim.policy.liveness-bypass",
+          "Sweep points answered under the liveness-bypass predictor");
+
+namespace {
+/// One counter per policy so `--stats` shows how a sweep's points were
+/// distributed across the policy axis (reused and replayed alike).
+void countPolicyPoint(CachePolicy Policy) {
+  switch (Policy) {
+  case CachePolicy::LRU:
+    NumPolicyLRUPoints.add();
+    break;
+  case CachePolicy::FIFO:
+    NumPolicyFIFOPoints.add();
+    break;
+  case CachePolicy::Random:
+    NumPolicyRandomPoints.add();
+    break;
+  case CachePolicy::MIN:
+    NumPolicyMINPoints.add();
+    break;
+  case CachePolicy::TreePLRU:
+    NumPolicyTreePLRUPoints.add();
+    break;
+  case CachePolicy::SRRIP:
+    NumPolicySRRIPPoints.add();
+    break;
+  case CachePolicy::LivenessBypass:
+    NumPolicyBypassPoints.add();
+    break;
+  }
+}
+} // namespace
 
 
 //===----------------------------------------------------------------------===//
@@ -363,13 +407,24 @@ bool SweepEngine::serveFromStore(Experiment &E,
   if (Status != TraceStoreReader::OpenStatus::Ok)
     return false;
 
-  // Warm hit: the base result is the stored summary and every replay
-  // point is fed from decoded chunks — the Simulator is never invoked
-  // (no sim.run span on this path; asserted by tests and check.sh).
+  // Warm hit: every replay point is fed from decoded chunks — the
+  // Simulator is never invoked (no sim.run span on this path; asserted
+  // by tests and check.sh). The store's content hash deliberately
+  // ignores the data-cache policy and seed (the recorded trace is
+  // policy-independent, so one stored trace serves the whole policy
+  // grid), which means the stored summary's cache counters may have
+  // been recorded under a different policy than this experiment's base
+  // configuration. A synthetic point at the base configuration rides
+  // the replay set and its counters overwrite the stored ones below.
   telemetry::ScopedPhase Serve("sweep.store-serve",
                                EffShards > 1 ? "sharded" : "streaming");
+  SweepPoint BasePt;
+  BasePt.Config = E.Base.Cache;
+  BasePt.Policy = E.Base.Cache.Policy;
+  std::vector<SweepPoint> Work = Rest;
+  Work.push_back(BasePt);
   bool Ok = true;
-  if (!Rest.empty() && SweepPointStream::streamable(Rest)) {
+  if (SweepPointStream::streamable(Work)) {
     // Same shape as the live streaming path: decode overlaps replay
     // through the recycled-buffer SPSC pipeline, peak memory O(chunk).
     auto ServeInto = [&](auto &Stream) {
@@ -391,18 +446,18 @@ bool SweepEngine::serveFromStore(Experiment &E,
         Replayed = Stream.finish();
         if (T0)
           ReplayNs += telemetry::nowNanos() - T0;
-        collectAttribution(Stream, Rest, ReplayedAttrib);
+        collectAttribution(Stream, Work, ReplayedAttrib);
       }
       SweepReplayNs.add(ReplayNs);
     };
     if (EffShards > 1) {
-      ShardedSweepStream Stream(Rest, EffShards, Pool);
+      ShardedSweepStream Stream(Work, EffShards, Pool);
       ServeInto(Stream);
     } else {
-      SweepPointStream Stream(Rest);
+      SweepPointStream Stream(Work);
       ServeInto(Stream);
     }
-  } else if (!Rest.empty()) {
+  } else {
     // Belady MIN: materialize the decoded trace for its backward
     // next-use pass, exactly as the live path materializes its own.
     std::vector<TraceEvent> Trace;
@@ -411,7 +466,7 @@ bool SweepEngine::serveFromStore(Experiment &E,
       telemetry::ScopedPhase Replay("sweep.replay");
       uint64_t T0 = telemetry::enabled() ? telemetry::nowNanos() : 0;
       Replayed =
-          replayMaterialized(Trace, Rest, EffShards, Pool, ReplayedAttrib);
+          replayMaterialized(Trace, Work, EffShards, Pool, ReplayedAttrib);
       if (T0)
         SweepReplayNs.add(telemetry::nowNanos() - T0);
       NumSweepBytesFreed.add(Trace.capacity() * sizeof(TraceEvent));
@@ -430,6 +485,13 @@ bool SweepEngine::serveFromStore(Experiment &E,
     return false;
   }
   E.Result = Reader.summary();
+  // The trailing synthetic point carries the base configuration's true
+  // counters; the stored summary keeps everything that really is
+  // policy-invariant (ICache stats, occupancy, instruction counts).
+  E.Result.Cache = Replayed.back();
+  Replayed.pop_back();
+  if (ReplayedAttrib.size() > Rest.size())
+    ReplayedAttrib.resize(Rest.size());
   TraceEvents = Reader.eventCount();
   return true;
 }
@@ -463,9 +525,9 @@ void SweepEngine::run() {
     std::vector<size_t> RestIndex, ReusedIndex;
     for (size_t P = 0; P != E.Points.size(); ++P) {
       const SweepPoint &Pt = E.Points[P];
+      countPolicyPoint(Pt.Policy);
       if (!Pt.IgnoreHints && !Pt.wantsAttribution() &&
-          Pt.Config == Config.Cache &&
-          Pt.Policy == tracePolicyFor(Config.Cache.Policy)) {
+          Pt.Config == Config.Cache && Pt.Policy == Config.Cache.Policy) {
         ReusedIndex.push_back(P);
       } else {
         Rest.push_back(Pt);

@@ -425,6 +425,22 @@ void hashCacheConfig(Fnv1a &H, const CacheConfig &C) {
   H.u64(C.Seed);
 }
 
+/// The data cache is a pure observer of the reference stream: the trace
+/// a run records is identical under every replacement policy and RNG
+/// seed, so neither salts the content hash. One stored trace therefore
+/// warm-serves the whole policy grid; the engine re-derives the base
+/// configuration's counters by replay (SweepEngine::serveFromStore)
+/// instead of trusting the stored summary's cache row. Geometry and the
+/// write policy stay salted conservatively: they are cheap to keep, and
+/// narrowing the invariant to "policy and seed are observers" is the
+/// exact guarantee the sweep's policy grid needs.
+void hashDataCacheConfig(Fnv1a &H, const CacheConfig &C) {
+  H.u32(C.NumLines);
+  H.u32(C.Assoc);
+  H.u32(C.LineWords);
+  H.u8(static_cast<uint8_t>(C.Write));
+}
+
 } // namespace
 
 uint64_t urcm::traceContentHash(const MachineProgram &Prog,
@@ -467,7 +483,7 @@ uint64_t urcm::traceContentHash(const MachineProgram &Prog,
   // observers and deliberately excluded.
   H.u64(Config.MaxSteps);
   H.u8(Config.Paranoid ? 1 : 0);
-  hashCacheConfig(H, Config.Cache);
+  hashDataCacheConfig(H, Config.Cache);
   H.u8(Config.ModelICache ? 1 : 0);
   if (Config.ModelICache)
     hashCacheConfig(H, Config.ICache);

@@ -34,7 +34,7 @@ std::string paramName(const ::testing::TestParamInfo<SweepParam> &Info) {
   std::string Name = P.WorkloadName;
   Name += "_L" + std::to_string(P.NumLines);
   Name += "_A" + std::to_string(P.Assoc);
-  Name += replacementPolicyName(P.Policy);
+  Name += cachePolicyName(P.Policy);
   Name += P.EraMode ? "_era" : "_alloc";
   return Name;
 }

@@ -40,9 +40,9 @@ TEST(CacheStats, StrMentionsKeyCounters) {
 }
 
 TEST(PolicyNames, AllNamed) {
-  EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::LRU), "LRU");
-  EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::FIFO), "FIFO");
-  EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Random),
+  EXPECT_STREQ(cachePolicyName(ReplacementPolicy::LRU), "LRU");
+  EXPECT_STREQ(cachePolicyName(ReplacementPolicy::FIFO), "FIFO");
+  EXPECT_STREQ(cachePolicyName(ReplacementPolicy::Random),
                "Random");
   EXPECT_STREQ(writePolicyName(WritePolicy::WriteBack), "write-back");
   EXPECT_STREQ(writePolicyName(WritePolicy::WriteThrough),

@@ -97,7 +97,7 @@ TEST(TraceSim, MINBeatsOrTiesEveryPolicyOnRandomTraces) {
                             TracePolicy::Random}) {
         CacheStats Other = replayTrace(Trace, Geometry, P);
         EXPECT_LE(Min.misses(), Other.misses())
-            << "seed=" << Seed << " policy=" << tracePolicyName(P)
+            << "seed=" << Seed << " policy=" << cachePolicyName(P)
             << " lines=" << Geometry.NumLines;
       }
     }

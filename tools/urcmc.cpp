@@ -20,7 +20,11 @@
 //                         reuse   (default unified)
 //   --regs=N              allocatable registers (default 24)
 //   --alloc=P             chaitin | usage  (default chaitin)
-//   --cache-lines=N --assoc=N --line-words=N --policy=lru|fifo|random
+//   --cache-lines=N --assoc=N --line-words=N
+//   --policy=lru|fifo|random|plru|srrip|min|bypass
+//                         replacement policy for the live cache and for
+//                         every --sweep row (min and bypass are
+//                         replay-only: they require --sweep)
 //   --icache              model the instruction cache too
 //   --dump-ast --dump-ir --dump-asm --stats --compare
 //   --workload=NAME       use a built-in benchmark instead of a file
@@ -31,9 +35,10 @@
 //   --verify-each         verify after every mutating pass (the default)
 //   --no-verify           skip IR verification
 //   --print-after-all     print the IR after every pass to stderr
-//   --sweep=S1,S2,...     replay the run against fully-associative LRU
-//                         caches of the given sizes (hinted and
-//                         conventional) and print a traffic table
+//   --sweep=S1,S2,...     replay the run against fully-associative
+//                         caches of the given sizes under --policy
+//                         (hinted and conventional) and print a
+//                         traffic table
 //   --telemetry           print the telemetry summary to stderr on exit
 //   --telemetry-json=F    write the telemetry JSON snapshot to F
 //   --trace-out=F         write a Chrome trace-event file to F
@@ -83,6 +88,11 @@ struct CliOptions {
   bool Compare = false;
   bool PrintPipeline = false;
   std::vector<uint32_t> SweepSizes;
+  /// Replacement policy from --policy=; applied to the live cache when
+  /// live-eligible and to every sweep row (replay-only policies need
+  /// --sweep).
+  CachePolicy Policy = CachePolicy::LRU;
+  bool PolicySet = false;
   /// Intra-trace replay sharding for --sweep: 1 sequential, 0 auto.
   uint32_t Shards = 1;
   /// Persistent trace store directory for --sweep (empty = off).
@@ -132,10 +142,13 @@ void usage(std::FILE *Out) {
       "  --no-verify          skip IR verification\n"
       "  --print-after-all    print the IR after every pass to stderr\n"
       "simulation:\n"
-      "  --cache-lines=N --assoc=N --line-words=N "
-      "--policy=lru|fifo|random\n"
+      "  --cache-lines=N --assoc=N --line-words=N\n"
+      "  --policy=P           lru|fifo|random|plru|srrip|min|bypass "
+      "(live\n"
+      "                       cache and every sweep row; min/bypass are\n"
+      "                       replay-only and require --sweep)\n"
       "  --icache             model the instruction cache too\n"
-      "  --sweep=S1,S2,...    replay against fully-associative LRU caches "
+      "  --sweep=S1,S2,...    replay against fully-associative caches "
       "of\n"
       "                       the given line counts (hinted and "
       "conventional)\n"
@@ -265,15 +278,14 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
     return Cli.Sim.Cache.LineWords > 0;
   }
   if (const char *V = Value("--policy=")) {
-    std::string S = V;
-    if (S == "lru")
-      Cli.Sim.Cache.Policy = ReplacementPolicy::LRU;
-    else if (S == "fifo")
-      Cli.Sim.Cache.Policy = ReplacementPolicy::FIFO;
-    else if (S == "random")
-      Cli.Sim.Cache.Policy = ReplacementPolicy::Random;
-    else
+    if (!parseCachePolicy(V, Cli.Policy))
       return false;
+    Cli.PolicySet = true;
+    // Replay-only policies (MIN, the liveness-bypass predictor) cannot
+    // drive the live data cache; main() rejects them without --sweep
+    // and runSweep keeps the base simulation on LRU.
+    if (cachePolicyLiveEligible(Cli.Policy))
+      Cli.Sim.Cache.Policy = Cli.Policy;
     return true;
   }
   if (const char *V = Value("--workload=")) {
@@ -395,10 +407,22 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
   return true;
 }
 
-/// Replays the compiled program against fully-associative LRU caches of
-/// the requested sizes, hinted and hint-stripped, and prints a traffic
-/// table. One traced simulation serves every row (see SweepEngine.h).
+/// Replays the compiled program against fully-associative caches of the
+/// requested sizes under the --policy= replacement policy (default
+/// LRU), hinted and hint-stripped, and prints a traffic table. One
+/// traced simulation serves every row (see SweepEngine.h).
 int runSweep(const CliOptions &Cli, const MachineProgram &Program) {
+  if (Cli.Policy == CachePolicy::TreePLRU) {
+    for (uint32_t Size : Cli.SweepSizes)
+      if (Size > 64 || (Size & (Size - 1)) != 0) {
+        std::fprintf(stderr,
+                     "error: --policy=plru needs power-of-two sweep "
+                     "sizes <= 64 (tree bits live in one word per set; "
+                     "sweep rows are fully associative); got %u\n",
+                     Size);
+        return 2;
+      }
+  }
   std::vector<SweepPoint> Points;
   for (uint32_t Size : Cli.SweepSizes) {
     SweepPoint P;
@@ -406,8 +430,9 @@ int runSweep(const CliOptions &Cli, const MachineProgram &Program) {
     P.Config.Assoc = Size;
     P.Config.LineWords = 1;
     P.Config.Write = WritePolicy::WriteBack;
-    P.Config.Policy = ReplacementPolicy::LRU;
-    P.Policy = TracePolicy::LRU;
+    P.Config.Policy = Cli.Policy;
+    P.Config.Seed = Cli.Sim.Cache.Seed;
+    P.Policy = Cli.Policy;
     Points.push_back(P);
     P.IgnoreHints = true;
     Points.push_back(P);
@@ -633,6 +658,15 @@ int main(int argc, char **argv) {
       usage(stderr);
       return 2;
     }
+  }
+
+  if (Cli.PolicySet && !cachePolicyLiveEligible(Cli.Policy) &&
+      Cli.SweepSizes.empty()) {
+    std::fprintf(stderr,
+                 "error: --policy=%s is replay-only (it needs the "
+                 "recorded trace); combine it with --sweep=\n",
+                 cachePolicyName(Cli.Policy));
+    return 2;
   }
 
   // --print-pipeline needs no input: it reports what the flags resolve
