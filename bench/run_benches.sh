@@ -61,6 +61,7 @@ else
     reuse_threshold_sweep
     sharded_replay
     trace_store
+    trace_gen
   )
 fi
 
@@ -90,8 +91,17 @@ done
 # runs on the same core count, compiler output, and telemetry build
 # flavor, so record all three next to the numbers they qualify.
 GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-if [ "$GIT_SHA" != unknown ] && ! git diff --quiet HEAD -- 2>/dev/null; then
-  GIT_SHA="$GIT_SHA-dirty"
+# -dirty means the *source* differs from HEAD. Untracked files never
+# count (diff-against-HEAD semantics), stale stat info must not count
+# (refresh first), and neither do the bench outputs this very script
+# rewrites — without the excludes every run self-stamps dirty.
+if [ "$GIT_SHA" != unknown ]; then
+  git update-index -q --refresh 2>/dev/null || true
+  if ! git diff --quiet HEAD -- \
+      ':(top)' ':(top,exclude)BENCH_*.json' \
+      ':(top,exclude)bench/history' 2>/dev/null; then
+    GIT_SHA="$GIT_SHA-dirty"
+  fi
 fi
 # URCM_TELEMETRY_DISABLED compiles the counters out entirely (see
 # urcm/support/Telemetry.h); a tree built that way produces slightly

@@ -1,0 +1,500 @@
+//===- fusion_test.cpp - Superinstruction fusion tests -------------------------===//
+//
+// Part of the URCM project (Chi & Dietz, PLDI 1989 reproduction).
+//
+// The fusion transparency contract (urcm/sim/Predecode.h): a fused
+// predecoded program produces a bit-identical SimResult, TraceEvent
+// stream and attribution table to the unfused one, the trace store
+// serves fused-recorded traces to unfused consumers (and vice versa),
+// and a step-limited run stops on exactly MaxSteps even when the limit
+// lands mid-group. Exercised here over the six paper workloads — the
+// programs fusion was curated for — plus the escape hatches
+// (SimConfig::Fusion, URCM_NO_FUSE) and the sim.fuse.* telemetry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "urcm/driver/Driver.h"
+#include "urcm/sim/Predecode.h"
+#include "urcm/sim/TraceStore.h"
+#include "urcm/support/Telemetry.h"
+#include "urcm/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace urcm;
+
+namespace {
+
+/// Compiles one workload under the full unified pipeline (the
+/// configuration the paper figures and the benches run).
+MachineProgram compileWorkload(const Workload &W) {
+  DiagnosticEngine Diags;
+  CompileOptions Options;
+  CompileResult R = compileProgram(W.Source, Options, Diags);
+  EXPECT_TRUE(R.Ok) << "compile failed for " << W.Name;
+  return std::move(R.Program);
+}
+
+/// Asserts every observable field of \p A equals \p B (the reference),
+/// including the recorded trace event by event.
+void expectSameResult(const SimResult &A, const SimResult &B,
+                      const char *Label) {
+  SCOPED_TRACE(Label);
+  EXPECT_EQ(A.Halted, B.Halted);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Cache, B.Cache);
+  EXPECT_EQ(A.ICache, B.ICache);
+  EXPECT_EQ(A.InstructionFetches, B.InstructionFetches);
+  EXPECT_EQ(A.BypassTransitions, B.BypassTransitions);
+  EXPECT_EQ(A.CoherenceViolations, B.CoherenceViolations);
+  EXPECT_EQ(A.Refs.Unambiguous, B.Refs.Unambiguous);
+  EXPECT_EQ(A.Refs.Ambiguous, B.Refs.Ambiguous);
+  EXPECT_EQ(A.Refs.Spill, B.Refs.Spill);
+  EXPECT_EQ(A.Refs.Unknown, B.Refs.Unknown);
+  EXPECT_EQ(A.Refs.Bypassed, B.Refs.Bypassed);
+  EXPECT_EQ(A.Refs.LastRefTagged, B.Refs.LastRefTagged);
+  ASSERT_EQ(A.Trace.size(), B.Trace.size());
+  for (size_t I = 0; I != A.Trace.size(); ++I) {
+    ASSERT_EQ(A.Trace[I].Addr, B.Trace[I].Addr) << "event " << I;
+    ASSERT_EQ(A.Trace[I].IsWrite, B.Trace[I].IsWrite) << "event " << I;
+    ASSERT_EQ(A.Trace[I].Info.Bypass, B.Trace[I].Info.Bypass)
+        << "event " << I;
+    ASSERT_EQ(A.Trace[I].Info.LastRef, B.Trace[I].Info.LastRef)
+        << "event " << I;
+    ASSERT_EQ(A.Trace[I].RefId, B.Trace[I].RefId) << "event " << I;
+  }
+}
+
+/// Scratch directory for trace-store tests; removed on destruction.
+struct ScratchDir {
+  std::filesystem::path Path;
+  explicit ScratchDir(const char *Name) {
+    Path = std::filesystem::temp_directory_path() /
+           (std::string("urcm_fusion_") + Name + "." +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+/// Restores the global telemetry state on scope exit.
+struct TelemetryGuard {
+  explicit TelemetryGuard(bool Enable) {
+    telemetry::setClassifySink(nullptr);
+    telemetry::setEnabled(Enable);
+    telemetry::reset();
+  }
+  ~TelemetryGuard() {
+    telemetry::setClassifySink(nullptr);
+    telemetry::setEnabled(false);
+    telemetry::reset();
+  }
+};
+
+/// Restores (or clears) URCM_NO_FUSE on scope exit.
+struct NoFuseEnvGuard {
+  NoFuseEnvGuard() {
+    if (const char *Old = std::getenv("URCM_NO_FUSE")) {
+      HadOld = true;
+      OldValue = Old;
+    }
+  }
+  ~NoFuseEnvGuard() {
+    if (HadOld)
+      ::setenv("URCM_NO_FUSE", OldValue.c_str(), 1);
+    else
+      ::unsetenv("URCM_NO_FUSE");
+  }
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+/// Group size of each fused opcode, from the same X-macro that defines
+/// them — the table the matcher and the handlers are generated from.
+const std::map<POp, uint32_t> &fusedGroupSizes() {
+  static const std::map<POp, uint32_t> Sizes = [] {
+    std::map<POp, uint32_t> M;
+#define URCM_SIZE2(Name, M0, M1) M[POp::Fuse##Name] = 2;
+#define URCM_SIZE3(Name, M0, M1, M2) M[POp::Fuse##Name] = 3;
+    URCM_FUSED_OPS(URCM_SIZE2, URCM_SIZE3)
+#undef URCM_SIZE2
+#undef URCM_SIZE3
+    return M;
+  }();
+  return Sizes;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Transparency over the paper workloads
+//===----------------------------------------------------------------------===//
+
+// For every paper workload: the fused predecoded engine, the unfused
+// predecoded engine and the legacy switch interpreter produce
+// bit-identical SimResults (every field, every trace event) and
+// identical per-reference attribution tables.
+TEST(Fusion, PaperWorkloadsBitIdentical) {
+  for (const Workload &W : paperWorkloads()) {
+    SCOPED_TRACE(W.Name);
+    MachineProgram Prog = compileWorkload(W);
+
+    auto runWith = [&](SimEngine Engine, bool Fusion, RefAttribution &Attr) {
+      SimConfig Sim;
+      Sim.Engine = Engine;
+      Sim.Fusion = Fusion;
+      Sim.RecordTrace = true;
+      Attr = RefAttribution(static_cast<uint32_t>(Prog.RefTable.size()));
+      Sim.Attribution = &Attr;
+      return Simulator(Sim).run(Prog);
+    };
+
+    RefAttribution AttrS, AttrF, AttrU;
+    SimResult S = runWith(SimEngine::Switch, true, AttrS);
+    SimResult F = runWith(SimEngine::Predecoded, true, AttrF);
+    SimResult U = runWith(SimEngine::Predecoded, false, AttrU);
+    ASSERT_TRUE(S.ok()) << S.Error;
+    // ExpectedOutput is a known-correct prefix (workloads_test checks
+    // it in depth); a quick sanity check that we ran the real program.
+    ASSERT_GE(S.Output.size(), W.ExpectedOutput.size());
+    for (size_t I = 0; I != W.ExpectedOutput.size(); ++I)
+      EXPECT_EQ(S.Output[I], W.ExpectedOutput[I]);
+
+    expectSameResult(F, S, "fused vs switch");
+    expectSameResult(U, S, "unfused vs switch");
+    EXPECT_EQ(AttrF, AttrS) << "fused attribution diverged";
+    EXPECT_EQ(AttrU, AttrS) << "unfused attribution diverged";
+
+    // The workloads this set was curated on must actually fuse —
+    // otherwise the equalities above test nothing.
+    PredecodedProgram PP = predecode(Prog);
+    FusionStats Stats = fusePredecoded(PP);
+    EXPECT_TRUE(PP.fused());
+    EXPECT_GT(Stats.Fused, 0u) << W.Name << " fused nothing";
+    EXPECT_GE(Stats.Candidates, Stats.Fused);
+  }
+}
+
+// A control transfer landing *inside* a fused group must execute the
+// tail unfused from its original PInst (tails keep their full encoding;
+// only head Op bytes are rewritten). Compiled workloads happen not to
+// branch into group interiors with the curated set, so this
+// hand-authored machine program manufactures the case deterministically:
+// a loop whose back-edge targets the second Ld of a fused LdLd pair.
+TEST(Fusion, BranchIntoFusedGroupTail) {
+  MachineProgram Prog;
+  auto li = [](uint32_t Rd, int64_t Imm) {
+    MInst I;
+    I.Op = MOpcode::Li;
+    I.Rd = Rd;
+    I.Imm = Imm;
+    return I;
+  };
+  auto ld = [](uint32_t Rd, int64_t Addr) {
+    MInst I;
+    I.Op = MOpcode::Ld;
+    I.Rd = Rd;
+    I.Imm = Addr; // absolute: base register absent
+    return I;
+  };
+  auto st = [](int64_t Addr, uint32_t Rs) {
+    MInst I;
+    I.Op = MOpcode::St;
+    I.Rs2 = Rs;
+    I.Imm = Addr;
+    return I;
+  };
+  Prog.Code.push_back(li(1, 3));       // 0: r1 = loop counter
+  Prog.Code.push_back(li(5, 11));      // 1: r5 = 11
+  Prog.Code.push_back(st(0x40, 5));    // 2: mem[0x40] = 11   \ fuses StSt
+  Prog.Code.push_back(st(0x41, 1));    // 3: mem[0x41] = r1   / (and StLd at 3)
+  Prog.Code.push_back(ld(3, 0x40));    // 4: r3 = mem[0x40]   \ fuses LdLd
+  Prog.Code.push_back(ld(4, 0x41));    // 5: r4 = mem[0x41]   / <- branch target
+  {
+    MInst Sub;                         // 6: r1 = r1 - 1
+    Sub.Op = MOpcode::Sub;
+    Sub.Rd = 1;
+    Sub.Rs1 = 1;
+    Sub.UseImm = true;
+    Sub.Imm = 1;
+    Prog.Code.push_back(Sub);
+  }
+  Prog.Code.push_back(st(0x42, 1));    // 7: mem[0x42] = r1
+  {
+    MInst Bnz;                         // 8: if (r1) goto 5 — mid-group!
+    Bnz.Op = MOpcode::Bnz;
+    Bnz.Rs1 = 1;
+    Bnz.Target = 5;
+    Prog.Code.push_back(Bnz);
+  }
+  {
+    MInst P;                           // 9-10: print r3, r4
+    P.Op = MOpcode::Print;
+    P.Rs1 = 3;
+    Prog.Code.push_back(P);
+    P.Rs1 = 4;
+    Prog.Code.push_back(P);
+  }
+  {
+    MInst H;                           // 11: halt
+    H.Op = MOpcode::Halt;
+    Prog.Code.push_back(H);
+  }
+
+  // The fusion structure this test depends on must actually form.
+  PredecodedProgram PP = predecode(Prog);
+  FusionStats Stats = fusePredecoded(PP);
+  ASSERT_GT(Stats.Fused, 0u);
+  ASSERT_EQ(PP.Insts[4].Op, POp::FuseLdLd);
+  EXPECT_EQ(PP.Insts[5].Op, POp::Ld) << "tail must keep its own opcode";
+  ASSERT_EQ(fusedGroupSizes().count(PP.Insts[5].Op), 0u)
+      << "index 5 must be a pure tail for the back-edge to enter "
+         "mid-group";
+
+  // Full run: all three engines bit-identical despite the mid-group
+  // back-edge (three loop iterations enter the LdLd group at its tail).
+  auto runWith = [&](SimEngine Engine, bool Fusion, uint64_t MaxSteps) {
+    SimConfig Sim;
+    Sim.Engine = Engine;
+    Sim.Fusion = Fusion;
+    Sim.RecordTrace = true;
+    if (MaxSteps)
+      Sim.MaxSteps = MaxSteps;
+    return Simulator(Sim).run(Prog);
+  };
+  SimResult S = runWith(SimEngine::Switch, true, 0);
+  SimResult F = runWith(SimEngine::Predecoded, true, 0);
+  SimResult U = runWith(SimEngine::Predecoded, false, 0);
+  ASSERT_TRUE(S.ok()) << S.Error;
+  EXPECT_EQ(S.Output, (std::vector<int64_t>{11, 3}));
+  expectSameResult(F, S, "fused vs switch");
+  expectSameResult(U, S, "unfused vs switch");
+
+  // Truncated runs: every possible limit, so the step budget expires on
+  // each phase of each group (including right at the mid-group entry).
+  for (uint64_t L = 1; L < S.Steps; ++L) {
+    SCOPED_TRACE("MaxSteps=" + std::to_string(L));
+    SimResult TS = runWith(SimEngine::Switch, true, L);
+    SimResult TF = runWith(SimEngine::Predecoded, true, L);
+    SimResult TU = runWith(SimEngine::Predecoded, false, L);
+    EXPECT_EQ(TS.Steps, L);
+    EXPECT_EQ(TF.Steps, L);
+    EXPECT_EQ(TU.Steps, L);
+    expectSameResult(TF, TS, "fused vs switch (truncated)");
+    expectSameResult(TU, TS, "unfused vs switch (truncated)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-path interchangeability
+//===----------------------------------------------------------------------===//
+
+// SimConfig::Fusion is excluded from traceContentHash by design: a
+// trace recorded by a fused run is served, byte for byte, to an unfused
+// consumer and vice versa.
+TEST(Fusion, TraceStoreCrossService) {
+  const Workload *W = findWorkload("Sieve");
+  ASSERT_NE(W, nullptr);
+  MachineProgram Prog = compileWorkload(*W);
+
+  SimConfig Fused;
+  Fused.Fusion = true;
+  SimConfig Unfused = Fused;
+  Unfused.Fusion = false;
+  ASSERT_EQ(traceContentHash(Prog, Fused), traceContentHash(Prog, Unfused))
+      << "Fusion leaked into the content hash; warm stores would "
+         "double-record every workload";
+  uint64_t Hash = traceContentHash(Prog, Fused);
+
+  ScratchDir Dir("cross_service");
+  DiagnosticEngine Diags;
+
+  // Record with the fused engine.
+  TraceStoreWriter Writer;
+  ASSERT_TRUE(Writer.open(Dir.str(), Hash, Diags));
+  TraceRecordSink Record(Writer);
+  SimConfig RecordCfg = Fused;
+  RecordCfg.Sink = &Record;
+  SimResult Recorded = Simulator(RecordCfg).run(Prog);
+  ASSERT_TRUE(Recorded.ok()) << Recorded.Error;
+  ASSERT_TRUE(Writer.commit(Recorded, Diags));
+
+  // An unfused run's in-memory trace is the ground truth.
+  SimConfig Truth = Unfused;
+  Truth.RecordTrace = true;
+  SimResult Reference = Simulator(Truth).run(Prog);
+  ASSERT_TRUE(Reference.ok()) << Reference.Error;
+
+  // The store opened under the unfused config's hash serves the
+  // fused-recorded trace, event for event.
+  TraceStoreReader Reader;
+  ASSERT_EQ(Reader.open(traceStorePath(Dir.str(), Hash), Hash, Diags),
+            TraceStoreReader::OpenStatus::Ok);
+  EXPECT_EQ(Reader.summary().Steps, Reference.Steps);
+  EXPECT_EQ(Reader.summary().Output, Reference.Output);
+  std::vector<TraceEvent> Served;
+  ASSERT_TRUE(Reader.readAll(Served));
+  ASSERT_EQ(Served.size(), Reference.Trace.size());
+  for (size_t I = 0; I != Served.size(); ++I) {
+    ASSERT_EQ(Served[I].Addr, Reference.Trace[I].Addr) << "event " << I;
+    ASSERT_EQ(Served[I].IsWrite, Reference.Trace[I].IsWrite)
+        << "event " << I;
+    ASSERT_EQ(Served[I].Info.Bypass, Reference.Trace[I].Info.Bypass)
+        << "event " << I;
+    ASSERT_EQ(Served[I].Info.LastRef, Reference.Trace[I].Info.LastRef)
+        << "event " << I;
+    ASSERT_EQ(Served[I].RefId, Reference.Trace[I].RefId) << "event " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Step-limit precision
+//===----------------------------------------------------------------------===//
+
+// A truncated run must stop after exactly MaxSteps retired instructions
+// under every dispatch strategy — a fused group whose tail would cross
+// the limit executes from the unfused shadow array instead of
+// overshooting. The sweep covers every limit small enough to land on
+// all phases of every fused group the program enters, plus a band in
+// the middle of the main loop.
+TEST(Fusion, MaxStepsStopsExactly) {
+  const Workload *W = findWorkload("Bubble");
+  ASSERT_NE(W, nullptr);
+  MachineProgram Prog = compileWorkload(*W);
+
+  SimConfig Full;
+  SimResult Complete = Simulator(Full).run(Prog);
+  ASSERT_TRUE(Complete.ok()) << Complete.Error;
+  ASSERT_GT(Complete.Steps, 2000u);
+
+  std::vector<uint64_t> Limits;
+  for (uint64_t L = 1; L <= 192; ++L)
+    Limits.push_back(L);
+  for (uint64_t L = 1001; L <= 1064; ++L)
+    Limits.push_back(L);
+  Limits.push_back(Complete.Steps - 1);
+
+  for (uint64_t L : Limits) {
+    SCOPED_TRACE("MaxSteps=" + std::to_string(L));
+    auto truncated = [&](SimEngine Engine, bool Fusion) {
+      SimConfig Sim;
+      Sim.Engine = Engine;
+      Sim.Fusion = Fusion;
+      Sim.MaxSteps = L;
+      Sim.RecordTrace = true;
+      return Simulator(Sim).run(Prog);
+    };
+    SimResult S = truncated(SimEngine::Switch, true);
+    SimResult F = truncated(SimEngine::Predecoded, true);
+    SimResult U = truncated(SimEngine::Predecoded, false);
+    EXPECT_FALSE(S.Halted);
+    EXPECT_EQ(S.Steps, L) << "switch interpreter overshot";
+    EXPECT_EQ(F.Steps, L) << "fused engine overshot";
+    EXPECT_EQ(U.Steps, L) << "unfused engine overshot";
+    expectSameResult(F, S, "fused vs switch (truncated)");
+    expectSameResult(U, S, "unfused vs switch (truncated)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Escape hatches and telemetry
+//===----------------------------------------------------------------------===//
+
+// URCM_NO_FUSE in the environment disables fusion on any binary
+// (anything but "0"); SimConfig::Fusion is the per-run switch.
+TEST(Fusion, EnvVarDisablesFusion) {
+  const Workload *W = findWorkload("Queen");
+  ASSERT_NE(W, nullptr);
+  MachineProgram Prog = compileWorkload(*W);
+  NoFuseEnvGuard Guard;
+
+  ::setenv("URCM_NO_FUSE", "1", 1);
+  {
+    PredecodedProgram PP = predecode(Prog);
+    FusionStats Stats = fusePredecoded(PP);
+    EXPECT_EQ(Stats.Fused, 0u);
+    EXPECT_EQ(Stats.Candidates, 0u);
+    EXPECT_FALSE(PP.fused());
+  }
+
+  // "0" means enabled — the documented way to force fusion on in an
+  // environment that exports the variable.
+  ::setenv("URCM_NO_FUSE", "0", 1);
+  {
+    PredecodedProgram PP = predecode(Prog);
+    FusionStats Stats = fusePredecoded(PP);
+    EXPECT_GT(Stats.Fused, 0u);
+    EXPECT_TRUE(PP.fused());
+  }
+}
+
+// Fusing an already-fused program is a no-op (idempotence), so callers
+// can funnel every predecoded program through fusePredecoded without
+// tracking state.
+TEST(Fusion, RefusingIsANoOp) {
+  const Workload *W = findWorkload("Queen");
+  ASSERT_NE(W, nullptr);
+  MachineProgram Prog = compileWorkload(*W);
+  PredecodedProgram PP = predecode(Prog);
+  FusionStats First = fusePredecoded(PP);
+  ASSERT_GT(First.Fused, 0u);
+  std::vector<PInst> Snapshot = PP.Insts;
+  FusionStats Second = fusePredecoded(PP);
+  EXPECT_EQ(Second.Fused, 0u);
+  EXPECT_EQ(Second.Candidates, 0u);
+  ASSERT_EQ(PP.Insts.size(), Snapshot.size());
+  for (size_t I = 0; I != Snapshot.size(); ++I)
+    EXPECT_EQ(static_cast<int>(PP.Insts[I].Op),
+              static_cast<int>(Snapshot[I].Op))
+        << "inst " << I;
+}
+
+// sim.fuse.{candidates,fused,dispatches-saved} report the work fusion
+// did; with SimConfig::Fusion off they stay zero.
+TEST(Fusion, TelemetryCountersReportFusion) {
+  const Workload *W = findWorkload("Queen");
+  ASSERT_NE(W, nullptr);
+  MachineProgram Prog = compileWorkload(*W);
+
+  {
+    TelemetryGuard Guard(true);
+    SimConfig Sim;
+    SimResult R = Simulator(Sim).run(Prog);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    std::string JSON = telemetry::snapshotJSON();
+    EXPECT_NE(JSON.find("\"sim.fuse.candidates\""), std::string::npos);
+    EXPECT_EQ(JSON.find("\"sim.fuse.fused\": 0"), std::string::npos)
+        << JSON;
+    EXPECT_EQ(JSON.find("\"sim.fuse.dispatches-saved\": 0"),
+              std::string::npos)
+        << JSON;
+  }
+  {
+    TelemetryGuard Guard(true);
+    SimConfig Sim;
+    Sim.Fusion = false;
+    SimResult R = Simulator(Sim).run(Prog);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    std::string JSON = telemetry::snapshotJSON();
+    EXPECT_NE(JSON.find("\"sim.fuse.fused\": 0"), std::string::npos)
+        << JSON;
+    EXPECT_NE(JSON.find("\"sim.fuse.dispatches-saved\": 0"),
+              std::string::npos)
+        << JSON;
+  }
+}

@@ -190,11 +190,50 @@ TEST_P(FuzzDifferential, AllExecutionPathsAgree) {
   }
 }
 
+namespace {
+
+/// Asserts every observable field of \p A equals \p B (the reference).
+void expectSameResult(const SimResult &A, const SimResult &B,
+                      const char *Label) {
+  SCOPED_TRACE(Label);
+  EXPECT_EQ(A.Halted, B.Halted);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Cache, B.Cache);
+  EXPECT_EQ(A.ICache, B.ICache);
+  EXPECT_EQ(A.InstructionFetches, B.InstructionFetches);
+  EXPECT_EQ(A.BypassTransitions, B.BypassTransitions);
+  EXPECT_EQ(A.CoherenceViolations, B.CoherenceViolations);
+  EXPECT_EQ(A.Refs.Unambiguous, B.Refs.Unambiguous);
+  EXPECT_EQ(A.Refs.Ambiguous, B.Refs.Ambiguous);
+  EXPECT_EQ(A.Refs.Spill, B.Refs.Spill);
+  EXPECT_EQ(A.Refs.Unknown, B.Refs.Unknown);
+  EXPECT_EQ(A.Refs.Bypassed, B.Refs.Bypassed);
+  EXPECT_EQ(A.Refs.LastRefTagged, B.Refs.LastRefTagged);
+  ASSERT_EQ(A.Trace.size(), B.Trace.size());
+  for (size_t I = 0; I != A.Trace.size(); ++I) {
+    ASSERT_EQ(A.Trace[I].Addr, B.Trace[I].Addr) << "event " << I;
+    ASSERT_EQ(A.Trace[I].IsWrite, B.Trace[I].IsWrite) << "event " << I;
+    ASSERT_EQ(A.Trace[I].Info.Bypass, B.Trace[I].Info.Bypass)
+        << "event " << I;
+    ASSERT_EQ(A.Trace[I].Info.LastRef, B.Trace[I].Info.LastRef)
+        << "event " << I;
+    ASSERT_EQ(A.Trace[I].RefId, B.Trace[I].RefId) << "event " << I;
+  }
+}
+
+} // namespace
+
 TEST_P(FuzzDifferential, EnginesBitIdentical) {
-  // The predecoded threaded-dispatch engine against the reference
-  // switch interpreter: identical SimResults — output, steps, cache and
-  // reference counters, and the recorded trace — on the same machine
-  // program, and both matching the IR oracle.
+  // Three-way differential: the predecoded engine fused (the default)
+  // and unfused (SimConfig::Fusion = false) against the reference
+  // switch interpreter — identical SimResults bit for bit (output,
+  // steps, cache and reference counters, the recorded trace), and all
+  // matching the IR oracle. Every generated program also runs under a
+  // mid-program step limit, the state fusion has to be most careful
+  // about: a fused group must stop exactly at MaxSteps even when the
+  // limit lands inside what fusion grouped.
   ProgramGenerator Gen(GetParam());
   std::string Source = Gen.generate();
   SCOPED_TRACE(Source);
@@ -221,36 +260,35 @@ TEST_P(FuzzDifferential, EnginesBitIdentical) {
     Sim.ModelICache = (GetParam() % 2) == 0; // Cover both fetch paths.
     Sim.ICache.NumLines = 8;
 
-    Sim.Engine = SimEngine::Predecoded;
-    SimResult P = Simulator(Sim).run(Compiled.Program);
     Sim.Engine = SimEngine::Switch;
     SimResult S = Simulator(Sim).run(Compiled.Program);
 
+    Sim.Engine = SimEngine::Predecoded;
+    Sim.Fusion = true;
+    SimResult P = Simulator(Sim).run(Compiled.Program);
+    Sim.Fusion = false;
+    SimResult U = Simulator(Sim).run(Compiled.Program);
+
     ASSERT_TRUE(P.ok()) << P.Error;
     EXPECT_EQ(P.Output, Oracle.Output);
-    EXPECT_EQ(P.Halted, S.Halted);
-    EXPECT_EQ(P.Error, S.Error);
-    EXPECT_EQ(P.Steps, S.Steps);
-    EXPECT_EQ(P.Output, S.Output);
-    EXPECT_EQ(P.Cache, S.Cache);
-    EXPECT_EQ(P.ICache, S.ICache);
-    EXPECT_EQ(P.InstructionFetches, S.InstructionFetches);
-    EXPECT_EQ(P.BypassTransitions, S.BypassTransitions);
-    EXPECT_EQ(P.CoherenceViolations, S.CoherenceViolations);
-    EXPECT_EQ(P.Refs.Unambiguous, S.Refs.Unambiguous);
-    EXPECT_EQ(P.Refs.Ambiguous, S.Refs.Ambiguous);
-    EXPECT_EQ(P.Refs.Spill, S.Refs.Spill);
-    EXPECT_EQ(P.Refs.Unknown, S.Refs.Unknown);
-    EXPECT_EQ(P.Refs.Bypassed, S.Refs.Bypassed);
-    EXPECT_EQ(P.Refs.LastRefTagged, S.Refs.LastRefTagged);
-    ASSERT_EQ(P.Trace.size(), S.Trace.size());
-    for (size_t I = 0; I != P.Trace.size(); ++I) {
-      ASSERT_EQ(P.Trace[I].Addr, S.Trace[I].Addr) << "event " << I;
-      ASSERT_EQ(P.Trace[I].IsWrite, S.Trace[I].IsWrite) << "event " << I;
-      ASSERT_EQ(P.Trace[I].Info.Bypass, S.Trace[I].Info.Bypass)
-          << "event " << I;
-      ASSERT_EQ(P.Trace[I].Info.LastRef, S.Trace[I].Info.LastRef)
-          << "event " << I;
+    expectSameResult(P, S, "fused vs switch");
+    expectSameResult(U, S, "unfused vs switch");
+
+    // Truncated reruns: a seed-derived step limit below the full run,
+    // landing anywhere — including mid-fused-group. All three engines
+    // must stop after exactly MaxSteps retired instructions.
+    if (S.Steps > 1) {
+      Sim.MaxSteps = 1 + (GetParam() * 2654435761u) % (S.Steps - 1);
+      Sim.Engine = SimEngine::Switch;
+      SimResult TS = Simulator(Sim).run(Compiled.Program);
+      Sim.Engine = SimEngine::Predecoded;
+      Sim.Fusion = true;
+      SimResult TP = Simulator(Sim).run(Compiled.Program);
+      Sim.Fusion = false;
+      SimResult TU = Simulator(Sim).run(Compiled.Program);
+      EXPECT_EQ(TS.Steps, Sim.MaxSteps);
+      expectSameResult(TP, TS, "fused vs switch (truncated)");
+      expectSameResult(TU, TS, "unfused vs switch (truncated)");
     }
   }
 }

@@ -26,6 +26,7 @@
 //                         every --sweep row (min and bypass are
 //                         replay-only: they require --sweep)
 //   --icache              model the instruction cache too
+//   --no-fuse             disable superinstruction fusion (A/B baseline)
 //   --dump-ast --dump-ir --dump-asm --stats --compare
 //   --workload=NAME       use a built-in benchmark instead of a file
 //   --passes=P1,P2,...    run an explicit pass pipeline instead of the
@@ -148,6 +149,9 @@ void usage(std::FILE *Out) {
       "                       cache and every sweep row; min/bypass are\n"
       "                       replay-only and require --sweep)\n"
       "  --icache             model the instruction cache too\n"
+      "  --no-fuse            disable superinstruction fusion in the\n"
+      "                       predecoded engine (A/B baseline; results\n"
+      "                       are bit-identical either way)\n"
       "  --sweep=S1,S2,...    replay against fully-associative caches "
       "of\n"
       "                       the given line counts (hinted and "
@@ -233,6 +237,10 @@ bool parseFlag(CliOptions &Cli, const std::string &Arg) {
   }
   if (Arg == "--icache") {
     Cli.Sim.ModelICache = true;
+    return true;
+  }
+  if (Arg == "--no-fuse") {
+    Cli.Sim.Fusion = false;
     return true;
   }
   if (const char *V = Value("--scheme=")) {
